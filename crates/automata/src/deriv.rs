@@ -1,0 +1,247 @@
+//! A Brzozowski-derivative matcher with native numeric occurrence
+//! support — the "counter automaton" alternative to occurrence expansion
+//! (DESIGN.md experiment B5).
+//!
+//! The derivative of `e{min,max}` by symbol `a` is
+//! `∂a(e) · e{max(min−1,0), max−1}`, so bounds like `maxOccurs="100000"`
+//! cost nothing at construction time; the price is paid per `step`, where
+//! the expression is rewritten instead of a table lookup.
+
+use crate::dfa::StepError;
+use crate::expr::ContentExpr;
+use crate::Matcher;
+
+/// An incremental matcher that works directly on the expression.
+///
+/// As with the DFA matcher, a failed step leaves the matcher unchanged.
+#[derive(Debug, Clone)]
+pub struct DerivMatcher {
+    /// Current residual expression.
+    current: ContentExpr,
+}
+
+impl DerivMatcher {
+    /// Creates a matcher for `expr` (no compilation step).
+    pub fn new(expr: &ContentExpr) -> DerivMatcher {
+        DerivMatcher {
+            current: expr.clone(),
+        }
+    }
+
+    /// Validates a complete child sequence in one call.
+    pub fn accepts<'a>(
+        expr: &ContentExpr,
+        children: impl IntoIterator<Item = &'a str>,
+    ) -> bool {
+        let mut m = DerivMatcher::new(expr);
+        for c in children {
+            if m.step(c).is_err() {
+                return false;
+            }
+        }
+        m.is_accepting()
+    }
+}
+
+impl Matcher for DerivMatcher {
+    fn step(&mut self, symbol: &str) -> Result<(), StepError> {
+        match derive(&self.current, symbol) {
+            Some(next) => {
+                self.current = next;
+                Ok(())
+            }
+            None => Err(StepError {
+                got: symbol.to_string(),
+                expected: first_symbols(&self.current),
+                could_end: self.current.nullable(),
+            }),
+        }
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.current.nullable()
+    }
+
+    fn expected(&self) -> Vec<String> {
+        first_symbols(&self.current)
+    }
+}
+
+/// The symbols that can begin a match of `expr` (sorted, deduplicated).
+fn first_symbols(expr: &ContentExpr) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_first(expr, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn collect_first(expr: &ContentExpr, out: &mut Vec<String>) {
+    match expr {
+        ContentExpr::Empty => {}
+        ContentExpr::Leaf(n) => out.push(n.clone()),
+        ContentExpr::Sequence(parts) => {
+            for p in parts {
+                collect_first(p, out);
+                if !p.nullable() {
+                    break;
+                }
+            }
+        }
+        ContentExpr::Choice(parts) => {
+            for p in parts {
+                collect_first(p, out);
+            }
+        }
+        ContentExpr::Occur { inner, .. } => collect_first(inner, out),
+    }
+}
+
+/// Computes the derivative of `expr` by `symbol`, or `None` if the
+/// residual language is empty.
+///
+/// This implementation exploits the determinism (UPA) of schema content
+/// models: at most one alternative can consume the symbol, so we take the
+/// first branch that derives successfully rather than tracking a set of
+/// residuals.
+fn derive(expr: &ContentExpr, symbol: &str) -> Option<ContentExpr> {
+    match expr {
+        ContentExpr::Empty => None,
+        ContentExpr::Leaf(n) => (n == symbol).then_some(ContentExpr::Empty),
+        ContentExpr::Sequence(parts) => {
+            // ∂(p0 p1 …) = ∂(p0) p1 …  |  (if p0 nullable) ∂(p1 …)
+            for (i, part) in parts.iter().enumerate() {
+                if let Some(d) = derive(part, symbol) {
+                    let mut rest = Vec::with_capacity(parts.len() - i);
+                    if d != ContentExpr::Empty {
+                        rest.push(d);
+                    }
+                    rest.extend(parts[i + 1..].iter().cloned());
+                    return Some(ContentExpr::sequence(rest));
+                }
+                if !part.nullable() {
+                    return None;
+                }
+            }
+            None
+        }
+        ContentExpr::Choice(parts) => parts.iter().find_map(|p| derive(p, symbol)),
+        ContentExpr::Occur { inner, min, max } => {
+            if *max == Some(0) {
+                return None;
+            }
+            let d = derive(inner, symbol)?;
+            let residual = ContentExpr::Occur {
+                inner: inner.clone(),
+                min: min.saturating_sub(1),
+                max: max.map(|m| m - 1),
+            };
+            let mut parts = Vec::with_capacity(2);
+            if d != ContentExpr::Empty {
+                parts.push(d);
+            }
+            if !matches!(residual, ContentExpr::Occur { max: Some(0), .. }) {
+                parts.push(residual);
+            }
+            Some(ContentExpr::sequence(parts))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::ContentDfa;
+
+    fn po_model() -> ContentExpr {
+        ContentExpr::sequence(vec![
+            ContentExpr::leaf("shipTo"),
+            ContentExpr::leaf("billTo"),
+            ContentExpr::optional(ContentExpr::leaf("comment")),
+            ContentExpr::leaf("items"),
+        ])
+    }
+
+    #[test]
+    fn agrees_with_dfa_on_purchase_order() {
+        let dfa = ContentDfa::compile(&po_model()).unwrap();
+        for children in [
+            vec!["shipTo", "billTo", "comment", "items"],
+            vec!["shipTo", "billTo", "items"],
+            vec!["shipTo", "items"],
+            vec![],
+            vec!["shipTo", "billTo", "comment", "comment", "items"],
+        ] {
+            assert_eq!(
+                DerivMatcher::accepts(&po_model(), children.iter().copied()),
+                dfa.accepts(children.iter().copied()),
+                "children {children:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_max_occurs_without_expansion() {
+        let model = ContentExpr::occur(ContentExpr::leaf("item"), 2, Some(1_000_000));
+        // DFA compilation would refuse this bound; derivatives don't care.
+        let mut m = DerivMatcher::new(&model);
+        m.step("item").unwrap();
+        assert!(!m.is_accepting());
+        m.step("item").unwrap();
+        assert!(m.is_accepting());
+        for _ in 0..100 {
+            m.step("item").unwrap();
+        }
+        assert!(m.is_accepting());
+    }
+
+    #[test]
+    fn bounded_count_is_exact() {
+        let model = ContentExpr::occur(ContentExpr::leaf("x"), 1, Some(3));
+        assert!(!DerivMatcher::accepts(&model, []));
+        assert!(DerivMatcher::accepts(&model, ["x"]));
+        assert!(DerivMatcher::accepts(&model, ["x", "x", "x"]));
+        assert!(!DerivMatcher::accepts(&model, ["x", "x", "x", "x"]));
+    }
+
+    #[test]
+    fn expected_and_errors() {
+        let mut m = DerivMatcher::new(&po_model());
+        assert_eq!(m.expected(), ["shipTo"]);
+        m.step("shipTo").unwrap();
+        let err = m.step("zzz").unwrap_err();
+        assert_eq!(err.expected, ["billTo"]);
+        // recoverable: the matcher still expects billTo
+        assert_eq!(m.expected(), ["billTo"]);
+        assert!(!m.is_accepting());
+    }
+
+    #[test]
+    fn optional_prefix_exposes_two_expectations() {
+        let model = ContentExpr::sequence(vec![
+            ContentExpr::optional(ContentExpr::leaf("a")),
+            ContentExpr::leaf("b"),
+        ]);
+        let m = DerivMatcher::new(&model);
+        assert_eq!(m.expected(), ["a", "b"]);
+        assert!(DerivMatcher::accepts(&model, ["b"]));
+        assert!(DerivMatcher::accepts(&model, ["a", "b"]));
+        assert!(!DerivMatcher::accepts(&model, ["a"]));
+    }
+
+    #[test]
+    fn nested_groups() {
+        // (a (b | c)){2}
+        let model = ContentExpr::occur(
+            ContentExpr::sequence(vec![
+                ContentExpr::leaf("a"),
+                ContentExpr::choice(vec![ContentExpr::leaf("b"), ContentExpr::leaf("c")]),
+            ]),
+            2,
+            Some(2),
+        );
+        assert!(DerivMatcher::accepts(&model, ["a", "b", "a", "c"]));
+        assert!(!DerivMatcher::accepts(&model, ["a", "b"]));
+        assert!(!DerivMatcher::accepts(&model, ["a", "b", "a", "c", "a", "b"]));
+    }
+}

@@ -1,0 +1,348 @@
+//! Symbol-keyed DFA over element names, built from the Glushkov NFA by
+//! subset construction (Aho–Sethi–Ullman Algorithm 3.5), with the
+//! incremental [`Matcher`] interface V-DOM uses to enforce content models
+//! as children are appended.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::expr::ContentExpr;
+use crate::glushkov::{Glushkov, PositionId};
+use crate::Matcher;
+
+/// A step rejected by the automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepError {
+    /// The symbol that was fed.
+    pub got: String,
+    /// The symbols that would have been accepted.
+    pub expected: Vec<String>,
+    /// Whether stopping (no further children) would have been valid.
+    pub could_end: bool,
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected element <{}>; expected ", self.got)?;
+        if self.expected.is_empty() {
+            write!(f, "no further elements")?;
+        } else {
+            write!(f, "one of: {}", self.expected.join(", "))?;
+            if self.could_end {
+                write!(f, " (or end of content)")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// Errors from [`ContentDfa::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A bounded occurrence exceeded [`crate::expr::EXPANSION_LIMIT`].
+    OccurrenceTooLarge(u32),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::OccurrenceTooLarge(n) => write!(
+                f,
+                "maxOccurs={n} exceeds the DFA expansion limit; use DerivMatcher"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled, deterministic content-model automaton.
+///
+/// States are sets of Glushkov positions; transitions are keyed by
+/// element name. The automaton is cheap to share (`Arc` internally), so
+/// one compiled model serves every element instance of a type.
+#[derive(Debug, Clone)]
+pub struct ContentDfa {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// transitions[state] maps symbol → next state.
+    transitions: Vec<HashMap<String, usize>>,
+    accepting: Vec<bool>,
+}
+
+impl ContentDfa {
+    /// Compiles a content expression: expand occurrences → Glushkov →
+    /// subset construction.
+    pub fn compile(expr: &ContentExpr) -> Result<ContentDfa, CompileError> {
+        let expanded = expr
+            .expand_occurrences()
+            .map_err(CompileError::OccurrenceTooLarge)?;
+        let glushkov = Glushkov::construct(&expanded);
+        Ok(ContentDfa::from_glushkov(&glushkov))
+    }
+
+    /// Subset construction from an already-built Glushkov NFA.
+    ///
+    /// The Glushkov NFA's states are the positions plus an initial state
+    /// `q0`; a DFA state is the set of NFA states the automaton can be in
+    /// after the input consumed so far (i.e. the set of positions just
+    /// matched). Acceptance is `nullable` for the start state and
+    /// "contains a `last` position" for every other state.
+    pub fn from_glushkov(g: &Glushkov) -> ContentDfa {
+        // Candidate positions that may be consumed next from a state.
+        let candidates = |consumed: &BTreeSet<PositionId>, is_start: bool| {
+            let mut out: BTreeSet<PositionId> = BTreeSet::new();
+            if is_start {
+                out.extend(g.first.iter().copied());
+            } else {
+                for &p in consumed {
+                    out.extend(g.follow[p].iter().copied());
+                }
+            }
+            out
+        };
+
+        // State 0 is the distinguished start state ({q0}); all others are
+        // keyed by their set of consumed positions.
+        let mut index: HashMap<BTreeSet<PositionId>, usize> = HashMap::new();
+        let mut worklist: Vec<BTreeSet<PositionId>> = vec![BTreeSet::new()];
+        let mut transitions: Vec<HashMap<String, usize>> = vec![HashMap::new()];
+        let mut accepting = vec![g.nullable];
+        let mut processed = 0;
+
+        while processed < worklist.len() {
+            let consumed = worklist[processed].clone();
+            let current_id = processed;
+            let is_start = current_id == 0;
+            // group candidate next positions by symbol
+            let mut by_symbol: HashMap<&str, BTreeSet<PositionId>> = HashMap::new();
+            for p in candidates(&consumed, is_start) {
+                by_symbol
+                    .entry(g.symbols[p].as_str())
+                    .or_default()
+                    .insert(p);
+            }
+            // deterministic iteration order for reproducible state ids
+            let mut symbols: Vec<&str> = by_symbol.keys().copied().collect();
+            symbols.sort_unstable();
+            for sym in symbols {
+                let next = by_symbol[sym].clone();
+                let next_id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = worklist.len();
+                        index.insert(next.clone(), id);
+                        accepting.push(next.iter().any(|p| g.last.contains(p)));
+                        worklist.push(next);
+                        transitions.push(HashMap::new());
+                        id
+                    }
+                };
+                transitions[current_id].insert(sym.to_string(), next_id);
+            }
+            processed += 1;
+        }
+
+        ContentDfa {
+            inner: Arc::new(Inner {
+                transitions,
+                accepting,
+            }),
+        }
+    }
+
+    /// Number of DFA states (bench metric).
+    pub fn state_count(&self) -> usize {
+        self.inner.transitions.len()
+    }
+
+    /// A fresh matcher positioned at the start state.
+    pub fn start(&self) -> DfaMatcher {
+        DfaMatcher {
+            dfa: self.clone(),
+            state: 0,
+        }
+    }
+
+    /// Validates a complete child sequence in one call.
+    pub fn accepts<'a>(&self, children: impl IntoIterator<Item = &'a str>) -> bool {
+        let mut m = self.start();
+        for c in children {
+            if m.step(c).is_err() {
+                return false;
+            }
+        }
+        m.is_accepting()
+    }
+
+    fn expected_in(&self, state: usize) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.transitions[state].keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// An incremental matcher over a [`ContentDfa`].
+///
+/// A failed [`Matcher::step`] leaves the matcher unchanged, so callers
+/// (V-DOM in particular) can reject an operation and continue — the
+/// document stays a valid prefix.
+#[derive(Debug, Clone)]
+pub struct DfaMatcher {
+    dfa: ContentDfa,
+    state: usize,
+}
+
+impl DfaMatcher {
+    /// The current DFA state id (used by V-DOM to snapshot progress).
+    pub fn state(&self) -> usize {
+        self.state
+    }
+}
+
+impl Matcher for DfaMatcher {
+    fn step(&mut self, symbol: &str) -> Result<(), StepError> {
+        match self.dfa.inner.transitions[self.state].get(symbol) {
+            Some(&next) => {
+                self.state = next;
+                Ok(())
+            }
+            None => Err(StepError {
+                got: symbol.to_string(),
+                expected: self.dfa.expected_in(self.state),
+                could_end: self.dfa.inner.accepting[self.state],
+            }),
+        }
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.dfa.inner.accepting[self.state]
+    }
+
+    fn expected(&self) -> Vec<String> {
+        self.dfa.expected_in(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn po_model() -> ContentExpr {
+        ContentExpr::sequence(vec![
+            ContentExpr::leaf("shipTo"),
+            ContentExpr::leaf("billTo"),
+            ContentExpr::optional(ContentExpr::leaf("comment")),
+            ContentExpr::leaf("items"),
+        ])
+    }
+
+    #[test]
+    fn purchase_order_content_model() {
+        let dfa = ContentDfa::compile(&po_model()).unwrap();
+        assert!(dfa.accepts(["shipTo", "billTo", "comment", "items"]));
+        assert!(dfa.accepts(["shipTo", "billTo", "items"]));
+        assert!(!dfa.accepts(["shipTo", "items"]));
+        assert!(!dfa.accepts(["billTo", "shipTo", "items"]));
+        assert!(!dfa.accepts(["shipTo", "billTo", "items", "items"]));
+        assert!(!dfa.accepts([]));
+    }
+
+    #[test]
+    fn step_error_reports_expectations() {
+        let dfa = ContentDfa::compile(&po_model()).unwrap();
+        let mut m = dfa.start();
+        m.step("shipTo").unwrap();
+        let err = m.step("items").unwrap_err();
+        assert_eq!(err.got, "items");
+        assert_eq!(err.expected, ["billTo"]);
+        assert!(!err.could_end);
+        // a failed step is recoverable: the matcher is unchanged
+        m.step("billTo").unwrap();
+        assert_eq!(m.expected(), ["comment", "items"]);
+    }
+
+    #[test]
+    fn expected_mid_sequence() {
+        let dfa = ContentDfa::compile(&po_model()).unwrap();
+        let mut m = dfa.start();
+        m.step("shipTo").unwrap();
+        m.step("billTo").unwrap();
+        assert_eq!(m.expected(), ["comment", "items"]);
+        assert!(!m.is_accepting());
+    }
+
+    #[test]
+    fn star_and_choice() {
+        // (option)* under select, from the WML example
+        let model = ContentExpr::star(ContentExpr::choice(vec![
+            ContentExpr::leaf("optgroup"),
+            ContentExpr::leaf("option"),
+        ]));
+        let dfa = ContentDfa::compile(&model).unwrap();
+        assert!(dfa.accepts([]));
+        assert!(dfa.accepts(["option", "option", "optgroup"]));
+        assert!(!dfa.accepts(["option", "p"]));
+    }
+
+    #[test]
+    fn bounded_occurrence_via_expansion() {
+        let model = ContentExpr::occur(ContentExpr::leaf("item"), 2, Some(3));
+        let dfa = ContentDfa::compile(&model).unwrap();
+        assert!(!dfa.accepts(["item"]));
+        assert!(dfa.accepts(["item", "item"]));
+        assert!(dfa.accepts(["item", "item", "item"]));
+        assert!(!dfa.accepts(["item", "item", "item", "item"]));
+    }
+
+    #[test]
+    fn too_large_occurrence_rejected() {
+        let model = ContentExpr::occur(ContentExpr::leaf("x"), 0, Some(1_000_000));
+        assert!(matches!(
+            ContentDfa::compile(&model),
+            Err(CompileError::OccurrenceTooLarge(1_000_000))
+        ));
+    }
+
+    #[test]
+    fn dfa_is_shared_cheaply() {
+        let dfa = ContentDfa::compile(&po_model()).unwrap();
+        let d2 = dfa.clone();
+        assert_eq!(dfa.state_count(), d2.state_count());
+    }
+
+    #[test]
+    fn empty_model_accepts_only_empty() {
+        let dfa = ContentDfa::compile(&ContentExpr::Empty).unwrap();
+        assert!(dfa.accepts([]));
+        assert!(!dfa.accepts(["x"]));
+    }
+
+    #[test]
+    fn dragon_book_language() {
+        // (a|b)* a b b
+        let e = ContentExpr::sequence(vec![
+            ContentExpr::star(ContentExpr::choice(vec![
+                ContentExpr::leaf("a"),
+                ContentExpr::leaf("b"),
+            ])),
+            ContentExpr::leaf("a"),
+            ContentExpr::leaf("b"),
+            ContentExpr::leaf("b"),
+        ]);
+        let dfa = ContentDfa::compile(&e).unwrap();
+        assert!(dfa.accepts(["a", "b", "b"]));
+        assert!(dfa.accepts(["b", "a", "b", "a", "b", "b"]));
+        assert!(!dfa.accepts(["a", "b"]));
+        // The minimal DFA has 4 states; unminimized subset construction
+        // over Glushkov positions yields 5 (the start state duplicates
+        // the "just consumed the looping b" state).
+        assert_eq!(dfa.state_count(), 5);
+    }
+}

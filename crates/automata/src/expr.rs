@@ -1,0 +1,333 @@
+//! Content expressions: regular expressions over element names.
+
+use std::fmt;
+
+/// Maximum bounded occurrence that [`ContentExpr::expand_occurrences`]
+/// will unroll; larger bounds should use the derivative matcher.
+pub const EXPANSION_LIMIT: u32 = 4096;
+
+/// A content model expression.
+///
+/// `Occur` nodes carry XML Schema `minOccurs`/`maxOccurs` (with `None`
+/// for `unbounded`). The paper treats `all` groups as sequences (Sect. 3),
+/// and so does this reproduction — the `schema` crate lowers `xsd:all`
+/// into [`ContentExpr::Sequence`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ContentExpr {
+    /// The empty content model (matches the empty child sequence only).
+    Empty,
+    /// A single element particle.
+    Leaf(String),
+    /// All parts in order.
+    Sequence(Vec<ContentExpr>),
+    /// Exactly one alternative.
+    Choice(Vec<ContentExpr>),
+    /// `inner` repeated between `min` and `max` times.
+    Occur {
+        /// Repeated expression.
+        inner: Box<ContentExpr>,
+        /// `minOccurs`.
+        min: u32,
+        /// `maxOccurs`; `None` = `unbounded`.
+        max: Option<u32>,
+    },
+}
+
+impl ContentExpr {
+    /// A single element particle.
+    pub fn leaf(name: impl Into<String>) -> Self {
+        ContentExpr::Leaf(name.into())
+    }
+
+    /// A sequence group; flattens trivial cases.
+    pub fn sequence(mut parts: Vec<ContentExpr>) -> Self {
+        match parts.len() {
+            0 => ContentExpr::Empty,
+            1 => parts.pop().unwrap(),
+            _ => ContentExpr::Sequence(parts),
+        }
+    }
+
+    /// A choice group; flattens trivial cases.
+    pub fn choice(mut parts: Vec<ContentExpr>) -> Self {
+        match parts.len() {
+            0 => ContentExpr::Empty,
+            1 => parts.pop().unwrap(),
+            _ => ContentExpr::Choice(parts),
+        }
+    }
+
+    /// `inner?`.
+    pub fn optional(inner: ContentExpr) -> Self {
+        ContentExpr::Occur {
+            inner: Box::new(inner),
+            min: 0,
+            max: Some(1),
+        }
+    }
+
+    /// `inner*`.
+    pub fn star(inner: ContentExpr) -> Self {
+        ContentExpr::Occur {
+            inner: Box::new(inner),
+            min: 0,
+            max: None,
+        }
+    }
+
+    /// `inner{min, max}`.
+    pub fn occur(inner: ContentExpr, min: u32, max: Option<u32>) -> Self {
+        ContentExpr::Occur {
+            inner: Box::new(inner),
+            min,
+            max,
+        }
+    }
+
+    /// Whether the expression matches the empty sequence.
+    pub fn nullable(&self) -> bool {
+        match self {
+            ContentExpr::Empty => true,
+            ContentExpr::Leaf(_) => false,
+            ContentExpr::Sequence(parts) => parts.iter().all(ContentExpr::nullable),
+            ContentExpr::Choice(parts) => parts.iter().any(ContentExpr::nullable),
+            ContentExpr::Occur { inner, min, .. } => *min == 0 || inner.nullable(),
+        }
+    }
+
+    /// All distinct element names mentioned, in first-occurrence order.
+    pub fn symbols(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<String>) {
+        match self {
+            ContentExpr::Empty => {}
+            ContentExpr::Leaf(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            ContentExpr::Sequence(parts) | ContentExpr::Choice(parts) => {
+                for p in parts {
+                    p.collect_symbols(out);
+                }
+            }
+            ContentExpr::Occur { inner, .. } => inner.collect_symbols(out),
+        }
+    }
+
+    /// Number of leaf particles (Glushkov positions after expansion).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            ContentExpr::Empty => 0,
+            ContentExpr::Leaf(_) => 1,
+            ContentExpr::Sequence(parts) | ContentExpr::Choice(parts) => {
+                parts.iter().map(ContentExpr::leaf_count).sum()
+            }
+            ContentExpr::Occur { inner, .. } => inner.leaf_count(),
+        }
+    }
+
+    /// Rewrites every bounded `Occur` into explicit repetition so the
+    /// result uses only `?`-, `*`-style occurrences that the Glushkov
+    /// construction handles natively.
+    ///
+    /// `x{2,4}` becomes `x x x? x?`; `x{2,}` becomes `x x x*`. Returns
+    /// `Err` with the offending bound when a finite bound exceeds
+    /// [`EXPANSION_LIMIT`] (use [`crate::DerivMatcher`] instead).
+    pub fn expand_occurrences(&self) -> Result<ContentExpr, u32> {
+        Ok(match self {
+            ContentExpr::Empty => ContentExpr::Empty,
+            ContentExpr::Leaf(n) => ContentExpr::Leaf(n.clone()),
+            ContentExpr::Sequence(parts) => ContentExpr::sequence(
+                parts
+                    .iter()
+                    .map(ContentExpr::expand_occurrences)
+                    .collect::<Result<_, _>>()?,
+            ),
+            ContentExpr::Choice(parts) => ContentExpr::choice(
+                parts
+                    .iter()
+                    .map(ContentExpr::expand_occurrences)
+                    .collect::<Result<_, _>>()?,
+            ),
+            ContentExpr::Occur { inner, min, max } => {
+                let inner = inner.expand_occurrences()?;
+                match max {
+                    Some(max) => {
+                        if *max > EXPANSION_LIMIT {
+                            return Err(*max);
+                        }
+                        if *max == 0 {
+                            return Ok(ContentExpr::Empty);
+                        }
+                        if (*min, *max) == (0, 1) || (*min, *max) == (1, 1) {
+                            // native forms
+                            return Ok(if *min == 0 {
+                                ContentExpr::Occur {
+                                    inner: Box::new(inner),
+                                    min: 0,
+                                    max: Some(1),
+                                }
+                            } else {
+                                inner
+                            });
+                        }
+                        let mut parts = Vec::with_capacity(*max as usize);
+                        for _ in 0..*min {
+                            parts.push(inner.clone());
+                        }
+                        for _ in *min..*max {
+                            parts.push(ContentExpr::optional(inner.clone()));
+                        }
+                        ContentExpr::sequence(parts)
+                    }
+                    None => {
+                        if *min == 0 {
+                            ContentExpr::star(inner)
+                        } else {
+                            let mut parts = Vec::with_capacity(*min as usize + 1);
+                            for _ in 0..*min {
+                                parts.push(inner.clone());
+                            }
+                            parts.push(ContentExpr::star(inner));
+                            ContentExpr::sequence(parts)
+                        }
+                    }
+                }
+            }
+        })
+    }
+}
+
+impl fmt::Display for ContentExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentExpr::Empty => write!(f, "ε"),
+            ContentExpr::Leaf(n) => write!(f, "{n}"),
+            ContentExpr::Sequence(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            ContentExpr::Choice(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            ContentExpr::Occur { inner, min, max } => match (min, max) {
+                (0, Some(1)) => write!(f, "{inner}?"),
+                (0, None) => write!(f, "{inner}*"),
+                (1, None) => write!(f, "{inner}+"),
+                (min, Some(max)) => write!(f, "{inner}{{{min},{max}}}"),
+                (min, None) => write!(f, "{inner}{{{min},}}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn po_model() -> ContentExpr {
+        ContentExpr::sequence(vec![
+            ContentExpr::leaf("shipTo"),
+            ContentExpr::leaf("billTo"),
+            ContentExpr::optional(ContentExpr::leaf("comment")),
+            ContentExpr::leaf("items"),
+        ])
+    }
+
+    #[test]
+    fn nullable_rules() {
+        assert!(ContentExpr::Empty.nullable());
+        assert!(!ContentExpr::leaf("a").nullable());
+        assert!(ContentExpr::optional(ContentExpr::leaf("a")).nullable());
+        assert!(ContentExpr::star(ContentExpr::leaf("a")).nullable());
+        assert!(!po_model().nullable());
+        assert!(ContentExpr::choice(vec![
+            ContentExpr::leaf("a"),
+            ContentExpr::Empty
+        ])
+        .nullable());
+    }
+
+    #[test]
+    fn symbols_in_order() {
+        assert_eq!(po_model().symbols(), ["shipTo", "billTo", "comment", "items"]);
+    }
+
+    #[test]
+    fn expansion_of_bounded_counts() {
+        let e = ContentExpr::occur(ContentExpr::leaf("x"), 2, Some(4));
+        let expanded = e.expand_occurrences().unwrap();
+        // x x x? x?
+        match &expanded {
+            ContentExpr::Sequence(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert_eq!(parts[0], ContentExpr::leaf("x"));
+                assert!(matches!(parts[2], ContentExpr::Occur { min: 0, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(expanded.leaf_count(), 4);
+    }
+
+    #[test]
+    fn expansion_of_min_with_unbounded() {
+        let e = ContentExpr::occur(ContentExpr::leaf("x"), 2, None);
+        let expanded = e.expand_occurrences().unwrap();
+        assert_eq!(expanded.leaf_count(), 3); // x x x*
+        assert!(!expanded.nullable());
+    }
+
+    #[test]
+    fn expansion_limit_enforced() {
+        let e = ContentExpr::occur(ContentExpr::leaf("x"), 0, Some(EXPANSION_LIMIT + 1));
+        assert_eq!(e.expand_occurrences(), Err(EXPANSION_LIMIT + 1));
+    }
+
+    #[test]
+    fn max_zero_is_empty() {
+        let e = ContentExpr::occur(ContentExpr::leaf("x"), 0, Some(0));
+        assert_eq!(e.expand_occurrences().unwrap(), ContentExpr::Empty);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            po_model().to_string(),
+            "(shipTo, billTo, comment?, items)"
+        );
+        let c = ContentExpr::choice(vec![ContentExpr::leaf("a"), ContentExpr::leaf("b")]);
+        assert_eq!(c.to_string(), "(a | b)");
+        assert_eq!(
+            ContentExpr::occur(ContentExpr::leaf("x"), 2, Some(5)).to_string(),
+            "x{2,5}"
+        );
+    }
+
+    #[test]
+    fn constructors_flatten_trivial_groups() {
+        assert_eq!(ContentExpr::sequence(vec![]), ContentExpr::Empty);
+        assert_eq!(
+            ContentExpr::sequence(vec![ContentExpr::leaf("a")]),
+            ContentExpr::leaf("a")
+        );
+        assert_eq!(ContentExpr::choice(vec![]), ContentExpr::Empty);
+    }
+}

@@ -1,0 +1,322 @@
+//! The Glushkov (Aho–Sethi–Ullman "positions") construction.
+//!
+//! Every leaf particle of the content expression becomes a *position*;
+//! the construction computes `nullable`, `first`, `last` and `follow`
+//! sets, which together form an ε-free NFA whose states are positions.
+//! XML Schema's *unique particle attribution* constraint is exactly the
+//! statement that this NFA is deterministic — [`Glushkov::check_determinism`]
+//! verifies it and reports the two competing particles otherwise.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::expr::ContentExpr;
+
+/// A position: the index of a leaf particle in left-to-right order.
+pub type PositionId = usize;
+
+/// The result of the Glushkov construction over an expression whose
+/// occurrences have been reduced to `?`/`*`/`+` form (see
+/// [`ContentExpr::expand_occurrences`]).
+#[derive(Debug, Clone)]
+pub struct Glushkov {
+    /// Element name of each position.
+    pub symbols: Vec<String>,
+    /// Whether the whole expression is nullable.
+    pub nullable: bool,
+    /// Positions that can start a match.
+    pub first: BTreeSet<PositionId>,
+    /// Positions that can end a match.
+    pub last: BTreeSet<PositionId>,
+    /// `follow[p]` = positions that may follow position `p`.
+    pub follow: Vec<BTreeSet<PositionId>>,
+}
+
+/// Two particles competing for the same element name — a violation of
+/// XML Schema's unique-particle-attribution rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmbiguityError {
+    /// The ambiguous element name.
+    pub symbol: String,
+    /// The two competing positions (leaf indices in document order).
+    pub positions: (PositionId, PositionId),
+}
+
+impl fmt::Display for AmbiguityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "content model violates unique particle attribution: element {:?} is matched by competing particles #{} and #{}",
+            self.symbol, self.positions.0, self.positions.1
+        )
+    }
+}
+
+impl std::error::Error for AmbiguityError {}
+
+impl Glushkov {
+    /// Runs the construction.
+    ///
+    /// The expression must already be in `?`/`*`/`+` occurrence form;
+    /// bounded counts other than `{0,1}` are handled by expanding first.
+    pub fn construct(expr: &ContentExpr) -> Glushkov {
+        let mut symbols = Vec::new();
+        let mut follow = Vec::new();
+        let info = build_into(expr, &mut symbols, &mut follow);
+        Glushkov {
+            follow,
+            symbols,
+            nullable: info.nullable,
+            first: info.first,
+            last: info.last,
+        }
+    }
+
+    /// Number of positions.
+    pub fn position_count(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Checks unique particle attribution: from any state of the position
+    /// NFA, at most one successor position per element name.
+    pub fn check_determinism(&self) -> Result<(), AmbiguityError> {
+        // start state: `first` must not contain two positions with the
+        // same symbol; likewise each follow set.
+        self.check_set(&self.first)?;
+        for set in &self.follow {
+            self.check_set(set)?;
+        }
+        Ok(())
+    }
+
+    fn check_set(&self, set: &BTreeSet<PositionId>) -> Result<(), AmbiguityError> {
+        let mut seen: Vec<(usize, &str)> = Vec::new();
+        for &p in set {
+            let sym = self.symbols[p].as_str();
+            if let Some(&(q, _)) = seen.iter().find(|&&(_, s)| s == sym) {
+                return Err(AmbiguityError {
+                    symbol: sym.to_string(),
+                    positions: (q, p),
+                });
+            }
+            seen.push((p, sym));
+        }
+        Ok(())
+    }
+}
+
+struct Info {
+    nullable: bool,
+    first: BTreeSet<PositionId>,
+    last: BTreeSet<PositionId>,
+}
+
+/// Builds `expr`, allocating positions into `symbols` and follow sets into
+/// the global `follow` table (indexed by [`PositionId`]).
+fn build_into(
+    expr: &ContentExpr,
+    symbols: &mut Vec<String>,
+    follow: &mut Vec<BTreeSet<PositionId>>,
+) -> Info {
+    match expr {
+        ContentExpr::Empty => Info {
+            nullable: true,
+            first: BTreeSet::new(),
+            last: BTreeSet::new(),
+        },
+        ContentExpr::Leaf(name) => {
+            let p = symbols.len();
+            symbols.push(name.clone());
+            follow.push(BTreeSet::new());
+            Info {
+                nullable: false,
+                first: BTreeSet::from([p]),
+                last: BTreeSet::from([p]),
+            }
+        }
+        ContentExpr::Sequence(parts) => {
+            let mut acc: Option<Info> = None;
+            for part in parts {
+                let rhs = build_into(part, symbols, follow);
+                acc = Some(match acc {
+                    None => rhs,
+                    Some(lhs) => {
+                        // every last(lhs) can be followed by first(rhs)
+                        for &p in &lhs.last {
+                            follow[p].extend(rhs.first.iter().copied());
+                        }
+                        let first = if lhs.nullable {
+                            lhs.first.union(&rhs.first).copied().collect()
+                        } else {
+                            lhs.first
+                        };
+                        let last = if rhs.nullable {
+                            lhs.last.union(&rhs.last).copied().collect()
+                        } else {
+                            rhs.last
+                        };
+                        Info {
+                            nullable: lhs.nullable && rhs.nullable,
+                            first,
+                            last,
+                        }
+                    }
+                });
+            }
+            acc.unwrap_or(Info {
+                nullable: true,
+                first: BTreeSet::new(),
+                last: BTreeSet::new(),
+            })
+        }
+        ContentExpr::Choice(parts) => {
+            let mut nullable = false;
+            let mut first = BTreeSet::new();
+            let mut last = BTreeSet::new();
+            for part in parts {
+                let info = build_into(part, symbols, follow);
+                nullable |= info.nullable;
+                first.extend(info.first);
+                last.extend(info.last);
+            }
+            Info {
+                nullable,
+                first,
+                last,
+            }
+        }
+        ContentExpr::Occur { inner, min, max } => {
+            let mut info = build_into(inner, symbols, follow);
+            let repeats = max.map(|m| m > 1).unwrap_or(true);
+            if repeats {
+                // last positions can loop back to first positions
+                let firsts: Vec<_> = info.first.iter().copied().collect();
+                for &p in &info.last {
+                    follow[p].extend(firsts.iter().copied());
+                }
+            }
+            if *min == 0 {
+                info.nullable = true;
+            }
+            info
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(expr: &ContentExpr) -> Glushkov {
+        Glushkov::construct(&expr.expand_occurrences().unwrap())
+    }
+
+    #[test]
+    fn sequence_first_last_follow() {
+        // a b c
+        let e = ContentExpr::sequence(vec![
+            ContentExpr::leaf("a"),
+            ContentExpr::leaf("b"),
+            ContentExpr::leaf("c"),
+        ]);
+        let gl = g(&e);
+        assert_eq!(gl.position_count(), 3);
+        assert!(!gl.nullable);
+        assert_eq!(gl.first, BTreeSet::from([0]));
+        assert_eq!(gl.last, BTreeSet::from([2]));
+        assert_eq!(gl.follow[0], BTreeSet::from([1]));
+        assert_eq!(gl.follow[1], BTreeSet::from([2]));
+        assert!(gl.follow[2].is_empty());
+    }
+
+    #[test]
+    fn optional_middle_element() {
+        // a b? c  — follow(a) = {b, c}
+        let e = ContentExpr::sequence(vec![
+            ContentExpr::leaf("a"),
+            ContentExpr::optional(ContentExpr::leaf("b")),
+            ContentExpr::leaf("c"),
+        ]);
+        let gl = g(&e);
+        assert_eq!(gl.follow[0], BTreeSet::from([1, 2]));
+        assert_eq!(gl.follow[1], BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn star_loops_back() {
+        let e = ContentExpr::star(ContentExpr::sequence(vec![
+            ContentExpr::leaf("a"),
+            ContentExpr::leaf("b"),
+        ]));
+        let gl = g(&e);
+        assert!(gl.nullable);
+        assert_eq!(gl.follow[1], BTreeSet::from([0])); // b loops to a
+    }
+
+    #[test]
+    fn dragon_book_abb() {
+        // (a|b)* a b b
+        let e = ContentExpr::sequence(vec![
+            ContentExpr::star(ContentExpr::choice(vec![
+                ContentExpr::leaf("a"),
+                ContentExpr::leaf("b"),
+            ])),
+            ContentExpr::leaf("a"),
+            ContentExpr::leaf("b"),
+            ContentExpr::leaf("b"),
+        ]);
+        let gl = g(&e);
+        assert_eq!(gl.position_count(), 5);
+        assert_eq!(gl.first, BTreeSet::from([0, 1, 2]));
+        assert_eq!(gl.last, BTreeSet::from([4]));
+        // follow(position 1 = 'b' in the loop) = {0, 1, 2}
+        assert_eq!(gl.follow[1], BTreeSet::from([0, 1, 2]));
+        assert_eq!(gl.follow[3], BTreeSet::from([4]));
+    }
+
+    #[test]
+    fn deterministic_model_passes_upa() {
+        let e = ContentExpr::sequence(vec![
+            ContentExpr::leaf("shipTo"),
+            ContentExpr::leaf("billTo"),
+            ContentExpr::optional(ContentExpr::leaf("comment")),
+            ContentExpr::leaf("items"),
+        ]);
+        assert!(g(&e).check_determinism().is_ok());
+    }
+
+    #[test]
+    fn ambiguous_model_fails_upa() {
+        // (a, b?) | (a, c) — two 'a' particles compete at the start
+        let e = ContentExpr::choice(vec![
+            ContentExpr::sequence(vec![
+                ContentExpr::leaf("a"),
+                ContentExpr::optional(ContentExpr::leaf("b")),
+            ]),
+            ContentExpr::sequence(vec![ContentExpr::leaf("a"), ContentExpr::leaf("c")]),
+        ]);
+        let err = g(&e).check_determinism().unwrap_err();
+        assert_eq!(err.symbol, "a");
+    }
+
+    #[test]
+    fn classic_upa_violation_optional_then_same() {
+        // (a?, a) is the textbook non-deterministic model
+        let e = ContentExpr::sequence(vec![
+            ContentExpr::optional(ContentExpr::leaf("a")),
+            ContentExpr::leaf("a"),
+        ]);
+        assert!(g(&e).check_determinism().is_err());
+    }
+
+    #[test]
+    fn same_symbol_in_unambiguous_places_is_fine() {
+        // (a, b, a) — both 'a's are uniquely attributed
+        let e = ContentExpr::sequence(vec![
+            ContentExpr::leaf("a"),
+            ContentExpr::leaf("b"),
+            ContentExpr::leaf("a"),
+        ]);
+        assert!(g(&e).check_determinism().is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! Content-model automata: the machinery behind both runtime validation
+//! and the P-XML preprocessor (paper Sect. 6).
+//!
+//! An XML Schema content model — sequences, choices and occurrence
+//! constraints over element particles — is a regular expression over
+//! element names. The paper's implementation section says the generated
+//! preprocessor grammar "is built by using an algorithm of
+//! \[Aho–Sethi–Ullman\], which constructs deterministic finite automata
+//! from regular expressions"; this crate implements exactly that:
+//!
+//! * [`expr`] — the content expression tree ([`ContentExpr`]) with
+//!   occurrence rewriting (expansion of bounded counts);
+//! * [`glushkov`] — the Glushkov/ASU position construction (`nullable`,
+//!   `first`, `last`, `follow`) producing an ε-free NFA, plus the *unique
+//!   particle attribution* (determinism) check XML Schema requires;
+//! * [`dfa`] — subset construction to a symbol-keyed DFA with an
+//!   incremental [`Matcher`] interface used by V-DOM's construction-time
+//!   enforcement;
+//! * [`deriv`] — a Brzozowski-derivative matcher that handles numeric
+//!   occurrence bounds *without* expansion (the counter-automaton ablation
+//!   of DESIGN.md experiment B5).
+//!
+//! # Example
+//!
+//! ```
+//! use automata::{ContentExpr, ContentDfa, Matcher};
+//!
+//! // shipTo billTo comment? items   (the paper's PurchaseOrderType)
+//! let model = ContentExpr::sequence(vec![
+//!     ContentExpr::leaf("shipTo"),
+//!     ContentExpr::leaf("billTo"),
+//!     ContentExpr::optional(ContentExpr::leaf("comment")),
+//!     ContentExpr::leaf("items"),
+//! ]);
+//! let dfa = ContentDfa::compile(&model).unwrap();
+//! let mut m = dfa.start();
+//! for child in ["shipTo", "billTo", "items"] {
+//!     m.step(child).unwrap();
+//! }
+//! assert!(m.is_accepting());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deriv;
+pub mod dfa;
+pub mod expr;
+pub mod glushkov;
+
+pub use deriv::DerivMatcher;
+pub use dfa::{ContentDfa, DfaMatcher, StepError};
+pub use expr::ContentExpr;
+pub use glushkov::{AmbiguityError, Glushkov};
+
+/// Incremental matching interface shared by the DFA and derivative
+/// engines: feed one child-element name at a time.
+pub trait Matcher {
+    /// Consumes one symbol; `Err` carries the set of symbols that would
+    /// have been accepted instead.
+    fn step(&mut self, symbol: &str) -> Result<(), StepError>;
+
+    /// Whether the input consumed so far is a complete valid content.
+    fn is_accepting(&self) -> bool;
+
+    /// The symbols acceptable in the current state (sorted, deduplicated).
+    fn expected(&self) -> Vec<String>;
+}

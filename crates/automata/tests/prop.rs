@@ -1,0 +1,83 @@
+//! Property tests: the expansion-based DFA and the derivative matcher
+//! must define the same language, and both must respect basic regular
+//! identities.
+
+use automata::{ContentDfa, ContentExpr, DerivMatcher, Matcher};
+use proptest::prelude::*;
+
+/// Random content expressions over a tiny alphabet.
+fn arb_expr() -> impl Strategy<Value = ContentExpr> {
+    let leaf = prop_oneof![
+        Just(ContentExpr::leaf("a")),
+        Just(ContentExpr::leaf("b")),
+        Just(ContentExpr::leaf("c")),
+        Just(ContentExpr::Empty),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(ContentExpr::sequence),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(ContentExpr::choice),
+            (inner.clone(), 0u32..3, 0u32..3)
+                .prop_map(|(e, min, extra)| ContentExpr::occur(e, min, Some(min + extra))),
+            (inner, 0u32..2).prop_map(|(e, min)| ContentExpr::occur(e, min, None)),
+        ]
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<&'static str>> {
+    prop::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], 0..10)
+}
+
+proptest! {
+    #[test]
+    fn dfa_and_derivatives_agree(expr in arb_expr(), input in arb_input()) {
+        let dfa = ContentDfa::compile(&expr).expect("small bounds always compile");
+        let dfa_result = dfa.accepts(input.iter().copied());
+        let deriv_result = DerivMatcher::accepts(&expr, input.iter().copied());
+        prop_assert_eq!(dfa_result, deriv_result,
+            "expr {} input {:?}", expr, input);
+    }
+
+    #[test]
+    fn nullable_iff_accepts_empty(expr in arb_expr()) {
+        let dfa = ContentDfa::compile(&expr).unwrap();
+        prop_assert_eq!(expr.nullable(), dfa.accepts([]));
+    }
+
+    #[test]
+    fn expected_is_sound(expr in arb_expr(), input in arb_input()) {
+        // every symbol reported by expected() must be steppable
+        let dfa = ContentDfa::compile(&expr).unwrap();
+        let mut m = dfa.start();
+        for sym in input {
+            let expected = m.expected();
+            let mut probe = m.clone();
+            let ok = probe.step(sym).is_ok();
+            prop_assert_eq!(ok, expected.iter().any(|e| e == sym));
+            if ok {
+                m = probe;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn star_accepts_repetitions(n in 0usize..6) {
+        let expr = ContentExpr::star(ContentExpr::leaf("a"));
+        let dfa = ContentDfa::compile(&expr).unwrap();
+        let input = vec!["a"; n];
+        prop_assert!(dfa.accepts(input.iter().copied()));
+    }
+
+    #[test]
+    fn bounded_occurrence_counts_exactly(min in 0u32..4, extra in 0u32..4, n in 0u32..10) {
+        let max = min + extra;
+        let expr = ContentExpr::occur(ContentExpr::leaf("x"), min, Some(max));
+        let dfa = ContentDfa::compile(&expr).unwrap();
+        let input = vec!["x"; n as usize];
+        let should = n >= min && n <= max;
+        prop_assert_eq!(dfa.accepts(input.iter().copied()), should);
+        prop_assert_eq!(DerivMatcher::accepts(&expr, input.iter().copied()), should);
+    }
+}

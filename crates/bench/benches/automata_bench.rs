@@ -1,0 +1,124 @@
+//! **B5 — content-model automata.** The Aho–Sethi–Ullman construction
+//! the paper cites (Sect. 6): DFA build time vs content-model size, and
+//! the occurrence-handling ablation — expansion-based DFA vs the
+//! derivative (counter) matcher for large `maxOccurs`.
+//!
+//! Expected shape: Glushkov + subset construction near-linear in
+//! positions for deterministic models; DFA matching O(1) per child vs the
+//! derivative matcher's per-step rewriting; expansion cost growing with
+//! the bound while derivative construction stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use automata::{ContentDfa, ContentExpr, DerivMatcher, Glushkov, Matcher};
+
+/// `(a1?, a2?, …, an?)` — a wide optional sequence.
+fn wide_sequence(n: usize) -> ContentExpr {
+    ContentExpr::sequence(
+        (0..n)
+            .map(|i| ContentExpr::optional(ContentExpr::leaf(format!("el{i}"))))
+            .collect(),
+    )
+}
+
+/// `(a1 | a2 | … | an)*` — a starred wide choice (the WML `p` shape).
+fn starred_choice(n: usize) -> ContentExpr {
+    ContentExpr::star(ContentExpr::choice(
+        (0..n).map(|i| ContentExpr::leaf(format!("el{i}"))).collect(),
+    ))
+}
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5-dfa-construction");
+    group.sample_size(20);
+    for &n in &[2usize, 8, 32, 128] {
+        for (shape, expr) in [("sequence", wide_sequence(n)), ("choice*", starred_choice(n))] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("glushkov/{shape}"), n),
+                &expr,
+                |b, expr| {
+                    let expanded = expr.expand_occurrences().unwrap();
+                    b.iter(|| black_box(Glushkov::construct(&expanded).position_count()))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("dfa-compile/{shape}"), n),
+                &expr,
+                |b, expr| b.iter(|| black_box(ContentDfa::compile(expr).unwrap().state_count())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn occurrence_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5-occurrence-ablation");
+    // the bound=1000 expansion case costs ~12 s per compile; keep the
+    // sample count at Criterion's minimum
+    group.sample_size(10);
+    for &bound in &[10u32, 100, 1000] {
+        let expr = ContentExpr::occur(ContentExpr::leaf("item"), 0, Some(bound));
+        // construction cost: expansion blows up with the bound
+        group.bench_with_input(
+            BenchmarkId::new("expand-and-compile", bound),
+            &expr,
+            |b, expr| b.iter(|| black_box(ContentDfa::compile(expr).unwrap().state_count())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("derivative-construct", bound),
+            &expr,
+            |b, expr| b.iter(|| black_box(DerivMatcher::new(expr).is_accepting())),
+        );
+        // matching cost at the bound
+        let input: Vec<&str> = std::iter::repeat_n("item", bound as usize).collect();
+        let dfa = ContentDfa::compile(&expr).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("dfa-match", bound),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut m = dfa.start();
+                    for s in input {
+                        m.step(s).unwrap();
+                    }
+                    black_box(m.is_accepting())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("derivative-match", bound),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut m = DerivMatcher::new(&expr);
+                    for s in input {
+                        m.step(s).unwrap();
+                    }
+                    black_box(m.is_accepting())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn pattern_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5-xsd-regex");
+    group.sample_size(30);
+    let sku = xsdregex::Regex::parse(r"\d{3}-[A-Z]{2}").unwrap();
+    let dfa = sku.dfa();
+    group.bench_function("sku-nfa-match", |b| {
+        b.iter(|| black_box(sku.is_match("926-AA")))
+    });
+    group.bench_function("sku-dfa-match", |b| {
+        b.iter(|| black_box(dfa.is_match("926-AA")))
+    });
+    group.bench_function("sku-compile", |b| {
+        b.iter(|| black_box(xsdregex::Regex::parse(r"\d{3}-[A-Z]{2}").unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, construction, occurrence_ablation, pattern_engine);
+criterion_main!(benches);

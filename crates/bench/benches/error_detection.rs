@@ -1,0 +1,154 @@
+//! **B3 — error-detection coverage and latency.** For each class of
+//! schema violation, which stage catches it, and how fast is the static
+//! check? Prints the coverage table (the quantitative version of the
+//! paper's Sect. 1 argument) and measures P-XML static checking time per
+//! constructor class.
+//!
+//! Run with `cargo bench -p bench --bench error_detection`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench::po_schema;
+use pxml::{check_template, Template, TypeEnv};
+
+struct Case {
+    label: &'static str,
+    template: &'static str,
+    /// Whether the constructor is valid (controls the expected verdict).
+    valid: bool,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        label: "valid shipTo constructor",
+        template: "<shipTo country=\"US\"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo>",
+        valid: true,
+    },
+    Case {
+        label: "wrong child order",
+        template: "<shipTo country=\"US\"><street>s</street><name>n</name><city>c</city><state>st</state><zip>1</zip></shipTo>",
+        valid: false,
+    },
+    Case {
+        label: "missing required child",
+        template: "<shipTo country=\"US\"><name>n</name><street>s</street></shipTo>",
+        valid: false,
+    },
+    Case {
+        label: "undeclared element",
+        template: "<shipTo country=\"US\"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip><fax>1</fax></shipTo>",
+        valid: false,
+    },
+    Case {
+        label: "choice/occurrence violation (two comments)",
+        template: "<item partNum=\"123-AB\"><productName>x</productName><quantity>1</quantity><USPrice>1.0</USPrice><comment>a</comment><comment>b</comment></item>",
+        valid: false,
+    },
+    Case {
+        label: "missing required attribute",
+        template: "<item><productName>x</productName><quantity>1</quantity><USPrice>1.0</USPrice></item>",
+        valid: false,
+    },
+    Case {
+        label: "undeclared attribute",
+        template: "<shipTo country=\"US\" priority=\"1\"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo>",
+        valid: false,
+    },
+    Case {
+        label: "bad literal attribute (pattern facet)",
+        template: "<item partNum=\"XX\"><productName>x</productName><quantity>1</quantity><USPrice>1.0</USPrice></item>",
+        valid: false,
+    },
+    Case {
+        label: "fixed attribute violated",
+        template: "<shipTo country=\"DE\"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo>",
+        valid: false,
+    },
+    Case {
+        label: "bad literal content (range facet)",
+        template: "<item partNum=\"123-AB\"><productName>x</productName><quantity>100</quantity><USPrice>1.0</USPrice></item>",
+        valid: false,
+    },
+    Case {
+        label: "text in element-only content",
+        template: "<items>stray</items>",
+        valid: false,
+    },
+    Case {
+        label: "bad simple value (decimal)",
+        template: "<shipTo country=\"US\"><name>n</name><street>s</street><city>c</city><state>st</state><zip>NaNany</zip></shipTo>",
+        valid: false,
+    },
+];
+
+fn main() {
+    let compiled = po_schema();
+    let env = TypeEnv::new();
+
+    println!("\nB3 — static error detection (P-XML checker vs baselines)\n");
+    println!(
+        "{:<44} {:>8} {:>12} {:>12}",
+        "violation class", "P-XML", "DOM+valid.", "string gen"
+    );
+    let mut static_caught = 0;
+    let mut runtime_caught = 0;
+    let mut injected = 0;
+    for case in CASES {
+        let template = Template::parse(case.template).expect("well-formed");
+        let static_errors = check_template(&compiled, &template, &env);
+        let doc = xmlparse::parse_document(case.template).expect("well-formed");
+        let runtime_errors = validator::validate_document(&compiled, &doc);
+        let static_verdict = !static_errors.is_empty();
+        let runtime_verdict = !runtime_errors.is_empty();
+        if !case.valid {
+            injected += 1;
+            if static_verdict {
+                static_caught += 1;
+            }
+            if runtime_verdict {
+                runtime_caught += 1;
+            }
+        }
+        println!(
+            "{:<44} {:>8} {:>12} {:>12}",
+            case.label,
+            if case.valid {
+                if static_verdict { "FALSE-POS" } else { "ok" }
+            } else if static_verdict {
+                "STATIC"
+            } else {
+                "missed"
+            },
+            if runtime_verdict { "runtime" } else { "-" },
+            "never",
+        );
+    }
+    println!(
+        "\ncoverage: P-XML static {static_caught}/{injected}, DOM+validator (runtime) {runtime_caught}/{injected}, string generation 0/{injected}\n"
+    );
+
+    // detection latency: time per static check, amortized
+    let templates: Vec<Template> = CASES
+        .iter()
+        .map(|c| Template::parse(c.template).unwrap())
+        .collect();
+    let iters = 2000;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for t in &templates {
+            black_box(check_template(&compiled, t, &env).len());
+        }
+    }
+    let per_check = start.elapsed() / (iters * templates.len() as u32);
+    println!("static check latency: {per_check:?} per constructor (mean over {} checks)",
+        iters as usize * templates.len());
+    // compare with a full runtime validation of the paper's document
+    let doc = xmlparse::parse_document(schema::corpus::PURCHASE_ORDER_XML).unwrap();
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(validator::validate_document(&compiled, &doc).len());
+    }
+    let per_validate = start.elapsed() / iters;
+    println!("runtime validation latency: {per_validate:?} per document (Fig. 1 document)");
+}

@@ -1,0 +1,47 @@
+//! **B1 — generation cost.** The paper's claim: validity "without test
+//! runs" should not make generation more expensive than the unchecked
+//! status quo plus the validation it forces. We compare, per document:
+//!
+//! * `string`   — unchecked concatenation (JSP style, the floor);
+//! * `dom`      — generic DOM build, no validation (invalid output risk);
+//! * `dom+validate` — generic DOM build + full runtime validation
+//!   (what correctness actually costs without V-DOM);
+//! * `vdom`     — typed construction with incremental checking.
+//!
+//! Expected shape: `string` < `vdom` ≈ small-constant × `dom`, and
+//! `vdom` ≤ `dom+validate` (one pass instead of build-then-walk).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{po_schema, ITEM_SIZES};
+
+fn generation(c: &mut Criterion) {
+    let compiled = po_schema();
+    let mut group = c.benchmark_group("B1-generation");
+    group.sample_size(20);
+    for &n in ITEM_SIZES {
+        let order = webgen::generate_order(7, n);
+        group.bench_with_input(BenchmarkId::new("string", n), &order, |b, order| {
+            b.iter(|| black_box(webgen::render_order_string(order)))
+        });
+        group.bench_with_input(BenchmarkId::new("dom", n), &order, |b, order| {
+            b.iter(|| {
+                let mut doc = dom::Document::new();
+                webgen::build_order_dom(&mut doc, order);
+                let root = doc.root_element().unwrap();
+                black_box(dom::serialize(&doc, root).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dom+validate", n), &order, |b, order| {
+            b.iter(|| black_box(webgen::render_order_dom(&compiled, order).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("vdom", n), &order, |b, order| {
+            b.iter(|| black_box(webgen::render_order_vdom(&compiled, order).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! **B6 — substrate throughput.** Parser and serializer throughput on
+//! purchase-order documents of increasing size, plus full runtime
+//! validation — the fixed costs every approach shares (and the baseline
+//! the paper's architecture sits on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bench::{po_schema, ITEM_SIZES};
+
+fn parsing(c: &mut Criterion) {
+    let compiled = po_schema();
+    let mut group = c.benchmark_group("B6-substrate");
+    group.sample_size(20);
+    for &n in ITEM_SIZES {
+        let order = webgen::generate_order(3, n);
+        let xml = webgen::render_order_string(&order);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", n), &xml, |b, xml| {
+            b.iter(|| black_box(xmlparse::parse_document(xml).unwrap().len()))
+        });
+        let doc = xmlparse::parse_document(&xml).unwrap();
+        group.bench_with_input(BenchmarkId::new("serialize", n), &doc, |b, doc| {
+            let root = doc.root_element().unwrap();
+            b.iter(|| black_box(dom::serialize(doc, root).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("validate", n), &doc, |b, doc| {
+            b.iter(|| black_box(validator::validate_document(&compiled, doc).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("typed-import", n), &xml, |b, xml| {
+            b.iter(|| {
+                let td = vdom::parse_typed(&compiled, xml).unwrap();
+                black_box(td.dom().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parsing);
+criterion_main!(benches);

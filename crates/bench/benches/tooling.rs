@@ -1,0 +1,91 @@
+//! **B4 — tooling cost.** The V-DOM/P-XML approach introduces two tools:
+//! the interface generator (schema → interfaces) and the preprocessor
+//! (constructor → code). Both must be fast enough to sit in a build. We
+//! measure schema compilation, interface-model building, IDL/Rust
+//! rendering, and template check/emit throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::po_schema;
+use pxml::{Template, TypeEnv};
+
+/// Builds a synthetic schema with `n` complex types to sweep generator
+/// scaling.
+fn synthetic_schema(n: usize) -> String {
+    let mut out = String::from(
+        "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">\n",
+    );
+    for i in 0..n {
+        out.push_str(&format!(
+            "<xsd:element name=\"record{i}\" type=\"Record{i}\"/>\n\
+             <xsd:complexType name=\"Record{i}\">\n<xsd:sequence>\n\
+             <xsd:element name=\"id{i}\" type=\"xsd:string\"/>\n\
+             <xsd:element name=\"value{i}\" type=\"xsd:decimal\" minOccurs=\"0\"/>\n\
+             <xsd:element name=\"note{i}\" type=\"xsd:string\" minOccurs=\"0\" maxOccurs=\"unbounded\"/>\n\
+             </xsd:sequence>\n<xsd:attribute name=\"key{i}\" type=\"xsd:NMTOKEN\" use=\"required\"/>\n\
+             </xsd:complexType>\n"
+        ));
+    }
+    out.push_str("</xsd:schema>\n");
+    out
+}
+
+fn tooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4-tooling");
+    group.sample_size(20);
+
+    // schema → compiled (parse + check + DFAs on demand)
+    let po_src = schema::corpus::PURCHASE_ORDER_XSD;
+    group.bench_function("schema-compile/purchase-order", |b| {
+        b.iter(|| black_box(schema::CompiledSchema::parse(po_src).unwrap()))
+    });
+
+    for n in [10usize, 50, 200] {
+        let src = synthetic_schema(n);
+        group.bench_function(format!("schema-compile/synthetic-{n}"), |b| {
+            b.iter(|| black_box(schema::CompiledSchema::parse(&src).unwrap()))
+        });
+        let parsed = schema::parse_schema(&src).unwrap();
+        group.bench_function(format!("codegen-rust/synthetic-{n}"), |b| {
+            b.iter(|| {
+                let model = normalize::build_model(&parsed).unwrap();
+                black_box(codegen::render_rust(
+                    &model,
+                    &codegen::RustGenOptions::default(),
+                ))
+            })
+        });
+    }
+
+    // interface generation for the paper schema (IDL + Rust)
+    let parsed = schema::parse_schema(po_src).unwrap();
+    group.bench_function("codegen-idl/purchase-order", |b| {
+        b.iter(|| {
+            let model = normalize::build_model(&parsed).unwrap();
+            black_box(codegen::render_idl(&model))
+        })
+    });
+
+    // preprocessor: check and emit for the Sect. 4 constructor
+    let compiled = po_schema();
+    let template = Template::parse(
+        "<shipTo country=\"US\">$n$<street>123 Maple Street</street>\
+         <city>Mill Valley</city><state>CA</state><zip>90952</zip></shipTo>",
+    )
+    .unwrap();
+    let env = TypeEnv::new().element("n", "name");
+    group.bench_function("pxml-check/shipTo", |b| {
+        b.iter(|| black_box(pxml::check_template(&compiled, &template, &env).len()))
+    });
+    group.bench_function("pxml-emit/shipTo", |b| {
+        b.iter(|| black_box(pxml::emit_rust(&compiled, &template, &env, "f").unwrap()))
+    });
+    group.bench_function("pxml-parse/shipTo", |b| {
+        b.iter(|| black_box(Template::parse(&template.source).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tooling);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Shared helpers for the benchmark targets (experiments B1–B7 of
+//! DESIGN.md). The benches themselves live in `benches/`.
+
+use schema::CompiledSchema;
+
+/// The compiled purchase-order schema, built once per bench process.
+pub fn po_schema() -> CompiledSchema {
+    CompiledSchema::parse(schema::corpus::PURCHASE_ORDER_XSD).expect("corpus schema")
+}
+
+/// The compiled WML schema.
+pub fn wml_schema() -> CompiledSchema {
+    CompiledSchema::parse(schema::corpus::WML_XSD).expect("corpus schema")
+}
+
+/// The item counts swept by the generation benches.
+pub const ITEM_SIZES: &[usize] = &[1, 10, 100, 1000];

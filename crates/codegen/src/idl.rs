@@ -1,0 +1,211 @@
+//! IDL rendering of the interface model — the notation the paper uses in
+//! Figs. 5–6 and Appendix A ("Analogous to Dom we note the interface in
+//! IDL stressing the independence of a programming language").
+//!
+//! Two modes:
+//!
+//! * [`render_idl`] — the paper's final design: choice groups as empty
+//!   super-interfaces with alternatives inheriting from them (Fig. 6,
+//!   Appendix A);
+//! * [`render_union_idl`] — the rejected first design: choice groups as
+//!   IDL `union` types with a switch enum (Fig. 5), kept for the
+//!   schema-evolution ablation (experiment B7).
+
+use std::fmt::Write as _;
+
+use normalize::{FieldType, Interface, InterfaceKind, InterfaceModel};
+
+/// Renders the whole model in the paper's inheritance style.
+pub fn render_idl(model: &InterfaceModel) -> String {
+    let mut out = String::new();
+    for iface in model.top_level() {
+        render_interface(model, iface, 0, false, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the whole model in the rejected union style (Fig. 5): choice
+/// groups become `typedef union … switch(enum …)` declarations inside the
+/// owning interface and the choice field uses the union type.
+pub fn render_union_idl(model: &InterfaceModel) -> String {
+    let mut out = String::new();
+    for iface in model.top_level() {
+        render_interface(model, iface, 0, true, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_interface(
+    model: &InterfaceModel,
+    iface: &Interface,
+    depth: usize,
+    union_mode: bool,
+    out: &mut String,
+) {
+    match iface.kind {
+        InterfaceKind::SimpleRestriction => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "interface {}: {} {{ ... }}",
+                iface.name,
+                iface.extends.join(", ")
+            );
+            return;
+        }
+        InterfaceKind::Group if union_mode && !iface.choice_alternatives.is_empty() => {
+            // rendered inline at the owner as a union typedef
+            return;
+        }
+        _ => {}
+    }
+    indent(out, depth);
+    if iface.is_abstract {
+        out.push_str("abstract ");
+    }
+    let _ = write!(out, "interface {}", iface.name);
+    // in union mode choice groups are typedefs, so membership edges vanish
+    let extends: Vec<&String> = iface
+        .extends
+        .iter()
+        .filter(|e| {
+            !union_mode
+                || !model
+                    .interface(e)
+                    .map(|i| !i.choice_alternatives.is_empty())
+                    .unwrap_or(false)
+        })
+        .collect();
+    if !extends.is_empty() {
+        let joined = extends
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(out, ": {joined}");
+    }
+    if iface.fields.is_empty() && model.nested_in(&iface.name).next().is_none() {
+        out.push_str(" {}\n");
+        return;
+    }
+    out.push_str(" {\n");
+    // nested interfaces first (Appendix A layout)
+    for nested in model.nested_in(&iface.name) {
+        if union_mode && !nested.choice_alternatives.is_empty() {
+            render_union_typedef(model, nested, depth + 1, out);
+        } else {
+            render_interface(model, nested, depth + 1, union_mode, out);
+        }
+    }
+    if model.nested_in(&iface.name).next().is_some() && !iface.fields.is_empty() {
+        out.push('\n');
+    }
+    for field in &iface.fields {
+        // in union mode the choice field's type is the union typedef
+        let ty = match (&field.ty, union_mode) {
+            (FieldType::Interface(n), true) => {
+                match model.interface(n) {
+                    Some(g) if !g.choice_alternatives.is_empty() => {
+                        format!("{}Union", g.name.trim_end_matches("Group"))
+                    }
+                    _ => field.ty.idl(),
+                }
+            }
+            _ => field.ty.idl(),
+        };
+        indent(out, depth + 1);
+        let _ = writeln!(out, "attribute {} {};", ty, field.name);
+    }
+    indent(out, depth);
+    out.push_str("}\n");
+}
+
+/// The Fig. 5 union rendering of a choice group.
+fn render_union_typedef(
+    model: &InterfaceModel,
+    group: &Interface,
+    depth: usize,
+    out: &mut String,
+) {
+    let base = group.name.trim_end_matches("Group");
+    let alts: Vec<(String, String)> = group
+        .choice_alternatives
+        .iter()
+        .map(|alt| {
+            let tag = model
+                .interface(alt)
+                .map(|i| i.xml_name.clone())
+                .unwrap_or_else(|| alt.clone());
+            (tag, alt.clone())
+        })
+        .collect();
+    let tags: Vec<&str> = alts.iter().map(|(t, _)| t.as_str()).collect();
+    indent(out, depth);
+    let _ = writeln!(out, "typedef union {base}Union");
+    indent(out, depth + 1);
+    let _ = writeln!(out, "switch (enum {base}ST({})) {{", tags.join(","));
+    for (tag, iface) in &alts {
+        indent(out, depth + 2);
+        let _ = writeln!(out, "case {tag}: {iface} {tag};");
+    }
+    indent(out, depth + 1);
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use normalize::build_model;
+    use schema::corpus::{CHOICE_PO_XSD, PURCHASE_ORDER_XSD};
+    use schema::parse_schema;
+
+    fn choice_model() -> InterfaceModel {
+        build_model(&parse_schema(CHOICE_PO_XSD).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn inheritance_idl_matches_fig6_shape() {
+        let idl = render_idl(&choice_model());
+        // Fig. 6 essentials
+        assert!(idl.contains("interface PurchaseOrderTypeCC1Group"));
+        assert!(idl.contains("interface singAddrElement: PurchaseOrderTypeCC1Group"));
+        assert!(idl.contains("interface twoAddrElement: PurchaseOrderTypeCC1Group"));
+        assert!(idl.contains("attribute PurchaseOrderTypeCC1Group PurchaseOrderTypeCC1;"));
+        assert!(idl.contains("attribute commentElement comment;"));
+        assert!(idl.contains("attribute itemsElement items;"));
+    }
+
+    #[test]
+    fn union_idl_matches_fig5_shape() {
+        let idl = render_union_idl(&choice_model());
+        assert!(idl.contains("typedef union PurchaseOrderTypeCC1Union"));
+        assert!(idl.contains("switch (enum PurchaseOrderTypeCC1ST(singAddr,twoAddr))"));
+        assert!(idl.contains("case singAddr: singAddrElement singAddr;"));
+        assert!(idl.contains("case twoAddr: twoAddrElement twoAddr;"));
+        assert!(idl.contains("attribute PurchaseOrderTypeCC1Union PurchaseOrderTypeCC1;"));
+        // the inheritance interfaces are not emitted in union mode
+        assert!(!idl.contains("interface singAddrElement: PurchaseOrderTypeCC1Group"));
+    }
+
+    #[test]
+    fn appendix_a_interfaces_render() {
+        let model = build_model(&parse_schema(PURCHASE_ORDER_XSD).unwrap()).unwrap();
+        let idl = render_idl(&model);
+        assert!(idl.contains("interface purchaseOrderElement {"));
+        assert!(idl.contains("attribute PurchaseOrderTypeType content;"));
+        assert!(idl.contains("interface commentElement {"));
+        assert!(idl.contains("attribute string content;"));
+        assert!(idl.contains("interface SKU: string { ... }"));
+        assert!(idl.contains("attribute list<itemElement> item;"));
+        assert!(idl.contains("attribute NMToken country;"));
+        assert!(idl.contains("attribute Date orderDate;"));
+    }
+}

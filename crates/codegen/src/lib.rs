@@ -1,0 +1,44 @@
+//! The V-DOM interface generator (paper Sect. 3 + Fig. 9's generator
+//! half): renders the `normalize` interface model as
+//!
+//! * **IDL** — the paper's own notation, reproducing Fig. 6/Appendix A
+//!   ([`render_idl`]) and the rejected union design of Fig. 5
+//!   ([`render_union_idl`]);
+//! * **Rust** — a self-contained module of structs/enums whose shape
+//!   makes schema-invalid trees unrepresentable, with field-order-driven
+//!   serializers ([`render_rust`]).
+//!
+//! A small CLI (`src/bin/vdomgen.rs`) drives both from a schema file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod idl;
+pub mod rust_gen;
+
+pub use idl::{render_idl, render_union_idl};
+pub use rust_gen::{render_rust, snake_case, RustGenOptions};
+
+use normalize::InterfaceModel;
+use schema::Schema;
+
+/// Builds the interface model and renders IDL in one step.
+pub fn schema_to_idl(schema: &Schema) -> Result<String, normalize::BuildError> {
+    Ok(render_idl(&normalize::build_model(schema)?))
+}
+
+/// Builds the interface model and renders Rust in one step.
+pub fn schema_to_rust(schema: &Schema, label: &str) -> Result<String, normalize::BuildError> {
+    let model = normalize::build_model(schema)?;
+    Ok(render_rust(
+        &model,
+        &RustGenOptions {
+            schema_label: label.to_string(),
+        },
+    ))
+}
+
+/// Re-export for callers that want to post-process the model.
+pub fn model_of(schema: &Schema) -> Result<InterfaceModel, normalize::BuildError> {
+    normalize::build_model(schema)
+}

@@ -1,0 +1,583 @@
+//! Rust rendering of the interface model — the compile-time guarantee in
+//! this reproduction.
+//!
+//! Where the paper generates Java/IDL interfaces and relies on the Java
+//! compiler, we generate a self-contained Rust module (std only): one
+//! struct per complex type, one enum per choice group, `Vec` for lists,
+//! `Option` for optional particles. The Rust compiler then rejects, at
+//! compile time, exactly the misconstructions the paper targets — wrong
+//! child types, missing required children/attributes, choice violations,
+//! wrong ordering (field order drives serialization).
+//!
+//! Residual runtime checks, as in the paper (Sect. 3): occurrence counts
+//! beyond 0/1/unbounded, and restriction facets — both enforced when the
+//! serialized output is validated or when the tree is replayed through
+//! `vdom`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use normalize::{FieldType, Interface, InterfaceKind, InterfaceModel};
+use schema::BuiltinType;
+
+/// How a field's value is written during serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// A primitive rendered as text inside `<tag>…</tag>`.
+    PrimText(BuiltinType),
+    /// A simple-restriction newtype rendered as text.
+    SimpleNewtype(String),
+    /// A complex-type struct: `value.write_xml("tag", out)`.
+    Complex(String),
+    /// A choice enum: `value.write_xml(out)` (the variant picks the tag).
+    ChoiceEnum(String),
+    /// A sequence-group struct: writes its own fields, no surrounding tag.
+    GroupStruct(String),
+}
+
+impl Repr {
+    fn rust_type(&self) -> String {
+        match self {
+            Repr::PrimText(b) => normalize::model::rust_primitive(*b).to_string(),
+            Repr::SimpleNewtype(n) | Repr::Complex(n) | Repr::ChoiceEnum(n)
+            | Repr::GroupStruct(n) => rust_type_name(n),
+        }
+    }
+}
+
+/// Converts an interface name to a Rust type name (already CamelCase by
+/// construction; this just guards against leading lowercase from element
+/// interfaces, which are not emitted as types).
+fn rust_type_name(interface: &str) -> String {
+    let mut chars = interface.chars();
+    match chars.next() {
+        Some(f) => f.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+/// Converts an XML name to a Rust field identifier (`shipTo` → `ship_to`,
+/// `USPrice` → `us_price`).
+pub fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    let mut prev_lower = false;
+    for c in name.chars() {
+        if c.is_uppercase() {
+            if prev_lower {
+                out.push('_');
+            }
+            for l in c.to_lowercase() {
+                out.push(l);
+            }
+            prev_lower = false;
+        } else if c == '-' || c == '.' {
+            out.push('_');
+            prev_lower = false;
+        } else {
+            out.push(c);
+            prev_lower = c.is_lowercase() || c.is_ascii_digit();
+        }
+    }
+    match out.as_str() {
+        "type" | "ref" | "use" | "in" | "for" | "match" | "self" | "mod" | "fn" | "let"
+        | "loop" | "move" | "mut" | "pub" | "return" | "static" | "struct" | "trait" | "where" => {
+            format!("{out}_")
+        }
+        _ => out,
+    }
+}
+
+/// Converts an XML name to a Rust enum variant (`singAddr` → `SingAddr`).
+fn variant_case(name: &str) -> String {
+    rust_type_name(name)
+}
+
+/// Generator options.
+#[derive(Debug, Clone, Default)]
+pub struct RustGenOptions {
+    /// Module doc header line (e.g. the schema's file name).
+    pub schema_label: String,
+}
+
+/// Renders the model as a self-contained Rust module.
+pub fn render_rust(model: &InterfaceModel, options: &RustGenOptions) -> String {
+    let g = Generator { model };
+    g.render(options)
+}
+
+struct Generator<'a> {
+    model: &'a InterfaceModel,
+}
+
+impl<'a> Generator<'a> {
+    fn render(&self, options: &RustGenOptions) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "// Generated V-DOM types for schema {} — DO NOT EDIT.\n\
+             // One struct per complex type, one enum per choice group; field\n\
+             // order drives serialization, so any tree you can express here\n\
+             // serializes to a schema-valid document (occurrence counts and\n\
+             // restriction facets remain runtime checks, as in the paper).\n",
+            if options.schema_label.is_empty() {
+                "(unnamed)"
+            } else {
+                &options.schema_label
+            }
+        );
+        out.push_str("// Include inside a module, e.g. `#[allow(dead_code)] mod generated {{ include!(…); }}`.\n\n");
+        out.push_str(ESCAPE_HELPERS);
+        out.push('\n');
+
+        // simple restrictions first (they appear in field types)
+        for iface in &self.model.interfaces {
+            if iface.kind == InterfaceKind::SimpleRestriction {
+                self.render_simple(iface, &mut out);
+            }
+        }
+        // choice enums
+        for iface in &self.model.interfaces {
+            if iface.kind == InterfaceKind::Group && !iface.choice_alternatives.is_empty() {
+                self.render_choice_enum(iface, &mut out);
+            }
+        }
+        // sequence-group structs
+        for iface in &self.model.interfaces {
+            if iface.kind == InterfaceKind::Group && iface.choice_alternatives.is_empty() {
+                self.render_struct(iface, true, &mut out);
+            }
+        }
+        // complex types
+        for iface in &self.model.interfaces {
+            if iface.kind == InterfaceKind::Type {
+                self.render_struct(iface, false, &mut out);
+            }
+        }
+        // one root serializer per global element with complex content
+        for iface in self.model.top_level() {
+            if iface.kind == InterfaceKind::Element {
+                self.render_root_fn(iface, &mut out);
+            }
+        }
+        out
+    }
+
+    fn render_simple(&self, iface: &Interface, out: &mut String) {
+        let name = rust_type_name(&iface.name);
+        let _ = writeln!(
+            out,
+            "/// Restriction of `{}` (facets checked at validation time).\n\
+             #[derive(Debug, Clone, PartialEq)]\n\
+             pub struct {name}(pub String);\n\n\
+             impl {name} {{\n\
+             \x20   /// Wraps a lexical value (facets are runtime checks).\n\
+             \x20   pub fn new(value: impl Into<String>) -> Self {{ {name}(value.into()) }}\n\
+             }}\n",
+            iface.extends.join(", ")
+        );
+    }
+
+    /// The representation of a field-type reference.
+    fn repr_of(&self, ty: &FieldType) -> Repr {
+        match ty {
+            FieldType::Primitive(b) => Repr::PrimText(*b),
+            FieldType::List(inner) => self.repr_of(inner),
+            FieldType::Interface(n) => {
+                let iface = match self.model.interface(n) {
+                    Some(i) => i,
+                    None => return Repr::Complex(n.clone()),
+                };
+                match iface.kind {
+                    InterfaceKind::SimpleRestriction => Repr::SimpleNewtype(n.clone()),
+                    InterfaceKind::Element => {
+                        // flatten the element wrapper to its content type
+                        match iface.fields.first().map(|f| &f.ty) {
+                            Some(FieldType::Primitive(b)) => Repr::PrimText(*b),
+                            Some(FieldType::Interface(c)) => {
+                                match self.model.interface(c).map(|i| i.kind) {
+                                    Some(InterfaceKind::SimpleRestriction) => {
+                                        Repr::SimpleNewtype(c.clone())
+                                    }
+                                    _ => Repr::Complex(c.clone()),
+                                }
+                            }
+                            _ => Repr::PrimText(BuiltinType::String),
+                        }
+                    }
+                    InterfaceKind::Group if !iface.choice_alternatives.is_empty() => {
+                        Repr::ChoiceEnum(n.clone())
+                    }
+                    InterfaceKind::Group => Repr::GroupStruct(n.clone()),
+                    InterfaceKind::Type => Repr::Complex(n.clone()),
+                }
+            }
+        }
+    }
+
+    /// The tag an element field serializes under.
+    fn tag_of(&self, ty: &FieldType, field_name: &str) -> String {
+        match ty {
+            FieldType::Interface(n) => self
+                .model
+                .interface(n)
+                .filter(|i| i.kind == InterfaceKind::Element)
+                .map(|i| i.xml_name.clone())
+                .unwrap_or_else(|| field_name.to_string()),
+            FieldType::List(inner) => self.tag_of(inner, field_name),
+            FieldType::Primitive(_) => field_name.to_string(),
+        }
+    }
+
+    /// All fields of a type, with extension bases flattened (base fields
+    /// first, matching `xsd:extension` content order).
+    fn merged_fields<'b>(&'b self, iface: &'b Interface) -> Vec<&'b normalize::Field> {
+        let mut chain = vec![iface];
+        let mut cur = iface;
+        while let Some(base_name) = cur.extends.first() {
+            match self.model.interface(base_name) {
+                Some(base) if base.kind == InterfaceKind::Type => {
+                    chain.push(base);
+                    cur = base;
+                }
+                _ => break,
+            }
+        }
+        let mut fields: Vec<&normalize::Field> = Vec::new();
+        let mut attrs: BTreeMap<&str, &normalize::Field> = BTreeMap::new();
+        for level in chain.iter().rev() {
+            for f in &level.fields {
+                if f.from_attribute {
+                    attrs.insert(f.name.as_str(), f); // derived overrides base
+                } else {
+                    fields.push(f);
+                }
+            }
+        }
+        fields.extend(attrs.into_values());
+        fields
+    }
+
+    fn render_struct(&self, iface: &Interface, is_group: bool, out: &mut String) {
+        let name = rust_type_name(&iface.name);
+        let fields = self.merged_fields(iface);
+        let _ = writeln!(
+            out,
+            "/// Generated from {} `{}`.",
+            if is_group { "model group" } else { "complex type" },
+            iface.xml_name
+        );
+        let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq)]");
+        let _ = writeln!(out, "pub struct {name} {{");
+        for f in &fields {
+            let repr = self.repr_of(&f.ty);
+            let base = repr.rust_type();
+            let ty = if matches!(f.ty, FieldType::List(_)) {
+                format!("Vec<{base}>")
+            } else if f.optional {
+                format!("Option<{base}>")
+            } else {
+                base
+            };
+            let _ = writeln!(out, "    pub {}: {ty},", snake_case(&f.name));
+        }
+        let _ = writeln!(out, "}}\n");
+
+        // serializer
+        let _ = writeln!(out, "impl {name} {{");
+        if is_group {
+            let _ = writeln!(
+                out,
+                "    /// Writes this group's content (no surrounding tag)."
+            );
+            let _ = writeln!(out, "    pub fn write_xml(&self, out: &mut String) {{");
+        } else {
+            let _ = writeln!(
+                out,
+                "    /// Writes `<tag …>content</tag>` for an element of this type."
+            );
+            let _ = writeln!(
+                out,
+                "    pub fn write_xml(&self, tag: &str, out: &mut String) {{"
+            );
+            out.push_str("        out.push('<');\n        out.push_str(tag);\n");
+            for f in &fields {
+                if !f.from_attribute {
+                    continue;
+                }
+                let id = snake_case(&f.name);
+                let xml = &f.name;
+                let value_expr = match self.repr_of(&f.ty) {
+                    Repr::PrimText(b) => prim_to_str(b, "v"),
+                    Repr::SimpleNewtype(_) => "v.0.clone()".to_string(),
+                    _ => "String::new()".to_string(),
+                };
+                if f.optional {
+                    let _ = writeln!(
+                        out,
+                        "        if let Some(v) = &self.{id} {{\n            \
+                         out.push_str(\" {xml}=\\\"\");\n            \
+                         out.push_str(&escape_attr(&{value_expr}));\n            \
+                         out.push('\"');\n        }}"
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "        {{\n            let v = &self.{id};\n            \
+                         out.push_str(\" {xml}=\\\"\");\n            \
+                         out.push_str(&escape_attr(&{value_expr}));\n            \
+                         out.push('\"');\n        }}"
+                    );
+                }
+            }
+            // content is built separately so empty elements self-close
+            let has_content_fields = fields.iter().any(|f| !f.from_attribute);
+            if has_content_fields {
+                out.push_str("        let mut content = String::new();\n");
+            } else {
+                out.push_str("        let content = String::new();\n");
+            }
+        }
+        // groups write into `out` directly; element types into `content`
+        let sink = if is_group { "out" } else { "&mut content" };
+        let sink_name = if is_group { "out" } else { "content" };
+        for f in &fields {
+            if f.from_attribute {
+                continue;
+            }
+            let id = snake_case(&f.name);
+            let repr = self.repr_of(&f.ty);
+            let tag = self.tag_of(&f.ty, &f.name);
+            let write_one = |var: &str| -> String {
+                if f.char_content {
+                    // character content: raw escaped text, no tags
+                    return match &repr {
+                        Repr::SimpleNewtype(_) => format!(
+                            "{sink_name}.push_str(&escape_text(&{var}.0));"
+                        ),
+                        Repr::PrimText(b) => format!(
+                            "{sink_name}.push_str(&escape_text(&{}));",
+                            prim_to_str(*b, var)
+                        ),
+                        _ => format!("{sink_name}.push_str(&escape_text(&String::new())); let _ = {var};"),
+                    };
+                }
+                match &repr {
+                    Repr::PrimText(b) => format!(
+                        "{sink_name}.push_str(\"<{tag}>\"); {sink_name}.push_str(&escape_text(&{})); {sink_name}.push_str(\"</{tag}>\");",
+                        prim_to_str(*b, var)
+                    ),
+                    Repr::SimpleNewtype(_) => format!(
+                        "{sink_name}.push_str(\"<{tag}>\"); {sink_name}.push_str(&escape_text(&{var}.0)); {sink_name}.push_str(\"</{tag}>\");"
+                    ),
+                    Repr::Complex(_) => format!("{var}.write_xml(\"{tag}\", {sink});"),
+                    Repr::ChoiceEnum(_) | Repr::GroupStruct(_) => {
+                        format!("{var}.write_xml({sink});")
+                    }
+                }
+            };
+            if matches!(f.ty, FieldType::List(_)) {
+                let _ = writeln!(
+                    out,
+                    "        for v in &self.{id} {{ {} }}",
+                    write_one("v")
+                );
+            } else if f.optional {
+                let _ = writeln!(
+                    out,
+                    "        if let Some(v) = &self.{id} {{ {} }}",
+                    write_one("v")
+                );
+            } else {
+                let _ = writeln!(out, "        {{ let v = &self.{id}; {} }}", write_one("v"));
+            }
+        }
+        if !is_group {
+            out.push_str(
+                "        if content.is_empty() {\n            \
+                 out.push_str(\"/>\");\n        } else {\n            \
+                 out.push('>');\n            out.push_str(&content);\n            \
+                 out.push_str(\"</\");\n            out.push_str(tag);\n            \
+                 out.push('>');\n        }\n",
+            );
+        }
+        out.push_str("    }\n}\n\n");
+    }
+
+    fn render_choice_enum(&self, iface: &Interface, out: &mut String) {
+        let name = rust_type_name(&iface.name);
+        let alts: Vec<(String, String, Repr)> = iface
+            .choice_alternatives
+            .iter()
+            .filter_map(|alt| {
+                let el = self.model.interface(alt)?;
+                let tag = el.xml_name.clone();
+                let repr = self.repr_of(&FieldType::Interface(alt.clone()));
+                Some((variant_case(&tag), tag, repr))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "/// Choice group `{}` — exactly one alternative (Fig. 6's\n\
+             /// inheritance hierarchy, rendered as a Rust enum).",
+            iface.xml_name
+        );
+        let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq)]");
+        let _ = writeln!(out, "pub enum {name} {{");
+        for (variant, _tag, repr) in &alts {
+            let _ = writeln!(out, "    {variant}({}),", repr.rust_type());
+        }
+        let _ = writeln!(out, "}}\n");
+        let _ = writeln!(out, "impl {name} {{");
+        let _ = writeln!(
+            out,
+            "    /// Writes the chosen alternative under its own tag."
+        );
+        let _ = writeln!(out, "    pub fn write_xml(&self, out: &mut String) {{");
+        let _ = writeln!(out, "        match self {{");
+        for (variant, tag, repr) in &alts {
+            let body = match repr {
+                Repr::PrimText(b) => format!(
+                    "{{ out.push_str(\"<{tag}>\"); out.push_str(&escape_text(&{})); out.push_str(\"</{tag}>\"); }}",
+                    prim_to_str(*b, "v")
+                ),
+                Repr::SimpleNewtype(_) => format!(
+                    "{{ out.push_str(\"<{tag}>\"); out.push_str(&escape_text(&v.0)); out.push_str(\"</{tag}>\"); }}"
+                ),
+                Repr::Complex(_) => format!("v.write_xml(\"{tag}\", out),"),
+                Repr::ChoiceEnum(_) | Repr::GroupStruct(_) => "v.write_xml(out),".to_string(),
+            };
+            let _ = writeln!(out, "            {name}::{variant}(v) => {body}");
+        }
+        out.push_str("        }\n    }\n}\n\n");
+    }
+
+    fn render_root_fn(&self, iface: &Interface, out: &mut String) {
+        let tag = &iface.xml_name;
+        let fn_name = format!("{}_to_xml", snake_case(tag));
+        let content = iface.fields.first().map(|f| self.repr_of(&f.ty));
+        match content {
+            Some(Repr::Complex(_)) => {
+                let ty = content.unwrap().rust_type();
+                let _ = writeln!(
+                    out,
+                    "/// Serializes a complete `<{tag}>` document.\n\
+                     pub fn {fn_name}(value: &{ty}) -> String {{\n    \
+                     let mut out = String::new();\n    \
+                     value.write_xml(\"{tag}\", &mut out);\n    out\n}}\n"
+                );
+            }
+            Some(Repr::PrimText(b)) => {
+                // take &str rather than &String for string-typed roots
+                let (param_ty, value_expr) =
+                    if normalize::model::rust_primitive(b) == "String" {
+                        ("str".to_string(), "value".to_string())
+                    } else {
+                        (
+                            normalize::model::rust_primitive(b).to_string(),
+                            format!("&{}", prim_to_str(b, "value")),
+                        )
+                    };
+                let _ = writeln!(
+                    out,
+                    "/// Serializes a complete `<{tag}>` document.\n\
+                     pub fn {fn_name}(value: &{param_ty}) -> String {{\n    \
+                     format!(\"<{tag}>{{}}</{tag}>\", escape_text({value_expr}))\n}}\n"
+                );
+            }
+            Some(Repr::SimpleNewtype(n)) => {
+                let _ = writeln!(
+                    out,
+                    "/// Serializes a complete `<{tag}>` document.\n\
+                     pub fn {fn_name}(value: &{}) -> String {{\n    \
+                     format!(\"<{tag}>{{}}</{tag}>\", escape_text(&value.0))\n}}\n",
+                    rust_type_name(&n)
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn prim_to_str(b: BuiltinType, var: &str) -> String {
+    match normalize::model::rust_primitive(b) {
+        "String" => format!("{var}.clone()"),
+        _ => format!("{var}.to_string()"),
+    }
+}
+
+const ESCAPE_HELPERS: &str = r#"/// Escapes character data.
+fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (double-quoted).
+fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use normalize::build_model;
+    use schema::corpus::{CHOICE_PO_XSD, PURCHASE_ORDER_XSD};
+    use schema::parse_schema;
+
+    #[test]
+    fn snake_case_conversion() {
+        assert_eq!(snake_case("shipTo"), "ship_to");
+        assert_eq!(snake_case("USPrice"), "usprice");
+        assert_eq!(snake_case("orderDate"), "order_date");
+        assert_eq!(snake_case("type"), "type_");
+        assert_eq!(snake_case("productName"), "product_name");
+    }
+
+    #[test]
+    fn purchase_order_module_contains_expected_items() {
+        let model = build_model(&parse_schema(PURCHASE_ORDER_XSD).unwrap()).unwrap();
+        let code = render_rust(&model, &RustGenOptions::default());
+        assert!(code.contains("pub struct PurchaseOrderTypeType {"));
+        assert!(code.contains("pub ship_to: USAddressType,"));
+        assert!(code.contains("pub comment: Option<String>,"));
+        assert!(code.contains("pub item: Vec<ItemTypeType>,"));
+        assert!(code.contains("pub struct SKU(pub String);"));
+        assert!(code.contains("pub part_num: SKU,"));
+        assert!(code.contains("pub fn purchase_order_to_xml"));
+    }
+
+    #[test]
+    fn choice_schema_yields_enum() {
+        let model = build_model(&parse_schema(CHOICE_PO_XSD).unwrap()).unwrap();
+        let code = render_rust(&model, &RustGenOptions::default());
+        assert!(code.contains("pub enum PurchaseOrderTypeCC1Group {"));
+        assert!(code.contains("SingAddr(USAddressType),"));
+        assert!(code.contains("TwoAddr(TwoAddressType),"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let model = build_model(&parse_schema(PURCHASE_ORDER_XSD).unwrap()).unwrap();
+        let a = render_rust(&model, &RustGenOptions::default());
+        let b = render_rust(&model, &RustGenOptions::default());
+        assert_eq!(a, b);
+    }
+}

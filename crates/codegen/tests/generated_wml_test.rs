@@ -1,0 +1,89 @@
+//! Compiles the generated WML module (choice enums, mixed text-only
+//! types) and checks that the directory page built through generated
+//! types matches the hand-written back ends and validates.
+
+use schema::corpus::WML_XSD;
+use schema::CompiledSchema;
+
+#[allow(dead_code, clippy::all)]
+mod generated {
+    include!("golden/generated_wml.rs");
+}
+
+use generated::*;
+
+#[test]
+fn generated_wml_directory_page_matches_webgen() {
+    let data = webgen::DirectoryPageData {
+        sub_dirs: vec!["audio".into(), "video".into()],
+        current_dir: "/workspace/media".into(),
+        parent_dir: "/workspace".into(),
+    };
+
+    // build the same page through the generated types
+    let mut options = vec![OptionTypeType {
+        content: "..".into(),
+        value: data.parent_dir.clone(),
+    }];
+    options.extend(data.sub_dirs.iter().map(|dir| OptionTypeType {
+        content: dir.clone(),
+        value: format!("{}/{dir}", data.current_dir),
+    }));
+    let page = WmlTypeType {
+        card: vec![CardTypeType {
+            p: vec![PTypeType {
+                ptype_c: vec![
+                    PTypeCGroup::B(InlineTypeType {
+                        content: data.current_dir.clone(),
+                    }),
+                    PTypeCGroup::Br(EmptyTypeType {}),
+                    PTypeCGroup::Select(SelectTypeType {
+                        option: options,
+                        name: "directories".into(),
+                        multiple: None,
+                    }),
+                    PTypeCGroup::Br(EmptyTypeType {}),
+                ],
+                align: None,
+            }],
+            id: Some("dirs".into()),
+            title: None,
+        }],
+    };
+    let xml = wml_to_xml(&page);
+    assert_eq!(xml, webgen::render_string(&data));
+
+    let compiled = CompiledSchema::parse(WML_XSD).unwrap();
+    let doc = xmlparse::parse_document(&xml).unwrap();
+    assert!(validator::validate_document(&compiled, &doc).is_empty());
+}
+
+#[test]
+fn choice_enum_variants_serialize_under_their_own_tags() {
+    let b = PTypeCGroup::B(InlineTypeType {
+        content: "bold".into(),
+    });
+    let mut out = String::new();
+    b.write_xml(&mut out);
+    assert_eq!(out, "<b>bold</b>");
+
+    let em = PTypeCGroup::Em(InlineTypeType {
+        content: "emph".into(),
+    });
+    let mut out = String::new();
+    em.write_xml(&mut out);
+    assert_eq!(out, "<em>emph</em>");
+}
+
+#[test]
+fn wml_golden_matches_generator() {
+    let schema = schema::parse_schema(WML_XSD).unwrap();
+    let model = normalize::build_model(&schema).unwrap();
+    let fresh = codegen::render_rust(
+        &model,
+        &codegen::RustGenOptions {
+            schema_label: "crates/codegen/testdata/wml.xsd".to_string(),
+        },
+    );
+    assert_eq!(fresh, include_str!("golden/generated_wml.rs"), "regenerate with vdomgen");
+}

@@ -1,0 +1,208 @@
+// Generated V-DOM types for schema crates/codegen/testdata/purchase_order.xsd — DO NOT EDIT.
+// One struct per complex type, one enum per choice group; field
+// order drives serialization, so any tree you can express here
+// serializes to a schema-valid document (occurrence counts and
+// restriction facets remain runtime checks, as in the paper).
+
+// Include inside a module, e.g. `#[allow(dead_code)] mod generated {{ include!(…); }}`.
+
+/// Escapes character data.
+fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (double-quoted).
+fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Restriction of `positiveInteger` (facets checked at validation time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantityType(pub String);
+
+impl QuantityType {
+    /// Wraps a lexical value (facets are runtime checks).
+    pub fn new(value: impl Into<String>) -> Self { QuantityType(value.into()) }
+}
+
+/// Restriction of `string` (facets checked at validation time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SKU(pub String);
+
+impl SKU {
+    /// Wraps a lexical value (facets are runtime checks).
+    pub fn new(value: impl Into<String>) -> Self { SKU(value.into()) }
+}
+
+/// Generated from complex type `ItemType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemTypeType {
+    pub product_name: String,
+    pub quantity: QuantityType,
+    pub usprice: String,
+    pub comment: Option<String>,
+    pub ship_date: Option<String>,
+    pub part_num: SKU,
+}
+
+impl ItemTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        {
+            let v = &self.part_num;
+            out.push_str(" partNum=\"");
+            out.push_str(&escape_attr(&v.0.clone()));
+            out.push('"');
+        }
+        let mut content = String::new();
+        { let v = &self.product_name; content.push_str("<productName>"); content.push_str(&escape_text(&v.clone())); content.push_str("</productName>"); }
+        { let v = &self.quantity; content.push_str("<quantity>"); content.push_str(&escape_text(&v.0)); content.push_str("</quantity>"); }
+        { let v = &self.usprice; content.push_str("<USPrice>"); content.push_str(&escape_text(&v.clone())); content.push_str("</USPrice>"); }
+        if let Some(v) = &self.comment { content.push_str("<comment>"); content.push_str(&escape_text(&v.clone())); content.push_str("</comment>"); }
+        if let Some(v) = &self.ship_date { content.push_str("<shipDate>"); content.push_str(&escape_text(&v.clone())); content.push_str("</shipDate>"); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `Items`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemsType {
+    pub item: Vec<ItemTypeType>,
+}
+
+impl ItemsType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        let mut content = String::new();
+        for v in &self.item { v.write_xml("item", &mut content); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `PurchaseOrderType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurchaseOrderTypeType {
+    pub ship_to: USAddressType,
+    pub bill_to: USAddressType,
+    pub comment: Option<String>,
+    pub items: ItemsType,
+    pub order_date: Option<String>,
+}
+
+impl PurchaseOrderTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        if let Some(v) = &self.order_date {
+            out.push_str(" orderDate=\"");
+            out.push_str(&escape_attr(&v.clone()));
+            out.push('"');
+        }
+        let mut content = String::new();
+        { let v = &self.ship_to; v.write_xml("shipTo", &mut content); }
+        { let v = &self.bill_to; v.write_xml("billTo", &mut content); }
+        if let Some(v) = &self.comment { content.push_str("<comment>"); content.push_str(&escape_text(&v.clone())); content.push_str("</comment>"); }
+        { let v = &self.items; v.write_xml("items", &mut content); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `USAddress`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct USAddressType {
+    pub name: String,
+    pub street: String,
+    pub city: String,
+    pub state: String,
+    pub zip: String,
+    pub country: Option<String>,
+}
+
+impl USAddressType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        if let Some(v) = &self.country {
+            out.push_str(" country=\"");
+            out.push_str(&escape_attr(&v.clone()));
+            out.push('"');
+        }
+        let mut content = String::new();
+        { let v = &self.name; content.push_str("<name>"); content.push_str(&escape_text(&v.clone())); content.push_str("</name>"); }
+        { let v = &self.street; content.push_str("<street>"); content.push_str(&escape_text(&v.clone())); content.push_str("</street>"); }
+        { let v = &self.city; content.push_str("<city>"); content.push_str(&escape_text(&v.clone())); content.push_str("</city>"); }
+        { let v = &self.state; content.push_str("<state>"); content.push_str(&escape_text(&v.clone())); content.push_str("</state>"); }
+        { let v = &self.zip; content.push_str("<zip>"); content.push_str(&escape_text(&v.clone())); content.push_str("</zip>"); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Serializes a complete `<comment>` document.
+pub fn comment_to_xml(value: &str) -> String {
+    format!("<comment>{}</comment>", escape_text(value))
+}
+
+/// Serializes a complete `<purchaseOrder>` document.
+pub fn purchase_order_to_xml(value: &PurchaseOrderTypeType) -> String {
+    let mut out = String::new();
+    value.write_xml("purchaseOrder", &mut out);
+    out
+}
+

@@ -1,0 +1,320 @@
+// Generated V-DOM types for schema crates/codegen/testdata/wml.xsd — DO NOT EDIT.
+// One struct per complex type, one enum per choice group; field
+// order drives serialization, so any tree you can express here
+// serializes to a schema-valid document (occurrence counts and
+// restriction facets remain runtime checks, as in the paper).
+
+// Include inside a module, e.g. `#[allow(dead_code)] mod generated {{ include!(…); }}`.
+
+/// Escapes character data.
+fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (double-quoted).
+fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Restriction of `string` (facets checked at validation time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignType(pub String);
+
+impl AlignType {
+    /// Wraps a lexical value (facets are runtime checks).
+    pub fn new(value: impl Into<String>) -> Self { AlignType(value.into()) }
+}
+
+/// Choice group `PTypeC` — exactly one alternative (Fig. 6's
+/// inheritance hierarchy, rendered as a Rust enum).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PTypeCGroup {
+    B(InlineTypeType),
+    Em(InlineTypeType),
+    Br(EmptyTypeType),
+    Select(SelectTypeType),
+    A(AnchorTypeType),
+}
+
+impl PTypeCGroup {
+    /// Writes the chosen alternative under its own tag.
+    pub fn write_xml(&self, out: &mut String) {
+        match self {
+            PTypeCGroup::B(v) => v.write_xml("b", out),
+            PTypeCGroup::Em(v) => v.write_xml("em", out),
+            PTypeCGroup::Br(v) => v.write_xml("br", out),
+            PTypeCGroup::Select(v) => v.write_xml("select", out),
+            PTypeCGroup::A(v) => v.write_xml("a", out),
+        }
+    }
+}
+
+/// Generated from complex type `AnchorType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnchorTypeType {
+    pub content: String,
+    pub href: String,
+}
+
+impl AnchorTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        {
+            let v = &self.href;
+            out.push_str(" href=\"");
+            out.push_str(&escape_attr(&v.clone()));
+            out.push('"');
+        }
+        let mut content = String::new();
+        { let v = &self.content; content.push_str(&escape_text(&v.clone())); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `CardType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardTypeType {
+    pub p: Vec<PTypeType>,
+    pub id: Option<String>,
+    pub title: Option<String>,
+}
+
+impl CardTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        if let Some(v) = &self.id {
+            out.push_str(" id=\"");
+            out.push_str(&escape_attr(&v.clone()));
+            out.push('"');
+        }
+        if let Some(v) = &self.title {
+            out.push_str(" title=\"");
+            out.push_str(&escape_attr(&v.clone()));
+            out.push('"');
+        }
+        let mut content = String::new();
+        for v in &self.p { v.write_xml("p", &mut content); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `EmptyType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmptyTypeType {
+}
+
+impl EmptyTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        let content = String::new();
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `InlineType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InlineTypeType {
+    pub content: String,
+}
+
+impl InlineTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        let mut content = String::new();
+        { let v = &self.content; content.push_str(&escape_text(&v.clone())); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `OptionType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptionTypeType {
+    pub content: String,
+    pub value: String,
+}
+
+impl OptionTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        {
+            let v = &self.value;
+            out.push_str(" value=\"");
+            out.push_str(&escape_attr(&v.clone()));
+            out.push('"');
+        }
+        let mut content = String::new();
+        { let v = &self.content; content.push_str(&escape_text(&v.clone())); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `PType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PTypeType {
+    pub ptype_c: Vec<PTypeCGroup>,
+    pub align: Option<AlignType>,
+}
+
+impl PTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        if let Some(v) = &self.align {
+            out.push_str(" align=\"");
+            out.push_str(&escape_attr(&v.0.clone()));
+            out.push('"');
+        }
+        let mut content = String::new();
+        for v in &self.ptype_c { v.write_xml(&mut content); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `SelectType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectTypeType {
+    pub option: Vec<OptionTypeType>,
+    pub multiple: Option<bool>,
+    pub name: String,
+}
+
+impl SelectTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        if let Some(v) = &self.multiple {
+            out.push_str(" multiple=\"");
+            out.push_str(&escape_attr(&v.to_string()));
+            out.push('"');
+        }
+        {
+            let v = &self.name;
+            out.push_str(" name=\"");
+            out.push_str(&escape_attr(&v.clone()));
+            out.push('"');
+        }
+        let mut content = String::new();
+        for v in &self.option { v.write_xml("option", &mut content); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Generated from complex type `WmlType`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WmlTypeType {
+    pub card: Vec<CardTypeType>,
+}
+
+impl WmlTypeType {
+    /// Writes `<tag …>content</tag>` for an element of this type.
+    pub fn write_xml(&self, tag: &str, out: &mut String) {
+        out.push('<');
+        out.push_str(tag);
+        let mut content = String::new();
+        for v in &self.card { v.write_xml("card", &mut content); }
+        if content.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str(&content);
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Serializes a complete `<wml>` document.
+pub fn wml_to_xml(value: &WmlTypeType) -> String {
+    let mut out = String::new();
+    value.write_xml("wml", &mut out);
+    out
+}
+

@@ -1,0 +1,156 @@
+//! A fluent construction facade over [`TypedDocument`] — the ergonomic
+//! equivalent of the paper's generated `create…` factory methods for
+//! callers that use the dynamic (non-generated) API.
+
+use dom::Document;
+use schema::CompiledSchema;
+
+use crate::document::{TypedDocument, TypedElement};
+use crate::error::VdomError;
+
+/// Builder positioned at one element of a [`TypedDocument`].
+pub struct ElementBuilder<'a> {
+    td: &'a mut TypedDocument,
+    element: TypedElement,
+}
+
+impl<'a> ElementBuilder<'a> {
+    /// Sets an attribute (checked immediately).
+    pub fn attr(&mut self, name: &str, value: &str) -> Result<&mut Self, VdomError> {
+        self.td.set_attribute(self.element, name, value)?;
+        Ok(self)
+    }
+
+    /// Appends character data (checked immediately).
+    pub fn text(&mut self, text: &str) -> Result<&mut Self, VdomError> {
+        self.td.append_text(self.element, text)?;
+        Ok(self)
+    }
+
+    /// Appends a child element and descends into it via `f`.
+    pub fn child(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut ElementBuilder<'_>) -> Result<(), VdomError>,
+    ) -> Result<&mut Self, VdomError> {
+        let child = self.td.append_element(self.element, name)?;
+        let mut builder = ElementBuilder {
+            td: self.td,
+            element: child,
+        };
+        f(&mut builder)?;
+        Ok(self)
+    }
+
+    /// Appends a child element containing only text — the common case for
+    /// simple-typed elements (`<name>Alice Smith</name>`).
+    pub fn leaf(&mut self, name: &str, text: &str) -> Result<&mut Self, VdomError> {
+        self.child(name, |c| c.text(text).map(|_| ()))
+    }
+
+    /// The typed handle of the element being built.
+    pub fn element(&self) -> TypedElement {
+        self.element
+    }
+
+    /// The underlying typed document (for introspection mid-build).
+    pub fn document(&self) -> &TypedDocument {
+        self.td
+    }
+}
+
+/// Builds a complete, sealed document in one expression.
+///
+/// # Example
+///
+/// ```
+/// use schema::CompiledSchema;
+/// use vdom::build_document;
+///
+/// let xsd = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+///   <xsd:element name="note" type="NoteType"/>
+///   <xsd:complexType name="NoteType">
+///     <xsd:sequence><xsd:element name="body" type="xsd:string"/></xsd:sequence>
+///   </xsd:complexType>
+/// </xsd:schema>"#;
+/// let compiled = CompiledSchema::parse(xsd).unwrap();
+/// let doc = build_document(&compiled, "note", |b| {
+///     b.leaf("body", "hello")?;
+///     Ok(())
+/// }).unwrap();
+/// let root = doc.root_element().unwrap();
+/// assert_eq!(dom::serialize(&doc, root).unwrap(), "<note><body>hello</body></note>");
+/// ```
+pub fn build_document(
+    compiled: &CompiledSchema,
+    root: &str,
+    f: impl FnOnce(&mut ElementBuilder<'_>) -> Result<(), VdomError>,
+) -> Result<Document, VdomError> {
+    let mut td = TypedDocument::new(compiled.clone());
+    let root_el = td.create_root(root)?;
+    let mut builder = ElementBuilder {
+        td: &mut td,
+        element: root_el,
+    };
+    f(&mut builder)?;
+    td.seal()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::corpus::PURCHASE_ORDER_XSD;
+
+    #[test]
+    fn builder_constructs_valid_purchase_order() {
+        let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
+        let doc = build_document(&compiled, "purchaseOrder", |b| {
+            b.attr("orderDate", "1999-10-20")?
+                .child("shipTo", |s| {
+                    s.attr("country", "US")?
+                        .leaf("name", "Alice Smith")?
+                        .leaf("street", "123 Maple Street")?
+                        .leaf("city", "Mill Valley")?
+                        .leaf("state", "CA")?
+                        .leaf("zip", "90952")?;
+                    Ok(())
+                })?
+                .child("billTo", |s| {
+                    s.attr("country", "US")?
+                        .leaf("name", "Robert Smith")?
+                        .leaf("street", "8 Oak Avenue")?
+                        .leaf("city", "Old Town")?
+                        .leaf("state", "PA")?
+                        .leaf("zip", "95819")?;
+                    Ok(())
+                })?
+                .leaf("comment", "Hurry, my lawn is going wild")?
+                .child("items", |items| {
+                    items.child("item", |i| {
+                        i.attr("partNum", "872-AA")?
+                            .leaf("productName", "Lawnmower")?
+                            .leaf("quantity", "1")?
+                            .leaf("USPrice", "148.95")?;
+                        Ok(())
+                    })?;
+                    Ok(())
+                })?;
+            Ok(())
+        })
+        .unwrap();
+        let errors =
+            validator::validate_document(&CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap(), &doc);
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn builder_propagates_errors() {
+        let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
+        let err = build_document(&compiled, "purchaseOrder", |b| {
+            b.leaf("items", "")?; // wrong first child
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, VdomError::ContentModel { .. }));
+    }
+}

@@ -1,0 +1,99 @@
+//! Typed tree dumps — the paper's Fig. 7: the same fragment as Fig. 4,
+//! but every node labelled with its *generated interface* name instead of
+//! the generic `Element`.
+
+use std::fmt::Write as _;
+
+use dom::NodeKind;
+use schema::{TypeDef, TypeRef};
+
+use crate::document::{TypedDocument, TypedElement};
+use crate::error::VdomError;
+
+/// Renders the subtree at `element` with V-DOM interface labels.
+///
+/// Elements print as `{name}Element : {Type}Type` (the interface of the
+/// element and of its content type), mirroring how Fig. 7 contrasts with
+/// Fig. 4's uniform `Element` labels.
+pub fn dump_typed(td: &TypedDocument, element: TypedElement) -> Result<String, VdomError> {
+    let mut out = String::new();
+    dump_into(td, element.node(), 0, &mut out)?;
+    Ok(out)
+}
+
+fn interface_of_type(td: &TypedDocument, type_ref: &TypeRef) -> String {
+    match type_ref {
+        TypeRef::Builtin(b) => b.name().to_string(),
+        TypeRef::Named(n) | TypeRef::Anonymous(n) => {
+            match td.compiled().schema().type_def(n) {
+                Some(TypeDef::Complex(_)) => format!("{n}Type"),
+                _ => n.clone(),
+            }
+        }
+    }
+}
+
+fn dump_into(
+    td: &TypedDocument,
+    node: dom::NodeId,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), VdomError> {
+    let doc = td.dom();
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match doc.kind(node).map_err(|e| VdomError::Dom(e.to_string()))? {
+        NodeKind::Element { name, attributes } => {
+            let type_label = td
+                .type_of(TypedElement { node })
+                .map(|t| interface_of_type(td, t))
+                .unwrap_or_else(|_| "?".to_string());
+            let _ = write!(out, "{name}Element : {type_label}");
+            for a in attributes {
+                let _ = write!(out, " {}={:?}", a.name, a.value);
+            }
+            out.push('\n');
+        }
+        NodeKind::Text(t) => {
+            let _ = writeln!(out, "Text {t:?}");
+        }
+        other => {
+            let _ = writeln!(out, "{other:?}");
+        }
+    }
+    for child in doc
+        .child_vec(node)
+        .map_err(|e| VdomError::Dom(e.to_string()))?
+    {
+        dump_into(td, child, depth + 1, out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::TypedDocument;
+    use schema::corpus::PURCHASE_ORDER_XSD;
+    use schema::CompiledSchema;
+
+    #[test]
+    fn typed_dump_shows_interface_names() {
+        let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
+        let mut td = TypedDocument::new(compiled);
+        let root = td.create_root("purchaseOrder").unwrap();
+        let ship = td.append_element(root, "shipTo").unwrap();
+        let name = td.append_element(ship, "name").unwrap();
+        td.append_text(name, "Alice Smith").unwrap();
+
+        let dump = dump_typed(&td, root).unwrap();
+        assert_eq!(
+            dump,
+            "purchaseOrderElement : PurchaseOrderTypeType\n  \
+             shipToElement : USAddressType\n    \
+             nameElement : string\n      \
+             Text \"Alice Smith\"\n"
+        );
+    }
+}

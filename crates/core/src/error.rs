@@ -1,0 +1,132 @@
+//! Errors raised by the typed V-DOM layer at *construction* time — the
+//! errors that, in the paper's argument, replace whole-document test runs.
+
+use std::fmt;
+
+use automata::StepError;
+use schema::SimpleTypeError;
+
+/// A typed-construction error.
+#[derive(Debug, Clone)]
+pub enum VdomError {
+    /// No global element with this name is declared.
+    NotDeclared(String),
+    /// The element (or its type) is abstract and cannot be instantiated.
+    Abstract(String),
+    /// The child element is not allowed at this point of the parent's
+    /// content model.
+    ContentModel {
+        /// Parent element name.
+        parent: String,
+        /// The rejected step.
+        step: StepError,
+    },
+    /// The element's content model is not yet satisfied.
+    Incomplete {
+        /// Element name.
+        element: String,
+        /// Child elements still expected.
+        expected: Vec<String>,
+    },
+    /// Character data is not allowed in this element.
+    TextNotAllowed {
+        /// Element name.
+        element: String,
+    },
+    /// A simple-typed value (text content or attribute) failed validation.
+    Simple {
+        /// Element name.
+        element: String,
+        /// Attribute name, when the value was an attribute.
+        attribute: Option<String>,
+        /// The underlying error.
+        error: SimpleTypeError,
+    },
+    /// The attribute is not declared for the element's type.
+    UndeclaredAttribute {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// A `fixed` attribute was set to a different value.
+    FixedMismatch {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+        /// The schema-required value.
+        fixed: String,
+    },
+    /// A required attribute is missing at `finish` time.
+    MissingAttribute {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// The handle does not belong to this typed document or was finished.
+    BadHandle,
+    /// The child element name is not declared inside the parent's type.
+    UnknownChild {
+        /// Parent element name.
+        parent: String,
+        /// The unknown child name.
+        child: String,
+    },
+    /// Internal DOM error (stale node, cycle): indicates handle misuse.
+    Dom(String),
+}
+
+impl fmt::Display for VdomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VdomError::NotDeclared(n) => {
+                write!(f, "element <{n}> is not declared in the schema")
+            }
+            VdomError::Abstract(n) => write!(f, "<{n}> is abstract and cannot be instantiated"),
+            VdomError::ContentModel { parent, step } => {
+                write!(f, "in <{parent}>: {step}")
+            }
+            VdomError::Incomplete { element, expected } => write!(
+                f,
+                "<{element}> is incomplete; still expecting: {}",
+                expected.join(", ")
+            ),
+            VdomError::TextNotAllowed { element } => {
+                write!(f, "character data is not allowed in <{element}>")
+            }
+            VdomError::Simple {
+                element,
+                attribute: Some(a),
+                error,
+            } => write!(f, "attribute {a} of <{element}>: {error}"),
+            VdomError::Simple {
+                element,
+                attribute: None,
+                error,
+            } => write!(f, "content of <{element}>: {error}"),
+            VdomError::UndeclaredAttribute { element, attribute } => {
+                write!(f, "attribute {attribute} is not declared for <{element}>")
+            }
+            VdomError::FixedMismatch {
+                element,
+                attribute,
+                fixed,
+            } => write!(
+                f,
+                "attribute {attribute} of <{element}> is fixed to {fixed:?}"
+            ),
+            VdomError::MissingAttribute { element, attribute } => {
+                write!(f, "<{element}> is missing required attribute {attribute}")
+            }
+            VdomError::BadHandle => write!(f, "typed handle is stale or foreign"),
+            VdomError::UnknownChild { parent, child } => {
+                write!(f, "<{child}> is not declared inside the type of <{parent}>")
+            }
+            VdomError::Dom(m) => write!(f, "DOM error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VdomError {}

@@ -1,0 +1,50 @@
+//! **V-DOM** — the Validating Document Object Model, the paper's primary
+//! contribution (Sect. 3).
+//!
+//! Where the plain DOM (`dom` crate) lets a program build *any* tree and
+//! discover schema violations only when a validator runs (`validator`
+//! crate), a [`TypedDocument`] makes invalid trees **unrepresentable
+//! during construction**:
+//!
+//! * every element handle carries its schema type;
+//! * appending a child advances the parent's content-model DFA and fails
+//!   immediately on a wrong or misplaced element;
+//! * attribute writes and simple-typed values are checked on the spot;
+//! * what is inherently a completion property — occurrence constraints
+//!   and required attributes — is checked by [`TypedDocument::finish`] /
+//!   [`TypedDocument::seal`], still at construction time (the paper makes
+//!   the same concession for occurrence constraints in Sect. 3, rule 5).
+//!
+//! In the paper's Java/IDL setting the *host compiler* enforces these
+//! rules through one generated interface per element type; the `codegen`
+//! crate provides that static layer for Rust. This crate is the dynamic
+//! engine those generated types call into — and a complete typed API in
+//! its own right:
+//!
+//! ```
+//! use schema::{corpus, CompiledSchema};
+//! use vdom::TypedDocument;
+//!
+//! let compiled = CompiledSchema::parse(corpus::PURCHASE_ORDER_XSD).unwrap();
+//! let mut td = TypedDocument::new(compiled);
+//! let po = td.create_root("purchaseOrder").unwrap();
+//! // items cannot come before shipTo — rejected at the call site:
+//! assert!(td.append_element(po, "items").is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod document;
+pub mod dump;
+pub mod error;
+pub mod fragment;
+pub mod query;
+
+pub use builder::{build_document, ElementBuilder};
+pub use document::{TypedDocument, TypedElement};
+pub use dump::dump_typed;
+pub use error::VdomError;
+pub use fragment::parse_typed;
+pub use query::{ExtractedFragment, QueryError};

@@ -1,0 +1,295 @@
+//! Typed queries over V-DOM documents — the paper's stated future work
+//! (Sect. 8: "extensions to … XQuery in such a way that a query which is
+//! applied to appropriate VDOM-objects can be guaranteed to result only
+//! in documents which are valid according to an underlying Xml schema"),
+//! realized here for a path-shaped query core.
+//!
+//! Queries select **typed** handles, and extraction produces fragments
+//! that are valid by construction (they are subtrees of a document that
+//! could only ever be built validly), so query results can be spliced
+//! into other typed documents without revalidation.
+//!
+//! # Path syntax
+//!
+//! A query is a `/`-separated sequence of steps evaluated from a context
+//! element:
+//!
+//! * `name` — child elements with that tag;
+//! * `*` — all child elements;
+//! * `//name` — descendant-or-self elements with that tag (written as a
+//!   step prefix, e.g. `items//comment`).
+//!
+//! ```
+//! use schema::{corpus, CompiledSchema};
+//! use vdom::parse_typed;
+//!
+//! let compiled = CompiledSchema::parse(corpus::PURCHASE_ORDER_XSD).unwrap();
+//! let td = parse_typed(&compiled, corpus::PURCHASE_ORDER_XML).unwrap();
+//! let root = td.typed_root().unwrap();
+//! let prices = td.select(root, "items/item/USPrice").unwrap();
+//! assert_eq!(prices.len(), 2);
+//! ```
+
+use dom::Document;
+use schema::TypeRef;
+
+use crate::document::{TypedDocument, TypedElement};
+use crate::error::VdomError;
+
+/// A query parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid query: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One step of a path query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    /// `name` — children with this tag.
+    Child(String),
+    /// `*` — all element children.
+    AnyChild,
+    /// `//name` — descendants with this tag.
+    Descendant(String),
+}
+
+fn parse_path(path: &str) -> Result<Vec<Step>, QueryError> {
+    if path.is_empty() {
+        return Err(QueryError {
+            message: "empty path".to_string(),
+        });
+    }
+    let mut steps = Vec::new();
+    let mut rest = path;
+    loop {
+        let (descendant, body) = match rest.strip_prefix("//") {
+            Some(b) => (true, b),
+            None => (false, rest.strip_prefix('/').unwrap_or(rest)),
+        };
+        let (name, tail) = match body.find('/') {
+            Some(i) => (&body[..i], &body[i..]),
+            None => (body, ""),
+        };
+        if name.is_empty() {
+            return Err(QueryError {
+                message: format!("empty step in {path:?}"),
+            });
+        }
+        steps.push(match (descendant, name) {
+            (true, n) => Step::Descendant(n.to_string()),
+            (false, "*") => Step::AnyChild,
+            (false, n) => Step::Child(n.to_string()),
+        });
+        if tail.is_empty() {
+            return Ok(steps);
+        }
+        rest = tail;
+    }
+}
+
+/// A fragment extracted from a typed document: a standalone document
+/// holding a copy of a (valid) subtree, plus its root's type — ready for
+/// [`TypedDocument::import_element`] into another typed document.
+#[derive(Debug, Clone)]
+pub struct ExtractedFragment {
+    /// The fragment's root tag.
+    pub tag: String,
+    /// The root element's schema type.
+    pub type_ref: TypeRef,
+    /// The standalone document.
+    pub doc: Document,
+    /// The fragment root within `doc`.
+    pub root: dom::NodeId,
+}
+
+impl TypedDocument {
+    /// Evaluates a path query from `context`, returning typed handles in
+    /// document order.
+    pub fn select(
+        &self,
+        context: TypedElement,
+        path: &str,
+    ) -> Result<Vec<TypedElement>, QueryError> {
+        let steps = parse_path(path)?;
+        let doc = self.dom();
+        let mut current = vec![context.node()];
+        for step in &steps {
+            let mut next = Vec::new();
+            for &node in &current {
+                match step {
+                    Step::Child(name) => {
+                        next.extend(
+                            doc.child_elements(node)
+                                .filter(|&c| doc.tag_name(c).map(|t| t == name).unwrap_or(false)),
+                        );
+                    }
+                    Step::AnyChild => next.extend(doc.child_elements(node)),
+                    Step::Descendant(name) => {
+                        next.extend(doc.descendants(node).filter(|&d| {
+                            doc.tag_name(d).map(|t| t == name).unwrap_or(false)
+                        }));
+                    }
+                }
+            }
+            next.dedup();
+            current = next;
+        }
+        Ok(current
+            .into_iter()
+            .filter_map(|n| self.typed_handle(n))
+            .collect())
+    }
+
+    /// Selects at most one element (the first in document order).
+    pub fn select_first(
+        &self,
+        context: TypedElement,
+        path: &str,
+    ) -> Result<Option<TypedElement>, QueryError> {
+        Ok(self.select(context, path)?.into_iter().next())
+    }
+
+    /// The concatenated text of every element selected by `path`.
+    pub fn select_text(
+        &self,
+        context: TypedElement,
+        path: &str,
+    ) -> Result<Vec<String>, QueryError> {
+        Ok(self
+            .select(context, path)?
+            .into_iter()
+            .map(|el| self.dom().text_content(el.node()).unwrap_or_default())
+            .collect())
+    }
+
+    /// Extracts a selected element as a standalone fragment.
+    ///
+    /// The source document could only ever be constructed validly, so the
+    /// copy is valid for its type — the "queries yield valid documents"
+    /// guarantee of the paper's Sect. 8.
+    pub fn extract(&self, element: TypedElement) -> Result<ExtractedFragment, VdomError> {
+        let type_ref = self.type_of(element)?.clone();
+        let tag = self
+            .dom()
+            .tag_name(element.node())
+            .map_err(|e| VdomError::Dom(e.to_string()))?
+            .to_string();
+        let mut doc = Document::new();
+        let copy = doc
+            .import_subtree(self.dom(), element.node())
+            .map_err(|e| VdomError::Dom(e.to_string()))?;
+        let dn = doc.document_node();
+        doc.append_child(dn, copy)
+            .map_err(|e| VdomError::Dom(e.to_string()))?;
+        Ok(ExtractedFragment {
+            tag,
+            type_ref,
+            doc,
+            root: copy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::parse_typed;
+    use schema::corpus::{PURCHASE_ORDER_XML, PURCHASE_ORDER_XSD};
+    use schema::CompiledSchema;
+
+    fn td() -> TypedDocument {
+        let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
+        parse_typed(&compiled, PURCHASE_ORDER_XML).unwrap()
+    }
+
+    #[test]
+    fn child_paths() {
+        let td = td();
+        let root = td.typed_root().unwrap();
+        let names = td.select_text(root, "shipTo/name").unwrap();
+        assert_eq!(names, ["Alice Smith"]);
+        let products = td.select_text(root, "items/item/productName").unwrap();
+        assert_eq!(products, ["Lawnmower", "Baby Monitor"]);
+    }
+
+    #[test]
+    fn wildcard_and_descendant_steps() {
+        let td = td();
+        let root = td.typed_root().unwrap();
+        // * selects all children of shipTo
+        assert_eq!(td.select(root, "shipTo/*").unwrap().len(), 5);
+        // //comment finds both the order comment and the item comment
+        assert_eq!(td.select(root, "//comment").unwrap().len(), 2);
+        // scoped descendant
+        assert_eq!(td.select(root, "items//comment").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn select_first_and_empty_results() {
+        let td = td();
+        let root = td.typed_root().unwrap();
+        assert!(td.select_first(root, "billTo").unwrap().is_some());
+        assert!(td.select_first(root, "noSuchChild").unwrap().is_none());
+        assert!(td.select(root, "shipTo/items").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let td = td();
+        let root = td.typed_root().unwrap();
+        assert!(td.select(root, "").is_err());
+        assert!(td.select(root, "a//").is_err());
+        assert!(td.select(root, "a///b").is_err());
+    }
+
+    #[test]
+    fn selected_handles_are_typed() {
+        let td = td();
+        let root = td.typed_root().unwrap();
+        let ship = td.select_first(root, "shipTo").unwrap().unwrap();
+        assert_eq!(
+            td.type_of(ship).unwrap(),
+            &TypeRef::Named("USAddress".into())
+        );
+    }
+
+    #[test]
+    fn extract_and_reinsert_without_revalidation() {
+        let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
+        let source = td();
+        let root = source.typed_root().unwrap();
+        let ship = source.select_first(root, "shipTo").unwrap().unwrap();
+        let frag = source.extract(ship).unwrap();
+        assert_eq!(frag.tag, "shipTo");
+        assert_eq!(frag.type_ref, TypeRef::Named("USAddress".into()));
+
+        // splice the extracted fragment into a fresh typed document
+        let mut target = TypedDocument::new(compiled.clone());
+        let po = target.create_root("purchaseOrder").unwrap();
+        target.import_element(po, &frag.doc, frag.root).unwrap();
+        // its children continue as billTo etc.
+        assert_eq!(target.expected_children(po).unwrap(), ["billTo"]);
+    }
+
+    #[test]
+    fn extract_comment_has_builtin_type() {
+        let source = td();
+        let root = source.typed_root().unwrap();
+        let comment = source.select_first(root, "comment").unwrap().unwrap();
+        let frag = source.extract(comment).unwrap();
+        assert!(matches!(frag.type_ref, TypeRef::Builtin(_)));
+        assert_eq!(
+            frag.doc.text_content(frag.root).unwrap(),
+            "Hurry, my lawn is going wild"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Structural tree dumps, reproducing the paper's Fig. 4 style: the DOM
+//! representation of a document fragment as a labelled tree.
+
+use std::fmt::Write as _;
+
+use crate::document::{Document, NodeId};
+use crate::error::DomError;
+use crate::node::NodeKind;
+
+/// Renders the subtree at `node` as an indented structural dump.
+///
+/// Each element line shows the generic interface name (`Element`) plus the
+/// tag name and attributes — matching the paper's point that in plain DOM
+/// *every* node is just an `Element`. The typed dump in the `vdom` crate
+/// contrasts with this by printing the generated interface names (Fig. 7).
+pub fn dump_tree(doc: &Document, node: NodeId) -> Result<String, DomError> {
+    let mut out = String::new();
+    dump_into(doc, node, 0, &mut out)?;
+    Ok(out)
+}
+
+fn dump_into(
+    doc: &Document,
+    node: NodeId,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), DomError> {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match doc.kind(node)? {
+        NodeKind::Document => out.push_str("Document\n"),
+        NodeKind::Element { name, attributes } => {
+            let _ = write!(out, "Element \"{name}\"");
+            for a in attributes {
+                let _ = write!(out, " {}={:?}", a.name, a.value);
+            }
+            out.push('\n');
+        }
+        NodeKind::Text(t) => {
+            let _ = writeln!(out, "Text {:?}", t);
+        }
+        NodeKind::Comment(c) => {
+            let _ = writeln!(out, "Comment {:?}", c);
+        }
+        NodeKind::ProcessingInstruction { target, .. } => {
+            let _ = writeln!(out, "PI {:?}", target);
+        }
+    }
+    for child in doc.child_vec(node)? {
+        dump_into(doc, child, depth + 1, out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_shows_generic_element_interface() {
+        let mut d = Document::new();
+        let root = d.create_element("purchaseOrder").unwrap();
+        d.set_attribute(root, "orderDate", "1999-10-20").unwrap();
+        let ship = d.create_element("shipTo").unwrap();
+        d.append_child(root, ship).unwrap();
+        let t = d.create_text("x");
+        d.append_child(ship, t).unwrap();
+
+        let dump = dump_tree(&d, root).unwrap();
+        assert_eq!(
+            dump,
+            "Element \"purchaseOrder\" orderDate=\"1999-10-20\"\n  Element \"shipTo\"\n    Text \"x\"\n"
+        );
+    }
+}

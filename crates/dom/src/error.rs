@@ -1,0 +1,62 @@
+//! Errors raised by structural DOM mutations.
+
+use std::fmt;
+
+use crate::document::NodeId;
+
+/// An error produced by a structural mutation on a [`crate::Document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomError {
+    /// The node id does not belong to this document or was removed.
+    StaleNode(NodeId),
+    /// The operation requires an element node but another kind was given.
+    NotAnElement(NodeId),
+    /// The operation requires a container (document or element).
+    NotAContainer(NodeId),
+    /// Inserting the node would create a cycle (node is an ancestor of the
+    /// insertion point).
+    WouldCreateCycle {
+        /// The node being inserted.
+        node: NodeId,
+        /// The prospective parent.
+        parent: NodeId,
+    },
+    /// The node is still attached; detach it before re-inserting.
+    StillAttached(NodeId),
+    /// The child index was out of bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of children present.
+        len: usize,
+    },
+    /// A document may have exactly one root element.
+    SecondRootElement,
+    /// The supplied name is not a well-formed XML name.
+    BadName(String),
+}
+
+impl fmt::Display for DomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomError::StaleNode(id) => write!(f, "stale or foreign node id {id:?}"),
+            DomError::NotAnElement(id) => write!(f, "node {id:?} is not an element"),
+            DomError::NotAContainer(id) => write!(f, "node {id:?} cannot hold children"),
+            DomError::WouldCreateCycle { node, parent } => {
+                write!(f, "inserting {node:?} under {parent:?} would create a cycle")
+            }
+            DomError::StillAttached(id) => {
+                write!(f, "node {id:?} is attached; detach it first")
+            }
+            DomError::IndexOutOfBounds { index, len } => {
+                write!(f, "child index {index} out of bounds (len {len})")
+            }
+            DomError::SecondRootElement => {
+                write!(f, "document already has a root element")
+            }
+            DomError::BadName(name) => write!(f, "{name:?} is not a well-formed XML name"),
+        }
+    }
+}
+
+impl std::error::Error for DomError {}

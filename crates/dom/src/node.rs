@@ -1,0 +1,87 @@
+//! Node payloads: the data stored per arena slot.
+
+use xmlchars::Span;
+
+/// A single attribute on an element, in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Lexical attribute name (may carry a prefix, e.g. `xml:lang`).
+    pub name: String,
+    /// Attribute value after entity resolution.
+    pub value: String,
+}
+
+/// The kind-specific payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The document node: the unique tree root. Holds no payload; its
+    /// children are the root element plus any top-level comments/PIs.
+    Document,
+    /// An element with a lexical tag name and attributes.
+    Element {
+        /// Lexical tag name as written (`shipTo`, `xsd:element`).
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// Character data (text and resolved CDATA sections).
+    Text(String),
+    /// A comment (without the `<!--`/`-->` delimiters).
+    Comment(String),
+    /// A processing instruction.
+    ProcessingInstruction {
+        /// The PI target.
+        target: String,
+        /// The PI data (may be empty).
+        data: String,
+    },
+}
+
+impl NodeKind {
+    /// Whether this kind may hold children.
+    pub fn is_container(&self) -> bool {
+        matches!(self, NodeKind::Document | NodeKind::Element { .. })
+    }
+
+    /// Whether this is an element node.
+    pub fn is_element(&self) -> bool {
+        matches!(self, NodeKind::Element { .. })
+    }
+
+    /// Whether this is a text node.
+    pub fn is_text(&self) -> bool {
+        matches!(self, NodeKind::Text(_))
+    }
+}
+
+/// Internal arena slot: payload plus tree links.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeData {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<crate::document::NodeId>,
+    pub(crate) children: Vec<crate::document::NodeId>,
+    /// Source span when the node came from the parser; default otherwise.
+    pub(crate) span: Span,
+    /// Incremented when the node is removed, so stale ids are detected.
+    pub(crate) generation: u32,
+    pub(crate) alive: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Document.is_container());
+        let el = NodeKind::Element {
+            name: "a".into(),
+            attributes: Vec::new(),
+        };
+        assert!(el.is_container());
+        assert!(el.is_element());
+        assert!(!el.is_text());
+        assert!(NodeKind::Text("x".into()).is_text());
+        assert!(!NodeKind::Comment("c".into()).is_container());
+    }
+}

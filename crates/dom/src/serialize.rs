@@ -1,0 +1,223 @@
+//! Serialization of documents and subtrees back to XML text.
+
+use std::fmt::Write as _;
+
+use xmlchars::{escape_attribute, escape_text};
+
+use crate::document::{Document, NodeId};
+use crate::error::DomError;
+use crate::node::NodeKind;
+
+/// Options controlling serialization.
+#[derive(Debug, Clone, Default)]
+pub struct SerializeOptions {
+    /// Emit an `<?xml version="1.0"?>` declaration before the root.
+    pub xml_declaration: bool,
+    /// Pretty-print with the given indent string (`None` = compact).
+    pub indent: Option<String>,
+}
+
+/// Serializes the subtree at `node` compactly (no added whitespace).
+pub fn serialize(doc: &Document, node: NodeId) -> Result<String, DomError> {
+    serialize_with(doc, node, &SerializeOptions::default())
+}
+
+/// Serializes the subtree at `node` with two-space pretty printing.
+///
+/// Elements with *element-only* content are broken across lines; elements
+/// containing any text are kept inline so mixed content round-trips
+/// faithfully.
+pub fn serialize_pretty(doc: &Document, node: NodeId) -> Result<String, DomError> {
+    serialize_with(
+        doc,
+        node,
+        &SerializeOptions {
+            xml_declaration: false,
+            indent: Some("  ".to_string()),
+        },
+    )
+}
+
+/// Serializes the subtree at `node` with explicit options.
+pub fn serialize_with(
+    doc: &Document,
+    node: NodeId,
+    options: &SerializeOptions,
+) -> Result<String, DomError> {
+    let mut out = String::new();
+    if options.xml_declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    write_node(doc, node, options, 0, &mut out)?;
+    Ok(out)
+}
+
+fn has_text_child(doc: &Document, node: NodeId) -> bool {
+    doc.children(node)
+        .any(|c| matches!(doc.kind(c), Ok(NodeKind::Text(_))))
+}
+
+fn write_node(
+    doc: &Document,
+    node: NodeId,
+    options: &SerializeOptions,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), DomError> {
+    match doc.kind(node)? {
+        NodeKind::Document => {
+            let children = doc.child_vec(node)?;
+            for (i, child) in children.iter().enumerate() {
+                if i > 0 && options.indent.is_some() {
+                    out.push('\n');
+                }
+                write_node(doc, *child, options, depth, out)?;
+            }
+            Ok(())
+        }
+        NodeKind::Element { name, attributes } => {
+            out.push('<');
+            out.push_str(name);
+            for attr in attributes {
+                let _ = write!(out, " {}=\"{}\"", attr.name, escape_attribute(&attr.value));
+            }
+            let children = doc.child_vec(node)?;
+            if children.is_empty() {
+                out.push_str("/>");
+                return Ok(());
+            }
+            out.push('>');
+            let inline = options.indent.is_none() || has_text_child(doc, node);
+            if inline {
+                for child in &children {
+                    write_node(doc, *child, options, depth + 1, out)?;
+                }
+            } else {
+                let indent = options.indent.as_deref().unwrap_or("");
+                for child in &children {
+                    out.push('\n');
+                    for _ in 0..=depth {
+                        out.push_str(indent);
+                    }
+                    write_node(doc, *child, options, depth + 1, out)?;
+                }
+                out.push('\n');
+                for _ in 0..depth {
+                    out.push_str(indent);
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+            Ok(())
+        }
+        NodeKind::Text(t) => {
+            out.push_str(&escape_text(t));
+            Ok(())
+        }
+        NodeKind::Comment(c) => {
+            let _ = write!(out, "<!--{c}-->");
+            Ok(())
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            if data.is_empty() {
+                let _ = write!(out, "<?{target}?>");
+            } else {
+                let _ = write!(out, "<?{target} {data}?>");
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn po_fragment() -> (Document, NodeId) {
+        let mut d = Document::new();
+        let root = d.create_element("shipTo").unwrap();
+        d.set_attribute(root, "country", "US").unwrap();
+        let dn = d.document_node();
+        d.append_child(dn, root).unwrap();
+        let name = d.create_element("name").unwrap();
+        d.append_child(root, name).unwrap();
+        let t = d.create_text("Alice & Bob <Smith>");
+        d.append_child(name, t).unwrap();
+        let zip = d.create_element("zip").unwrap();
+        d.append_child(root, zip).unwrap();
+        (d, root)
+    }
+
+    #[test]
+    fn compact_serialization() {
+        let (d, root) = po_fragment();
+        assert_eq!(
+            serialize(&d, root).unwrap(),
+            "<shipTo country=\"US\"><name>Alice &amp; Bob &lt;Smith&gt;</name><zip/></shipTo>"
+        );
+    }
+
+    #[test]
+    fn pretty_serialization_indents_element_content() {
+        let (d, root) = po_fragment();
+        let pretty = serialize_pretty(&d, root).unwrap();
+        assert_eq!(
+            pretty,
+            "<shipTo country=\"US\">\n  <name>Alice &amp; Bob &lt;Smith&gt;</name>\n  <zip/>\n</shipTo>"
+        );
+    }
+
+    #[test]
+    fn attribute_values_escaped() {
+        let mut d = Document::new();
+        let e = d.create_element("x").unwrap();
+        d.set_attribute(e, "v", "a\"b<c&d").unwrap();
+        assert_eq!(serialize(&d, e).unwrap(), "<x v=\"a&quot;b&lt;c&amp;d\"/>");
+    }
+
+    #[test]
+    fn comments_and_pis_serialize() {
+        let mut d = Document::new();
+        let e = d.create_element("x").unwrap();
+        let c = d.create_comment(" note ");
+        d.append_child(e, c).unwrap();
+        let pi = d.create_pi("php", "echo 1;").unwrap();
+        d.append_child(e, pi).unwrap();
+        assert_eq!(
+            serialize(&d, e).unwrap(),
+            "<x><!-- note --><?php echo 1;?></x>"
+        );
+    }
+
+    #[test]
+    fn xml_declaration_option() {
+        let (d, _root) = po_fragment();
+        let out = serialize_with(
+            &d,
+            d.document_node(),
+            &SerializeOptions {
+                xml_declaration: true,
+                indent: None,
+            },
+        )
+        .unwrap();
+        assert!(out.starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn mixed_content_stays_inline_when_pretty() {
+        let mut d = Document::new();
+        let p = d.create_element("p").unwrap();
+        let t1 = d.create_text("hello ");
+        d.append_child(p, t1).unwrap();
+        let b = d.create_element("b").unwrap();
+        d.append_child(p, b).unwrap();
+        let bt = d.create_text("world");
+        d.append_child(b, bt).unwrap();
+        assert_eq!(serialize_pretty(&d, p).unwrap(), "<p>hello <b>world</b></p>");
+    }
+}

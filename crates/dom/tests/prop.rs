@@ -1,0 +1,113 @@
+//! Property tests for the arena DOM: structural invariants hold under
+//! random mutation sequences, and serialization round-trips.
+
+use dom::{Document, NodeId};
+use proptest::prelude::*;
+
+/// A random mutation script.
+#[derive(Debug, Clone)]
+enum Op {
+    CreateElement(u8),
+    CreateText(String),
+    Append { parent: u8, child: u8 },
+    Detach(u8),
+    Remove(u8),
+    SetAttr { node: u8, key: u8, value: String },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(Op::CreateElement),
+        "[a-z ]{0,8}".prop_map(Op::CreateText),
+        (0u8..24, 0u8..24).prop_map(|(parent, child)| Op::Append { parent, child }),
+        (0u8..24).prop_map(Op::Detach),
+        (0u8..24).prop_map(Op::Remove),
+        (0u8..24, 0u8..4, "[a-z]{0,6}").prop_map(|(node, key, value)| Op::SetAttr {
+            node,
+            key,
+            value
+        }),
+    ]
+}
+
+/// Checks parent/child link consistency over all live nodes.
+fn check_invariants(doc: &Document, nodes: &[NodeId]) {
+    for &n in nodes {
+        let Ok(kind) = doc.kind(n) else { continue };
+        let _ = kind;
+        // every child's parent is n
+        for c in doc.child_vec(n).unwrap() {
+            assert_eq!(doc.parent(c).unwrap(), Some(n));
+        }
+        // if attached, n appears exactly once among its parent's children
+        if let Some(p) = doc.parent(n).unwrap() {
+            let count = doc.children(p).filter(|&c| c == n).count();
+            assert_eq!(count, 1);
+        }
+        // no cycles: walking up terminates (is_ancestor_or_self proves it)
+        assert!(doc.is_ancestor_or_self(n, n).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_mutations_preserve_invariants(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut doc = Document::new();
+        let mut nodes: Vec<NodeId> = vec![doc.document_node()];
+        for op in ops {
+            match op {
+                Op::CreateElement(i) => {
+                    let name = format!("el{i}");
+                    nodes.push(doc.create_element(name).unwrap());
+                }
+                Op::CreateText(t) => nodes.push(doc.create_text(t)),
+                Op::Append { parent, child } => {
+                    let (pi, ci) = (parent as usize % nodes.len(), child as usize % nodes.len());
+                    let _ = doc.append_child(nodes[pi], nodes[ci]); // may legitimately fail
+                }
+                Op::Detach(i) => {
+                    let n = nodes[i as usize % nodes.len()];
+                    let _ = doc.detach(n);
+                }
+                Op::Remove(i) => {
+                    let n = nodes[i as usize % nodes.len()];
+                    let _ = doc.remove(n);
+                }
+                Op::SetAttr { node, key, value } => {
+                    let n = nodes[node as usize % nodes.len()];
+                    if !value.is_empty() {
+                        let _ = doc.set_attribute(n, format!("k{key}"), value);
+                    }
+                }
+            }
+            check_invariants(&doc, &nodes);
+        }
+    }
+
+    #[test]
+    fn serialize_parse_serialize_is_stable(
+        names in prop::collection::vec("[a-z]{1,6}", 1..8),
+        texts in prop::collection::vec("[a-zA-Z <>&\"']{0,10}", 1..8),
+    ) {
+        // build a random two-level tree
+        let mut doc = Document::new();
+        let root = doc.create_element("root").unwrap();
+        let dn = doc.document_node();
+        doc.append_child(dn, root).unwrap();
+        for (i, name) in names.iter().enumerate() {
+            let el = doc.create_element(name.as_str()).unwrap();
+            doc.append_child(root, el).unwrap();
+            // empty text nodes serialize invisibly, so skip them
+            if let Some(t) = texts.get(i).filter(|t| !t.is_empty()) {
+                let tn = doc.create_text(t.clone());
+                doc.append_child(el, tn).unwrap();
+            }
+        }
+        let once = dom::serialize(&doc, root).unwrap();
+        let reparsed = xmlparse::parse_document(&once).unwrap();
+        let twice = dom::serialize(&reparsed, reparsed.root_element().unwrap()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}

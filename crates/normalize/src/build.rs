@@ -1,0 +1,514 @@
+//! Builds the V-DOM interface model from a schema: the paper's
+//! transformation rules 1–8 (Sect. 3), using the merged naming scheme
+//! (inherited names for choice groups, synthesized names for sequences
+//! and lists).
+
+use schema::{
+    ContentModel, Occurs, Particle, Schema, Term, TypeDef, TypeRef,
+};
+
+use crate::model::{Field, FieldType, Interface, InterfaceKind, InterfaceModel};
+use crate::naming::{
+    synthesized_list_name, synthesized_sequence_name, NamePath,
+};
+
+/// An error while building the interface model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A reference did not resolve (the schema should be checked first).
+    Unresolved(String),
+    /// A structure outside the transformation's domain.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Unresolved(n) => write!(f, "unresolved reference {n:?}"),
+            BuildError::Unsupported(m) => write!(f, "unsupported structure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds the interface model for `schema` (rules 1–8 of Sect. 3).
+pub fn build_model(schema: &Schema) -> Result<InterfaceModel, BuildError> {
+    let mut b = Builder {
+        schema,
+        model: InterfaceModel::default(),
+    };
+    b.run()?;
+    Ok(b.model)
+}
+
+/// The interface name of a global element declaration (rule 1).
+pub fn element_interface_name(element: &str) -> String {
+    format!("{element}Element")
+}
+
+/// The interface name of a complex type definition (rule 2).
+pub fn type_interface_name(type_name: &str) -> String {
+    format!("{type_name}Type")
+}
+
+/// The interface name of a model group (rule 3). Explicitly named groups
+/// keep their name; generated names get a `Group` suffix.
+pub fn group_interface_name(group_name: &str, generated: bool) -> String {
+    if generated {
+        format!("{group_name}Group")
+    } else {
+        group_name.to_string()
+    }
+}
+
+struct Builder<'a> {
+    schema: &'a Schema,
+    model: InterfaceModel,
+}
+
+impl<'a> Builder<'a> {
+    fn run(&mut self) -> Result<(), BuildError> {
+        // Rule 1: global element declarations → element interfaces.
+        for decl in self.schema.elements.values() {
+            let mut iface = Interface::new(
+                element_interface_name(&decl.name),
+                InterfaceKind::Element,
+                decl.name.clone(),
+            );
+            iface.is_abstract = decl.is_abstract;
+            if let Some(head) = &decl.substitution_group {
+                iface.extends.push(element_interface_name(head));
+            }
+            iface
+                .fields
+                .push(Field::element("content", self.field_type_of(&decl.type_ref)?));
+            self.model.interfaces.push(iface);
+        }
+
+        // Rules 2 & 8: type definitions.
+        for def in self.schema.types.values() {
+            match def {
+                TypeDef::Simple(s) => {
+                    let mut iface = Interface::new(
+                        s.name.clone(),
+                        InterfaceKind::SimpleRestriction,
+                        s.name.clone(),
+                    );
+                    iface.extends.push(match &s.base {
+                        TypeRef::Builtin(b) => crate::model::idl_primitive(*b).to_string(),
+                        TypeRef::Named(n) | TypeRef::Anonymous(n) => n.clone(),
+                    });
+                    self.model.interfaces.push(iface);
+                }
+                TypeDef::Complex(ct) => {
+                    let iface_name = type_interface_name(&ct.name);
+                    let mut iface =
+                        Interface::new(iface_name.clone(), InterfaceKind::Type, ct.name.clone());
+                    iface.is_abstract = ct.is_abstract;
+                    iface.mixed = matches!(ct.content, ContentModel::Mixed(_));
+                    if let Some(d) = &ct.derivation {
+                        iface.extends.push(type_interface_name(&d.base));
+                    }
+                    // attributes (rule 7), own + attribute groups
+                    let mut attr_uses = ct.attributes.clone();
+                    for g in &ct.attribute_groups {
+                        let group = self
+                            .schema
+                            .attribute_groups
+                            .get(g)
+                            .ok_or_else(|| BuildError::Unresolved(g.clone()))?;
+                        attr_uses.extend(group.attributes.iter().cloned());
+                    }
+                    // content (rules 4–6)
+                    let mut fields = Vec::new();
+                    match &ct.content {
+                        ContentModel::Empty => {}
+                        ContentModel::Simple(simple) => {
+                            fields.push(Field::char_content(self.field_type_of(simple)?));
+                        }
+                        ContentModel::ElementOnly(p) => {
+                            let path = NamePath::root(&ct.name);
+                            self.fields_of_particle(p, &path, &iface_name, &mut fields)?;
+                        }
+                        ContentModel::Mixed(p) => {
+                            if particle_is_empty(p) {
+                                // text-only mixed content (e.g. WML's
+                                // option): a plain string content field
+                                fields.push(Field::char_content(FieldType::Primitive(
+                                    schema::BuiltinType::String,
+                                )));
+                            } else {
+                                let path = NamePath::root(&ct.name);
+                                self.fields_of_particle(p, &path, &iface_name, &mut fields)?;
+                            }
+                        }
+                    }
+                    for a in &attr_uses {
+                        fields.push(Field::attribute(
+                            a.name.clone(),
+                            self.field_type_of(&a.type_ref)?,
+                            a.required,
+                        ));
+                    }
+                    iface.fields = fields;
+                    self.model.interfaces.push(iface);
+                }
+            }
+        }
+
+        // Rule 3: named model groups.
+        for group in self.schema.groups.values() {
+            let gname = group_interface_name(&group.name, false);
+            self.group_interface(&group.particle, gname, None)?;
+        }
+
+        // deterministic order: elements, types (with their nested), groups
+        self.model.interfaces.sort_by(|a, b| {
+            let rank = |i: &Interface| match i.kind {
+                InterfaceKind::Element if i.owner.is_none() => 0,
+                InterfaceKind::Type => 1,
+                InterfaceKind::SimpleRestriction => 3,
+                _ => 2,
+            };
+            (rank(a), a.owner.clone(), a.name.clone()).cmp(&(
+                rank(b),
+                b.owner.clone(),
+                b.name.clone(),
+            ))
+        });
+        Ok(())
+    }
+
+    /// Rule 4 (sequences → one field per component) applied to the top
+    /// particle of a complex type, recursing per rules 5 (lists) and 6
+    /// (choices).
+    fn fields_of_particle(
+        &mut self,
+        p: &Particle,
+        path: &NamePath,
+        owner: &str,
+        fields: &mut Vec<Field>,
+    ) -> Result<(), BuildError> {
+        // A non-default occurrence on the whole content expression wraps
+        // everything in a list field.
+        if p.occurs.is_list() {
+            let (name, ty) = self.component_field(p, path, owner, true)?;
+            fields.push(Field {
+                name,
+                ty: FieldType::List(Box::new(ty)),
+                optional: false,
+                from_attribute: false,
+                bounds: Some((p.occurs.min, p.occurs.max)),
+                char_content: false,
+            });
+            return Ok(());
+        }
+        match &p.term {
+            Term::Sequence(children) | Term::All(children) => {
+                for (i, child) in children.iter().enumerate() {
+                    let child_path = path.child(i as u32 + 1);
+                    self.component_to_field(child, &child_path, owner, fields)?;
+                }
+                Ok(())
+            }
+            // a bare choice/element/group as the whole content model
+            _ => self.component_to_field(p, &path.child(1), owner, fields),
+        }
+    }
+
+    /// Transforms one component of a sequence into a field.
+    fn component_to_field(
+        &mut self,
+        p: &Particle,
+        path: &NamePath,
+        owner: &str,
+        fields: &mut Vec<Field>,
+    ) -> Result<(), BuildError> {
+        let is_list = p.occurs.is_list();
+        let (name, ty) = self.component_field(p, path, owner, is_list)?;
+        let field = if is_list {
+            Field {
+                name,
+                ty: FieldType::List(Box::new(ty)),
+                optional: false,
+                from_attribute: false,
+                bounds: Some((p.occurs.min, p.occurs.max)),
+                char_content: false,
+            }
+        } else {
+            Field {
+                name,
+                ty,
+                optional: p.occurs.min == 0,
+                from_attribute: false,
+                bounds: None,
+                char_content: false,
+            }
+        };
+        fields.push(field);
+        Ok(())
+    }
+
+    /// The (field name, field type) of a component, creating nested
+    /// interfaces as needed.
+    fn component_field(
+        &mut self,
+        p: &Particle,
+        path: &NamePath,
+        owner: &str,
+        for_list: bool,
+    ) -> Result<(String, FieldType), BuildError> {
+        match &p.term {
+            Term::Element { name, type_ref } => {
+                let iface_name = element_interface_name(name);
+                // local element interface, nested in the owning type
+                if self.model.interface(&iface_name).is_none()
+                    || !self.nested_exists(owner, &iface_name)
+                {
+                    self.ensure_local_element(owner, name, type_ref, None)?;
+                }
+                Ok((name.clone(), FieldType::Interface(iface_name)))
+            }
+            Term::ElementRef(name) => {
+                if !self.schema.elements.contains_key(name) {
+                    return Err(BuildError::Unresolved(name.clone()));
+                }
+                Ok((name.clone(), FieldType::Interface(element_interface_name(name))))
+            }
+            Term::Choice(alternatives) => {
+                // Rule 6 with inherited naming.
+                let group_name = path.inherited_name();
+                let iface_name = group_interface_name(&group_name, true);
+                self.choice_group(alternatives, path, owner, iface_name.clone())?;
+                Ok((group_name, FieldType::Interface(iface_name)))
+            }
+            Term::Sequence(children) | Term::All(children) => {
+                // Synthesized naming for nested sequences.
+                let component_names: Vec<String> = children
+                    .iter()
+                    .map(|c| self.component_name(c, path))
+                    .collect();
+                let group_name = synthesized_sequence_name(&component_names);
+                let group_name = if for_list && children.len() == 1 {
+                    synthesized_list_name(&component_names[0])
+                } else {
+                    group_name
+                };
+                let iface_name = group_interface_name(&group_name, true);
+                if self.model.interface(&iface_name).is_none() {
+                    let mut iface =
+                        Interface::new(iface_name.clone(), InterfaceKind::Group, group_name.clone());
+                    iface.owner = Some(owner.to_string());
+                    let mut inner_fields = Vec::new();
+                    for (i, child) in children.iter().enumerate() {
+                        let child_path = path.child(i as u32 + 1);
+                        self.component_to_field(child, &child_path, owner, &mut inner_fields)?;
+                    }
+                    iface.fields = inner_fields;
+                    self.model.interfaces.push(iface);
+                }
+                Ok((group_name, FieldType::Interface(iface_name)))
+            }
+            Term::GroupRef(name) => {
+                let group = self
+                    .schema
+                    .groups
+                    .get(name)
+                    .ok_or_else(|| BuildError::Unresolved(name.clone()))?;
+                let iface_name = group_interface_name(&group.name, false);
+                Ok((name.clone(), FieldType::Interface(iface_name)))
+            }
+        }
+    }
+
+    /// A short name for a component, used by synthesized naming.
+    fn component_name(&self, p: &Particle, path: &NamePath) -> String {
+        match &p.term {
+            Term::Element { name, .. } | Term::ElementRef(name) => name.clone(),
+            Term::GroupRef(name) => name.clone(),
+            Term::Choice(_) => path.inherited_name(),
+            Term::Sequence(children) | Term::All(children) => {
+                let names: Vec<String> = children
+                    .iter()
+                    .map(|c| self.component_name(c, path))
+                    .collect();
+                synthesized_sequence_name(&names)
+            }
+        }
+    }
+
+    /// Builds the choice-group super-interface plus alternative
+    /// interfaces extending it (rule 6, Fig. 6).
+    fn choice_group(
+        &mut self,
+        alternatives: &[Particle],
+        path: &NamePath,
+        owner: &str,
+        iface_name: String,
+    ) -> Result<(), BuildError> {
+        if self.model.interface(&iface_name).is_some() {
+            return Ok(());
+        }
+        let mut group = Interface::new(
+            iface_name.clone(),
+            InterfaceKind::Group,
+            path.inherited_name(),
+        );
+        group.owner = Some(owner.to_string());
+        let mut alt_names = Vec::new();
+        // placeholder position so the group appears before its members
+        let group_index = self.model.interfaces.len();
+        self.model.interfaces.push(group);
+        for (i, alt) in alternatives.iter().enumerate() {
+            let alt_path = path.child(i as u32 + 1);
+            match &alt.term {
+                Term::Element { name, type_ref } => {
+                    self.ensure_local_element(owner, name, type_ref, Some(&iface_name))?;
+                    alt_names.push(element_interface_name(name));
+                }
+                Term::ElementRef(name) => {
+                    // the global interface gains the group as supertype
+                    let global = element_interface_name(name);
+                    if let Some(iface) =
+                        self.model.interfaces.iter_mut().find(|i| i.name == global)
+                    {
+                        if !iface.extends.contains(&iface_name) {
+                            iface.extends.push(iface_name.clone());
+                        }
+                    } else {
+                        return Err(BuildError::Unresolved(name.clone()));
+                    }
+                    alt_names.push(global);
+                }
+                _ => {
+                    // nested group alternative: give it a synthesized or
+                    // inherited interface extending the choice group
+                    let (_, ty) = self.component_field(alt, &alt_path, owner, false)?;
+                    if let FieldType::Interface(n) = ty {
+                        if let Some(iface) =
+                            self.model.interfaces.iter_mut().find(|i| i.name == n)
+                        {
+                            if !iface.extends.contains(&iface_name) {
+                                iface.extends.push(iface_name.clone());
+                            }
+                        }
+                        alt_names.push(n);
+                    }
+                }
+            }
+        }
+        self.model.interfaces[group_index].choice_alternatives = alt_names;
+        Ok(())
+    }
+
+    /// Builds a named group's interface (rule 3): choice groups become
+    /// supertype markers, sequence groups carry fields.
+    fn group_interface(
+        &mut self,
+        particle: &Particle,
+        iface_name: String,
+        owner: Option<&str>,
+    ) -> Result<(), BuildError> {
+        let path = NamePath::root(iface_name.trim_end_matches("Group"));
+        match &particle.term {
+            Term::Choice(alts) => {
+                let owner_name = owner.unwrap_or("");
+                self.choice_group(alts, &path, owner_name, iface_name.clone())?;
+                if owner.is_none() {
+                    // detach from the placeholder owner
+                    for iface in &mut self.model.interfaces {
+                        if iface.owner.as_deref() == Some("") {
+                            iface.owner = None;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            _ => {
+                let mut iface = Interface::new(
+                    iface_name.clone(),
+                    InterfaceKind::Group,
+                    iface_name.clone(),
+                );
+                iface.owner = owner.map(str::to_string);
+                let mut fields = Vec::new();
+                self.fields_of_particle(particle, &path, &iface_name, &mut fields)?;
+                iface.fields = fields;
+                self.model.interfaces.push(iface);
+                Ok(())
+            }
+        }
+    }
+
+    fn nested_exists(&self, owner: &str, name: &str) -> bool {
+        self.model
+            .interfaces
+            .iter()
+            .any(|i| i.name == name && i.owner.as_deref() == Some(owner))
+    }
+
+    /// Creates the nested interface for a local element declaration,
+    /// optionally extending a choice-group interface.
+    fn ensure_local_element(
+        &mut self,
+        owner: &str,
+        name: &str,
+        type_ref: &TypeRef,
+        extends: Option<&str>,
+    ) -> Result<(), BuildError> {
+        let iface_name = element_interface_name(name);
+        if let Some(existing) = self
+            .model
+            .interfaces
+            .iter_mut()
+            .find(|i| i.name == iface_name)
+        {
+            if let Some(sup) = extends {
+                if !existing.extends.contains(&sup.to_string()) {
+                    existing.extends.push(sup.to_string());
+                }
+            }
+            return Ok(());
+        }
+        let mut iface = Interface::new(iface_name, InterfaceKind::Element, name.to_string());
+        iface.owner = Some(owner.to_string());
+        if let Some(sup) = extends {
+            iface.extends.push(sup.to_string());
+        }
+        iface
+            .fields
+            .push(Field::element("content", self.field_type_of(type_ref)?));
+        self.model.interfaces.push(iface);
+        Ok(())
+    }
+
+    /// The field type denoting values of `type_ref` (rules 2 & 8).
+    fn field_type_of(&self, type_ref: &TypeRef) -> Result<FieldType, BuildError> {
+        Ok(match type_ref {
+            TypeRef::Builtin(b) => FieldType::Primitive(*b),
+            TypeRef::Named(n) | TypeRef::Anonymous(n) => match self.schema.types.get(n) {
+                Some(TypeDef::Simple(_)) => FieldType::Interface(n.clone()),
+                Some(TypeDef::Complex(_)) => FieldType::Interface(type_interface_name(n)),
+                None => return Err(BuildError::Unresolved(n.clone())),
+            },
+        })
+    }
+}
+
+/// Convenience wrapper: [`Occurs`]-aware optionality used by tests.
+pub fn occurs_is_optional(o: Occurs) -> bool {
+    o.min == 0 && !o.is_list()
+}
+
+/// Whether a particle contains no element particles at all (an empty
+/// sequence, as in mixed text-only types).
+fn particle_is_empty(p: &Particle) -> bool {
+    match &p.term {
+        Term::Element { .. } | Term::ElementRef(_) => false,
+        Term::GroupRef(_) => false,
+        Term::Sequence(children) | Term::Choice(children) | Term::All(children) => {
+            children.iter().all(particle_is_empty)
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Schema normalization and the V-DOM interface model — the paper's
+//! Sect. 3 transformation.
+//!
+//! Given a checked [`schema::Schema`], this crate provides:
+//!
+//! * [`naming`] — the paper's *inherited* and *synthesized* naming
+//!   schemes for unnamed group expressions and their merge rule;
+//! * [`normalform`] — the schema normal form (rules 1–3): named types
+//!   only, nested groups lifted into generated named group definitions;
+//! * [`model`] + [`build`] — the interface model produced by
+//!   transformation rules 1–8: one interface per element declaration,
+//!   type definition and model group, with choice groups as inheritance
+//!   hierarchies (Fig. 6) and lists as generic list instantiations.
+//!
+//! The `codegen` crate renders this model as IDL (reproducing the paper's
+//! figures) and as Rust (the compile-time guarantee).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod model;
+pub mod naming;
+pub mod normalform;
+
+pub use build::{
+    build_model, element_interface_name, group_interface_name, type_interface_name, BuildError,
+};
+pub use model::{Field, FieldType, Interface, InterfaceKind, InterfaceModel};
+pub use naming::NamePath;
+pub use normalform::{normalize_schema, render_particle, NormalizedSchema};

@@ -1,0 +1,262 @@
+//! The V-DOM interface model: the target of the paper's transformation
+//! rules 1–8 (Sect. 3), independent of any concrete output language.
+//!
+//! The `codegen` crate renders this model either as IDL (reproducing the
+//! paper's Figs. 5–6 and Appendix A) or as Rust types (the actual
+//! compile-time guarantee in this reproduction).
+
+use schema::BuiltinType;
+
+/// The kind of a generated interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterfaceKind {
+    /// One per element declaration (rule 1): `purchaseOrderElement`.
+    Element,
+    /// One per type definition (rule 2): `PurchaseOrderTypeType`.
+    Type,
+    /// One per (named or generated) model group (rule 3):
+    /// `PurchaseOrderTypeCC1Group`, `AddressGroup`.
+    Group,
+    /// A named simple-type restriction (rule 8): `SKU: string`.
+    SimpleRestriction,
+}
+
+/// The type of a generated field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldType {
+    /// Another generated interface, by name.
+    Interface(String),
+    /// A primitive (a built-in simple type).
+    Primitive(BuiltinType),
+    /// The generic list interface instantiated at an inner type (rule 5).
+    List(Box<FieldType>),
+}
+
+impl FieldType {
+    /// The IDL rendering of this field type (paper's notation).
+    pub fn idl(&self) -> String {
+        match self {
+            FieldType::Interface(n) => n.clone(),
+            FieldType::Primitive(b) => idl_primitive(*b).to_string(),
+            FieldType::List(inner) => format!("list<{}>", inner.idl()),
+        }
+    }
+
+    /// The Rust rendering of this field type.
+    pub fn rust(&self) -> String {
+        match self {
+            FieldType::Interface(n) => n.clone(),
+            FieldType::Primitive(b) => rust_primitive(*b).to_string(),
+            FieldType::List(inner) => format!("Vec<{}>", inner.rust()),
+        }
+    }
+}
+
+/// The IDL primitive name of a built-in (paper's `string`, `decimal` …).
+pub fn idl_primitive(b: BuiltinType) -> &'static str {
+    use BuiltinType::*;
+    match b {
+        Boolean => "boolean",
+        Decimal => "decimal",
+        Integer | NonPositiveInteger | NegativeInteger | NonNegativeInteger | PositiveInteger
+        | Long | Int | Short | Byte | UnsignedLong | UnsignedInt | UnsignedShort
+        | UnsignedByte => b.name(),
+        Float => "float",
+        Double => "double",
+        Date => "Date",
+        DateTime => "DateTime",
+        Time => "Time",
+        NmToken => "NMToken",
+        _ => "string",
+    }
+}
+
+/// The Rust type a built-in maps to in generated code.
+pub fn rust_primitive(b: BuiltinType) -> &'static str {
+    use BuiltinType::*;
+    match b {
+        Boolean => "bool",
+        Long | Int | Short | Byte => "i64",
+        UnsignedLong | UnsignedInt | UnsignedShort | UnsignedByte => "u64",
+        Float | Double => "f64",
+        // decimal/integer keep exactness; dates keep lexical form — both
+        // are validated, schema-typed strings in generated code
+        _ => "String",
+    }
+}
+
+/// One generated field (the paper's IDL `attribute` declarations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (`shipTo`, `PurchaseOrderTypeCC1`, `orderDate`).
+    pub name: String,
+    /// Field type.
+    pub ty: FieldType,
+    /// `minOccurs="0"` on the particle, or `use` ≠ required on an
+    /// attribute: the field may be absent.
+    pub optional: bool,
+    /// Whether the field came from an XML attribute (vs. a child
+    /// element); drives serialization in generated code.
+    pub from_attribute: bool,
+    /// Occurrence bounds for list fields `(min, max)`; `None` for
+    /// non-list fields.
+    pub bounds: Option<(u32, Option<u32>)>,
+    /// Whether this field is the element's *character content* (simple
+    /// or text-only mixed content) rather than a child element; it
+    /// serializes as raw text.
+    pub char_content: bool,
+}
+
+impl Field {
+    /// An element-derived field occurring exactly once.
+    pub fn element(name: impl Into<String>, ty: FieldType) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+            optional: false,
+            from_attribute: false,
+            bounds: None,
+            char_content: false,
+        }
+    }
+
+    /// The character-content field of a simple-content or text-only
+    /// mixed type.
+    pub fn char_content(ty: FieldType) -> Field {
+        Field {
+            name: "content".to_string(),
+            ty,
+            optional: false,
+            from_attribute: false,
+            bounds: None,
+            char_content: true,
+        }
+    }
+
+    /// An attribute-derived field.
+    pub fn attribute(name: impl Into<String>, ty: FieldType, required: bool) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+            optional: !required,
+            from_attribute: true,
+            bounds: None,
+            char_content: false,
+        }
+    }
+}
+
+/// One generated interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name (`purchaseOrderElement`, `PurchaseOrderTypeType`…).
+    pub name: String,
+    /// What the interface stands for.
+    pub kind: InterfaceKind,
+    /// Supertypes: choice-group membership, type extension/restriction,
+    /// substitution groups, simple-type bases — all become inheritance
+    /// (paper Sect. 3).
+    pub extends: Vec<String>,
+    /// The interface's fields.
+    pub fields: Vec<Field>,
+    /// Name of the owning interface for nested rendering (Appendix A
+    /// nests local element interfaces inside their type interface).
+    pub owner: Option<String>,
+    /// Abstract elements/types yield abstract interfaces.
+    pub is_abstract: bool,
+    /// For [`InterfaceKind::Element`]: the XML tag name; for
+    /// [`InterfaceKind::Type`]: the schema type name.
+    pub xml_name: String,
+    /// For choice groups: the alternatives, in declaration order (used by
+    /// the union-mode renderer reproducing Fig. 5).
+    pub choice_alternatives: Vec<String>,
+    /// For [`InterfaceKind::Type`]: whether the content model is mixed
+    /// (interleaved character data allowed).
+    pub mixed: bool,
+}
+
+impl Interface {
+    /// Creates an interface with no fields or supertypes.
+    pub fn new(name: impl Into<String>, kind: InterfaceKind, xml_name: impl Into<String>) -> Self {
+        Interface {
+            name: name.into(),
+            kind,
+            extends: Vec::new(),
+            fields: Vec::new(),
+            owner: None,
+            is_abstract: false,
+            xml_name: xml_name.into(),
+            choice_alternatives: Vec::new(),
+            mixed: false,
+        }
+    }
+}
+
+/// The complete generated model for one schema.
+#[derive(Debug, Clone, Default)]
+pub struct InterfaceModel {
+    /// All interfaces, in deterministic order: top-level elements, then
+    /// types (each followed by its nested interfaces), then groups.
+    pub interfaces: Vec<Interface>,
+}
+
+impl InterfaceModel {
+    /// Looks up an interface by name.
+    pub fn interface(&self, name: &str) -> Option<&Interface> {
+        self.interfaces.iter().find(|i| i.name == name)
+    }
+
+    /// The interfaces owned by (nested in) `owner`.
+    pub fn nested_in<'a>(&'a self, owner: &'a str) -> impl Iterator<Item = &'a Interface> + 'a {
+        self.interfaces
+            .iter()
+            .filter(move |i| i.owner.as_deref() == Some(owner))
+    }
+
+    /// Top-level interfaces (no owner).
+    pub fn top_level(&self) -> impl Iterator<Item = &Interface> {
+        self.interfaces.iter().filter(|i| i.owner.is_none())
+    }
+
+    /// All interfaces that (directly) extend `name`.
+    pub fn subtypes_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Interface> + 'a {
+        self.interfaces
+            .iter()
+            .filter(move |i| i.extends.iter().any(|e| e == name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_type_renderings() {
+        let t = FieldType::List(Box::new(FieldType::Interface("itemElement".into())));
+        assert_eq!(t.idl(), "list<itemElement>");
+        assert_eq!(t.rust(), "Vec<itemElement>");
+        assert_eq!(FieldType::Primitive(BuiltinType::Decimal).idl(), "decimal");
+        assert_eq!(FieldType::Primitive(BuiltinType::Decimal).rust(), "String");
+        assert_eq!(FieldType::Primitive(BuiltinType::Boolean).rust(), "bool");
+    }
+
+    #[test]
+    fn model_lookups() {
+        let mut m = InterfaceModel::default();
+        let mut a = Interface::new("AType", InterfaceKind::Type, "A");
+        a.fields.push(Field::element(
+            "x",
+            FieldType::Primitive(BuiltinType::String),
+        ));
+        let mut b = Interface::new("bElement", InterfaceKind::Element, "b");
+        b.owner = Some("AType".into());
+        b.extends.push("AType".into());
+        m.interfaces.push(a);
+        m.interfaces.push(b);
+
+        assert!(m.interface("AType").is_some());
+        assert_eq!(m.nested_in("AType").count(), 1);
+        assert_eq!(m.top_level().count(), 1);
+        assert_eq!(m.subtypes_of("AType").count(), 1);
+    }
+}

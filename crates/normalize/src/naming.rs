@@ -1,0 +1,153 @@
+//! The paper's naming schemes for unnamed group expressions (Sect. 3).
+//!
+//! * **Synthesized naming** derives a name from the nested subexpressions
+//!   (`singAddr | twoAddr` → `singAddrORtwoAddr`). Stable positions, but
+//!   adding a choice alternative renames the group — every use site
+//!   breaks.
+//! * **Inherited naming** derives the name from the defining complex type
+//!   and the position path (`PurchaseOrderTypeCC1` = first component of
+//!   `PurchaseOrderType`'s content). Adding alternatives keeps the name;
+//!   *reordering sequence components* changes it.
+//! * The **merged scheme** the paper settles on: inherited names for
+//!   choice groups, synthesized names for sequence and list expressions —
+//!   plus explicit named groups as the escape hatch when neither works.
+
+/// A position path into a content expression: the `C`-chain of the
+/// paper's inherited naming (`PurchaseOrderTypeC`, `…CC1`, `…CC1C2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamePath {
+    segments: Vec<u32>,
+    type_name: String,
+}
+
+impl NamePath {
+    /// The path denoting the entire content expression of `type_name`.
+    pub fn root(type_name: impl Into<String>) -> NamePath {
+        NamePath {
+            segments: Vec::new(),
+            type_name: type_name.into(),
+        }
+    }
+
+    /// The path of the `index`-th (1-based) component of this expression.
+    pub fn child(&self, index: u32) -> NamePath {
+        let mut segments = self.segments.clone();
+        segments.push(index);
+        NamePath {
+            segments,
+            type_name: self.type_name.clone(),
+        }
+    }
+
+    /// Renders the inherited name: `{Type}C` then `C{i}` per segment.
+    pub fn inherited_name(&self) -> String {
+        let mut out = format!("{}C", self.type_name);
+        for seg in &self.segments {
+            out.push('C');
+            out.push_str(&seg.to_string());
+        }
+        out
+    }
+}
+
+/// Synthesized name of a choice over the given alternative names:
+/// `aORbORc` (the paper's original DTD-era scheme, kept for the Fig. 5
+/// union-mode reproduction and the evolution ablation).
+pub fn synthesized_choice_name(alternatives: &[String]) -> String {
+    alternatives.join("OR")
+}
+
+/// Synthesized name of a sequence over the given component names.
+///
+/// The paper prescribes synthesized naming for sequences without fixing
+/// the separator; we use `AND`, the obvious dual of its `OR`.
+pub fn synthesized_sequence_name(components: &[String]) -> String {
+    components.join("AND")
+}
+
+/// Synthesized name of a list expression (`maxOccurs > 1`) over `inner`.
+pub fn synthesized_list_name(inner: &str) -> String {
+    format!("{inner}List")
+}
+
+/// Capitalizes the first character (`shipTo` → `ShipTo`), used when an
+/// element name participates in a type-level identifier.
+pub fn capitalize(name: &str) -> String {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inherited_names_match_the_paper() {
+        // Sect. 3: "The entire expression is named by PurchaseOrderTypeC,
+        // the first element of the sequence, the choice group, by
+        // PurchaseOrderTypeCC1, … the items element by
+        // PurchaseOrderTypeCC3. Recursively the singAddr in the choice
+        // expression gets the name PurchaseOrderTypeCC1C1 and the twoAddr
+        // element the name PurchaseOrderTypeCC1C2."
+        let root = NamePath::root("PurchaseOrderType");
+        assert_eq!(root.inherited_name(), "PurchaseOrderTypeC");
+        assert_eq!(root.child(1).inherited_name(), "PurchaseOrderTypeCC1");
+        assert_eq!(root.child(2).inherited_name(), "PurchaseOrderTypeCC2");
+        assert_eq!(root.child(3).inherited_name(), "PurchaseOrderTypeCC3");
+        assert_eq!(
+            root.child(1).child(1).inherited_name(),
+            "PurchaseOrderTypeCC1C1"
+        );
+        assert_eq!(
+            root.child(1).child(2).inherited_name(),
+            "PurchaseOrderTypeCC1C2"
+        );
+    }
+
+    #[test]
+    fn inherited_name_stable_under_added_alternative() {
+        // the choice keeps its name no matter how many alternatives it has
+        let choice = NamePath::root("PurchaseOrderType").child(1);
+        let before = choice.inherited_name();
+        // … schema evolves, alternative added …
+        let after = choice.inherited_name();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn synthesized_choice_matches_the_paper() {
+        // Sect. 3: "singAddrORtwoAddr" and after evolution
+        // "singAddrORtwoAddrORmultAddr"
+        assert_eq!(
+            synthesized_choice_name(&["singAddr".into(), "twoAddr".into()]),
+            "singAddrORtwoAddr"
+        );
+        assert_eq!(
+            synthesized_choice_name(&[
+                "singAddr".into(),
+                "twoAddr".into(),
+                "multAddr".into()
+            ]),
+            "singAddrORtwoAddrORmultAddr"
+        );
+    }
+
+    #[test]
+    fn synthesized_sequence_changes_when_content_changes() {
+        let before = synthesized_sequence_name(&["comment".into(), "items".into()]);
+        let after =
+            synthesized_sequence_name(&["comment".into(), "note".into(), "items".into()]);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn list_and_capitalize() {
+        assert_eq!(synthesized_list_name("item"), "itemList");
+        assert_eq!(capitalize("shipTo"), "ShipTo");
+        assert_eq!(capitalize(""), "");
+        assert_eq!(capitalize("übermaß"), "Übermaß");
+    }
+}

@@ -1,0 +1,203 @@
+//! Schema normal form (Sect. 3, rules 1–3):
+//!
+//! 1. element declarations have *named* types (the reader already lifts
+//!    anonymous types, so this holds on entry and is verified here);
+//! 2. complex type definitions have no nested group expressions;
+//! 3. every unnamed nested group becomes a separate named group
+//!    definition, named by the merged scheme (inherited for choices,
+//!    synthesized for sequences and lists).
+//!
+//! The output is a new [`Schema`] in which nested groups are replaced by
+//! `GroupRef`s to generated group definitions — exactly the shape shown
+//! in the paper's normal-form example.
+
+use schema::{ContentModel, GroupDef, Occurs, Particle, Schema, Term, TypeDef};
+
+use crate::naming::{synthesized_list_name, synthesized_sequence_name, NamePath};
+
+/// The result of normalization.
+#[derive(Debug, Clone)]
+pub struct NormalizedSchema {
+    /// The rewritten schema (normal form).
+    pub schema: Schema,
+    /// Names of group definitions generated during normalization, in
+    /// creation order.
+    pub generated_groups: Vec<String>,
+}
+
+/// Normalizes `schema` per the paper's rules 1–3.
+pub fn normalize_schema(schema: &Schema) -> NormalizedSchema {
+    let mut out = schema.clone();
+    let mut generated = Vec::new();
+    let type_names: Vec<String> = out.types.keys().cloned().collect();
+    for name in type_names {
+        let def = out.types.get(&name).cloned();
+        if let Some(TypeDef::Complex(mut ct)) = def {
+            let path = NamePath::root(&ct.name);
+            ct.content = match ct.content {
+                ContentModel::ElementOnly(p) => {
+                    ContentModel::ElementOnly(flatten_top(p, &path, &mut out, &mut generated))
+                }
+                ContentModel::Mixed(p) => {
+                    ContentModel::Mixed(flatten_top(p, &path, &mut out, &mut generated))
+                }
+                other => other,
+            };
+            out.types.insert(name, TypeDef::Complex(ct));
+        }
+    }
+    NormalizedSchema {
+        schema: out,
+        generated_groups: generated,
+    }
+}
+
+/// Keeps the outermost group of a content model in place but lifts every
+/// nested group expression into a generated named group.
+fn flatten_top(
+    p: Particle,
+    path: &NamePath,
+    schema: &mut Schema,
+    generated: &mut Vec<String>,
+) -> Particle {
+    match p.term {
+        Term::Sequence(children) => Particle {
+            term: Term::Sequence(
+                children
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| lift_nested(c, &path.child(i as u32 + 1), schema, generated))
+                    .collect(),
+            ),
+            occurs: p.occurs,
+        },
+        Term::Choice(children) => Particle {
+            term: Term::Choice(
+                children
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| lift_nested(c, &path.child(i as u32 + 1), schema, generated))
+                    .collect(),
+            ),
+            occurs: p.occurs,
+        },
+        Term::All(children) => Particle {
+            // `all` is treated as sequence (paper Sect. 3)
+            term: Term::Sequence(
+                children
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| lift_nested(c, &path.child(i as u32 + 1), schema, generated))
+                    .collect(),
+            ),
+            occurs: p.occurs,
+        },
+        other => Particle {
+            term: other,
+            occurs: p.occurs,
+        },
+    }
+}
+
+/// Replaces a nested group expression by a reference to a generated named
+/// group (recursively normalizing the group's own content).
+fn lift_nested(
+    p: Particle,
+    path: &NamePath,
+    schema: &mut Schema,
+    generated: &mut Vec<String>,
+) -> Particle {
+    match &p.term {
+        Term::Element { .. } | Term::ElementRef(_) | Term::GroupRef(_) => p,
+        Term::Choice(_) => {
+            // inherited naming for choices
+            let name = path.inherited_name();
+            register_group(p.clone(), name.clone(), path, schema, generated);
+            Particle {
+                term: Term::GroupRef(name),
+                occurs: p.occurs,
+            }
+        }
+        Term::Sequence(children) | Term::All(children) => {
+            // synthesized naming for sequences/lists
+            let names: Vec<String> = children.iter().map(component_name).collect();
+            let name = if p.occurs.is_list() && children.len() == 1 {
+                synthesized_list_name(&names[0])
+            } else {
+                synthesized_sequence_name(&names)
+            };
+            register_group(p.clone(), name.clone(), path, schema, generated);
+            Particle {
+                term: Term::GroupRef(name),
+                occurs: p.occurs,
+            }
+        }
+    }
+}
+
+fn register_group(
+    p: Particle,
+    name: String,
+    path: &NamePath,
+    schema: &mut Schema,
+    generated: &mut Vec<String>,
+) {
+    if schema.groups.contains_key(&name) {
+        return;
+    }
+    // group definitions hold the group with default occurrence; the use
+    // site keeps the occurrence bounds
+    let inner = Particle {
+        term: p.term,
+        occurs: Occurs::ONCE,
+    };
+    let flattened = flatten_top(inner, path, schema, generated);
+    schema.groups.insert(
+        name.clone(),
+        GroupDef {
+            name: name.clone(),
+            particle: flattened,
+        },
+    );
+    generated.push(name);
+}
+
+fn component_name(p: &Particle) -> String {
+    match &p.term {
+        Term::Element { name, .. } | Term::ElementRef(name) | Term::GroupRef(name) => name.clone(),
+        Term::Choice(children) => {
+            let names: Vec<String> = children.iter().map(component_name).collect();
+            names.join("OR")
+        }
+        Term::Sequence(children) | Term::All(children) => {
+            let names: Vec<String> = children.iter().map(component_name).collect();
+            synthesized_sequence_name(&names)
+        }
+    }
+}
+
+/// Renders a particle in the compact notation used by tests and docs
+/// (`(shipTo, billTo, comment?, items)`).
+pub fn render_particle(p: &Particle) -> String {
+    let inner = match &p.term {
+        Term::Element { name, .. } => name.clone(),
+        Term::ElementRef(name) => format!("ref:{name}"),
+        Term::GroupRef(name) => format!("group:{name}"),
+        Term::Sequence(children) | Term::All(children) => {
+            let parts: Vec<String> = children.iter().map(render_particle).collect();
+            format!("({})", parts.join(", "))
+        }
+        Term::Choice(children) => {
+            let parts: Vec<String> = children.iter().map(render_particle).collect();
+            format!("({})", parts.join(" | "))
+        }
+    };
+    match (p.occurs.min, p.occurs.max) {
+        (1, Some(1)) => inner,
+        (0, Some(1)) => format!("{inner}?"),
+        (0, None) => format!("{inner}*"),
+        (1, None) => format!("{inner}+"),
+        (min, Some(max)) => format!("{inner}{{{min},{max}}}"),
+        (min, None) => format!("{inner}{{{min},}}"),
+    }
+}

@@ -1,0 +1,118 @@
+//! `pxmlgen` — the P-XML preprocessor as a command-line tool (the
+//! paper's Fig. 9 pipeline: schema + P-XML constructor → V-DOM code).
+//!
+//! Usage:
+//! ```text
+//! pxmlgen <schema.xsd> <template.pxml> [--env NAME=text|NAME=element:TAG]...
+//!         [--fn NAME] [--out FILE] [--check-only]
+//! ```
+
+use std::process::ExitCode;
+
+use pxml::{check_template, emit_rust, Template, TypeEnv};
+use schema::CompiledSchema;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut env = TypeEnv::new();
+    let mut fn_name = "build_template".to_string();
+    let mut out_path = None;
+    let mut check_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--env" => {
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_default();
+                let Some((name, kind)) = spec.split_once('=') else {
+                    eprintln!("--env expects NAME=text or NAME=element:TAG, got {spec:?}");
+                    return ExitCode::FAILURE;
+                };
+                if kind == "text" {
+                    env = env.text(name);
+                } else if let Some(tag) = kind.strip_prefix("element:") {
+                    env = env.element(name, tag);
+                } else {
+                    eprintln!("unknown env kind {kind:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--fn" => {
+                i += 1;
+                fn_name = args.get(i).cloned().unwrap_or(fn_name);
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned();
+            }
+            "--check-only" => check_only = true,
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [schema_path, template_path] = positional.as_slice() else {
+        eprintln!("usage: pxmlgen <schema.xsd> <template.pxml> [--env …] [--fn NAME] [--out FILE]");
+        return ExitCode::FAILURE;
+    };
+    let schema_src = match std::fs::read_to_string(schema_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let template_src = match std::fs::read_to_string(template_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {template_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match CompiledSchema::parse(&schema_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("schema error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let template = match Template::parse(&template_src) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{template_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if check_only {
+        let errors = check_template(&compiled, &template, &env);
+        if errors.is_empty() {
+            println!("{template_path}: OK");
+            return ExitCode::SUCCESS;
+        }
+        for e in &errors {
+            eprintln!("{template_path}: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    match emit_rust(&compiled, &template, &env, &fn_name) {
+        Ok(code) => match out_path {
+            Some(p) => {
+                if let Err(e) = std::fs::write(&p, code) {
+                    eprintln!("cannot write {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                print!("{code}");
+                ExitCode::SUCCESS
+            }
+        },
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("{template_path}: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The `$variable$` hole syntax of P-XML constructors (paper Sect. 4:
+//! "The variable is marked by the notation `$`").
+//!
+//! A hole is `$name$` where `name` is a host-language reference —
+//! identifiers plus the `.`/`[…]` selectors seen in the paper's
+//! `$subDirs[i]$`. A literal dollar sign is written `$$`.
+
+use xmlchars::Position;
+
+/// One segment of text-with-holes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Part {
+    /// Literal text.
+    Text(String),
+    /// A `$name$` hole.
+    Hole(String),
+}
+
+/// An error in hole syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoleSyntaxError {
+    /// Byte offset within the segment.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for HoleSyntaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for HoleSyntaxError {}
+
+fn is_ref_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '.' | '[' | ']')
+}
+
+/// Splits a text segment into literal and hole parts.
+pub fn split_holes(text: &str) -> Result<Vec<Part>, HoleSyntaxError> {
+    let mut parts = Vec::new();
+    let mut literal = String::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c != '$' {
+            literal.push(c);
+            continue;
+        }
+        // `$$` escapes a literal dollar
+        if let Some(&(_, '$')) = chars.peek() {
+            chars.next();
+            literal.push('$');
+            continue;
+        }
+        // read the reference up to the closing '$'
+        let mut name = String::new();
+        let mut closed = false;
+        for (_, rc) in chars.by_ref() {
+            if rc == '$' {
+                closed = true;
+                break;
+            }
+            if !is_ref_char(rc) {
+                return Err(HoleSyntaxError {
+                    at: i,
+                    message: format!("illegal character {rc:?} in $…$ reference"),
+                });
+            }
+            name.push(rc);
+        }
+        if !closed {
+            return Err(HoleSyntaxError {
+                at: i,
+                message: "unterminated $…$ reference".to_string(),
+            });
+        }
+        if name.is_empty() {
+            return Err(HoleSyntaxError {
+                at: i,
+                message: "empty $…$ reference".to_string(),
+            });
+        }
+        if !literal.is_empty() {
+            parts.push(Part::Text(std::mem::take(&mut literal)));
+        }
+        parts.push(Part::Hole(name));
+    }
+    if !literal.is_empty() {
+        parts.push(Part::Text(literal));
+    }
+    Ok(parts)
+}
+
+/// All hole names appearing in a segment, in order.
+pub fn hole_names(text: &str) -> Result<Vec<String>, HoleSyntaxError> {
+    Ok(split_holes(text)?
+        .into_iter()
+        .filter_map(|p| match p {
+            Part::Hole(n) => Some(n),
+            Part::Text(_) => None,
+        })
+        .collect())
+}
+
+/// Attaches a source position to a hole syntax error (for diagnostics
+/// carrying template positions).
+pub fn at_position(err: HoleSyntaxError, base: Position) -> (Position, String) {
+    (base, err.message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_one_part() {
+        assert_eq!(
+            split_holes("hello").unwrap(),
+            vec![Part::Text("hello".into())]
+        );
+        assert_eq!(split_holes("").unwrap(), Vec::<Part>::new());
+    }
+
+    #[test]
+    fn single_hole() {
+        assert_eq!(split_holes("$n$").unwrap(), vec![Part::Hole("n".into())]);
+    }
+
+    #[test]
+    fn mixed_text_and_holes() {
+        assert_eq!(
+            split_holes("dir: $currentDir$ ($count$)").unwrap(),
+            vec![
+                Part::Text("dir: ".into()),
+                Part::Hole("currentDir".into()),
+                Part::Text(" (".into()),
+                Part::Hole("count".into()),
+                Part::Text(")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn indexed_reference_like_the_paper() {
+        assert_eq!(
+            split_holes("$subDirs[i]$").unwrap(),
+            vec![Part::Hole("subDirs[i]".into())]
+        );
+        assert_eq!(
+            split_holes("$mdmo.getName$").unwrap(),
+            vec![Part::Hole("mdmo.getName".into())]
+        );
+    }
+
+    #[test]
+    fn escaped_dollar() {
+        assert_eq!(
+            split_holes("price: $$5").unwrap(),
+            vec![Part::Text("price: $5".into())]
+        );
+        assert_eq!(
+            split_holes("$$$n$").unwrap(),
+            vec![Part::Text("$".into()), Part::Hole("n".into())]
+        );
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(split_holes("$unterminated").is_err());
+        assert!(split_holes("$ bad$").is_err());
+        assert!(split_holes("$$$").is_err()); // escaped $ then unterminated
+        assert!(split_holes("$$ok$$").is_ok());
+        let err = split_holes("abc$").unwrap_err();
+        assert_eq!(err.at, 3);
+    }
+
+    #[test]
+    fn hole_names_helper() {
+        assert_eq!(
+            hole_names("a $x$ b $y$").unwrap(),
+            vec!["x".to_string(), "y".to_string()]
+        );
+    }
+}

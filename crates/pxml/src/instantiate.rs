@@ -1,0 +1,205 @@
+//! Runtime instantiation of checked templates.
+//!
+//! A template that passed [`crate::check_template`] can be instantiated
+//! with runtime bindings; instantiation replays the template through the
+//! typed V-DOM API, so even unchecked templates cannot produce invalid
+//! structure — but for checked templates the only checks that can still
+//! fire are value-level ones on spliced runtime data (the paper's
+//! runtime-residue: facets and occurrence counts).
+
+use std::collections::BTreeMap;
+
+use dom::{Document, NodeId, NodeKind};
+use schema::{CompiledSchema, TypeRef};
+use vdom::{TypedDocument, TypedElement, VdomError};
+
+use crate::holes::{split_holes, Part};
+use crate::template::{resolve_element_type, Template};
+
+/// A validated, sealed document fragment — the runtime value of a V-DOM
+/// element variable.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The fragment's root tag.
+    pub tag: String,
+    /// The root's schema type.
+    pub type_ref: TypeRef,
+    /// The sealed (valid) document holding the fragment.
+    pub doc: Document,
+    /// The fragment root inside `doc`.
+    pub root: NodeId,
+}
+
+impl Fragment {
+    /// Serializes the fragment compactly.
+    pub fn to_xml(&self) -> String {
+        dom::serialize(&self.doc, self.root).unwrap_or_default()
+    }
+}
+
+/// A runtime binding value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A string spliced as character data or into attribute values.
+    Text(String),
+    /// An element fragment spliced as a child element.
+    Fragment(Fragment),
+}
+
+/// Runtime bindings: variable name → value.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    values: BTreeMap<String, Value>,
+}
+
+impl Bindings {
+    /// An empty set of bindings.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Binds a text value.
+    pub fn text(mut self, name: impl Into<String>, value: impl Into<String>) -> Bindings {
+        self.values.insert(name.into(), Value::Text(value.into()));
+        self
+    }
+
+    /// Binds an element fragment.
+    pub fn fragment(mut self, name: impl Into<String>, fragment: Fragment) -> Bindings {
+        self.values.insert(name.into(), Value::Fragment(fragment));
+        self
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+}
+
+/// Instantiation errors: either a missing/mistyped binding or a typed
+/// construction failure.
+#[derive(Debug)]
+pub enum InstantiateError {
+    /// A hole had no binding, or a binding of the wrong kind.
+    Binding(String),
+    /// The typed layer rejected the construction.
+    Vdom(VdomError),
+}
+
+impl std::fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstantiateError::Binding(m) => write!(f, "binding error: {m}"),
+            InstantiateError::Vdom(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+impl From<VdomError> for InstantiateError {
+    fn from(e: VdomError) -> Self {
+        InstantiateError::Vdom(e)
+    }
+}
+
+/// Instantiates `template` with `bindings`, producing a sealed fragment.
+pub fn instantiate(
+    compiled: &CompiledSchema,
+    template: &Template,
+    bindings: &Bindings,
+) -> Result<Fragment, InstantiateError> {
+    let tag = template.root_tag().to_string();
+    let type_ref = resolve_element_type(compiled.schema(), &tag).ok_or_else(|| {
+        InstantiateError::Binding(format!("root element <{tag}> is not declared"))
+    })?;
+    let mut td = TypedDocument::new(compiled.clone());
+    let root = td.create_root_typed(&tag, &type_ref)?;
+    fill(&mut td, root, template, template.root, bindings)?;
+    let doc = td.seal()?;
+    let root = doc.root_element().expect("sealed fragment has a root");
+    Ok(Fragment {
+        tag,
+        type_ref,
+        doc,
+        root,
+    })
+}
+
+fn fill(
+    td: &mut TypedDocument,
+    dst: TypedElement,
+    template: &Template,
+    src: NodeId,
+    bindings: &Bindings,
+) -> Result<(), InstantiateError> {
+    let doc = &template.doc;
+    // attributes, with text holes substituted
+    for attr in doc.attributes(src).unwrap_or(&[]).to_vec() {
+        if attr.name == "xmlns" || attr.name.starts_with("xmlns:") {
+            continue;
+        }
+        let parts = split_holes(&attr.value)
+            .map_err(|e| InstantiateError::Binding(e.message))?;
+        let mut value = String::new();
+        for part in parts {
+            match part {
+                Part::Text(t) => value.push_str(&t),
+                Part::Hole(name) => match bindings.get(&name) {
+                    Some(Value::Text(t)) => value.push_str(t),
+                    Some(Value::Fragment(_)) => {
+                        return Err(InstantiateError::Binding(format!(
+                            "element variable ${name}$ used in attribute {}",
+                            attr.name
+                        )))
+                    }
+                    None => {
+                        return Err(InstantiateError::Binding(format!(
+                            "unbound variable ${name}$"
+                        )))
+                    }
+                },
+            }
+        }
+        td.set_attribute(dst, &attr.name, value)?;
+    }
+    // children
+    for child in doc.child_vec(src).unwrap_or_default() {
+        match doc.kind(child).map_err(|e| InstantiateError::Binding(e.to_string()))? {
+            NodeKind::Element { .. } => {
+                let name = doc.tag_name(child).unwrap_or_default().to_string();
+                let new_el = td.append_element(dst, &name)?;
+                fill(td, new_el, template, child, bindings)?;
+            }
+            NodeKind::Text(t) => {
+                let parts =
+                    split_holes(t).map_err(|e| InstantiateError::Binding(e.message))?;
+                for part in parts {
+                    match part {
+                        Part::Text(text) => {
+                            if text.trim().is_empty() {
+                                continue; // template formatting whitespace
+                            }
+                            td.append_text(dst, text)?;
+                        }
+                        Part::Hole(name) => match bindings.get(&name) {
+                            Some(Value::Text(text)) => {
+                                td.append_text(dst, text.clone())?;
+                            }
+                            Some(Value::Fragment(frag)) => {
+                                td.import_element(dst, &frag.doc, frag.root)?;
+                            }
+                            None => {
+                                return Err(InstantiateError::Binding(format!(
+                                    "unbound variable ${name}$"
+                                )))
+                            }
+                        },
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}

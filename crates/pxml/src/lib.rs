@@ -1,0 +1,62 @@
+//! **P-XML** — Parametric XML (paper Sect. 4): XML constructor
+//! expressions with `$variable$` holes, statically validated against an
+//! XML Schema and compiled to typed V-DOM construction code.
+//!
+//! The paper's workflow (Fig. 9):
+//!
+//! ```text
+//! XML Schema ──(generator)──▶ preprocessor
+//! P-XML program ──(preprocessor)──▶ V-DOM program
+//! ```
+//!
+//! Here the "preprocessor generated from the schema" is the pair of
+//! [`check_template`] (static validation, driven by the schema's content
+//! DFAs) and [`emit_rust`] (rewriting constructors into V-DOM calls,
+//! Fig. 11). [`instantiate()`](crate::instantiate::instantiate) is the runtime engine for programs that keep
+//! templates at runtime — it replays the template through the typed API,
+//! so it cannot produce invalid structure either.
+//!
+//! # Example (the paper's first constructor, Sect. 4)
+//!
+//! ```
+//! use pxml::{check_template, instantiate, Bindings, Template, TypeEnv};
+//! use schema::{corpus, CompiledSchema};
+//!
+//! let compiled = CompiledSchema::parse(corpus::PURCHASE_ORDER_XSD).unwrap();
+//! let template = Template::parse(r#"
+//!   <shipTo country="US">
+//!     $n$
+//!     <street>123 Maple Street</street>
+//!     <city>Mill Valley</city>
+//!     <state>CA</state>
+//!     <zip>90952</zip>
+//!   </shipTo>"#).unwrap();
+//! let env = TypeEnv::new().element("n", "name");
+//!
+//! // static check: no test runs needed
+//! assert!(check_template(&compiled, &template, &env).is_empty());
+//!
+//! // runtime instantiation with a fragment for $n$
+//! let name = Template::parse("<name>Alice Smith</name>").unwrap();
+//! let name_frag = instantiate(&compiled, &name, &Bindings::new()).unwrap();
+//! let ship = instantiate(&compiled, &template,
+//!     &Bindings::new().fragment("n", name_frag)).unwrap();
+//! assert!(ship.to_xml().starts_with("<shipTo country=\"US\"><name>Alice Smith</name>"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod emit;
+pub mod error;
+pub mod holes;
+pub mod instantiate;
+pub mod template;
+
+pub use check::{check_template, check_template_as};
+pub use emit::{emit_rust, param_name};
+pub use error::{PxmlError, PxmlErrorKind};
+pub use holes::{split_holes, Part};
+pub use instantiate::{instantiate, Bindings, Fragment, InstantiateError, Value};
+pub use template::{resolve_element_type, Template, TypeEnv, VarType};

@@ -1,0 +1,144 @@
+//! Templates (the paper's *XML constructors*) and the typed environment
+//! they are checked in.
+
+use std::collections::BTreeMap;
+
+use dom::{Document, NodeId};
+use schema::{Schema, TypeRef};
+
+use crate::error::{PxmlError, PxmlErrorKind};
+
+/// A parsed P-XML constructor: an XML fragment whose text and attribute
+/// values may contain `$var$` holes.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// The template source (kept for diagnostics and the emitter header).
+    pub source: String,
+    /// The parsed fragment.
+    pub doc: Document,
+    /// The fragment's root element.
+    pub root: NodeId,
+}
+
+impl Template {
+    /// Parses a constructor fragment.
+    pub fn parse(source: &str) -> Result<Template, PxmlError> {
+        let (doc, root) = xmlparse::parse_fragment(source).map_err(|e| {
+            PxmlError::at(PxmlErrorKind::Parse(e.kind.to_string()), e.position)
+        })?;
+        Ok(Template {
+            source: source.to_string(),
+            doc,
+            root,
+        })
+    }
+
+    /// The root element's tag name.
+    pub fn root_tag(&self) -> &str {
+        self.doc.tag_name(self.root).expect("fragment root")
+    }
+}
+
+/// The declared kind of a template variable — the paper's V-DOM element
+/// variables and plain string variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarType {
+    /// A string variable: usable wherever character data is allowed and
+    /// inside attribute values ("Variables of interface String can be
+    /// used as short-hand for objects of the Dom interface Text").
+    Text,
+    /// A V-DOM element variable holding an element with this tag name.
+    Element(String),
+}
+
+/// The static type environment of a constructor: variable name → type.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    vars: BTreeMap<String, VarType>,
+}
+
+impl TypeEnv {
+    /// An empty environment.
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    /// Declares a text (string) variable.
+    pub fn text(mut self, name: impl Into<String>) -> TypeEnv {
+        self.vars.insert(name.into(), VarType::Text);
+        self
+    }
+
+    /// Declares an element variable with the given tag.
+    pub fn element(mut self, name: impl Into<String>, tag: impl Into<String>) -> TypeEnv {
+        self.vars.insert(name.into(), VarType::Element(tag.into()));
+        self
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<&VarType> {
+        self.vars.get(name)
+    }
+
+    /// Iterates over the declared variables.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &VarType)> {
+        self.vars.iter()
+    }
+}
+
+/// Resolves the schema type of an element tag: a global declaration if
+/// one exists, otherwise the first local declaration with that name found
+/// in any complex type (deterministic by type-name order).
+///
+/// This mirrors the paper's inference: the V-DOM interface of the
+/// variable (`shipToElement`) determines where the constructor's result
+/// may be used, hence which type it is checked against.
+pub fn resolve_element_type(schema: &Schema, tag: &str) -> Option<TypeRef> {
+    if let Some(decl) = schema.element(tag) {
+        return Some(decl.type_ref.clone());
+    }
+    for type_name in schema.types.keys() {
+        if let Some(t) = schema.child_element_type(type_name, tag) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::corpus::PURCHASE_ORDER_XSD;
+    use schema::parse_schema;
+
+    #[test]
+    fn parse_and_root_tag() {
+        let t = Template::parse("<shipTo country=\"US\">$n$</shipTo>").unwrap();
+        assert_eq!(t.root_tag(), "shipTo");
+        assert!(Template::parse("<a><b></a>").is_err());
+    }
+
+    #[test]
+    fn env_builder() {
+        let env = TypeEnv::new().text("s").element("n", "name");
+        assert_eq!(env.get("s"), Some(&VarType::Text));
+        assert_eq!(env.get("n"), Some(&VarType::Element("name".into())));
+        assert_eq!(env.get("zz"), None);
+    }
+
+    #[test]
+    fn resolve_global_and_local_elements() {
+        let schema = parse_schema(PURCHASE_ORDER_XSD).unwrap();
+        // global
+        assert_eq!(
+            resolve_element_type(&schema, "purchaseOrder"),
+            Some(TypeRef::Named("PurchaseOrderType".into()))
+        );
+        // local (shipTo is declared inside PurchaseOrderType)
+        assert_eq!(
+            resolve_element_type(&schema, "shipTo"),
+            Some(TypeRef::Named("USAddress".into()))
+        );
+        assert_eq!(resolve_element_type(&schema, "nope"), None);
+    }
+}

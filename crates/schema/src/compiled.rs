@@ -1,0 +1,127 @@
+//! A schema with compiled, cached content-model automata — the shared
+//! artifact the runtime validator and V-DOM both hold.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use automata::{ContentDfa, ContentExpr};
+
+use crate::components::{AttributeUse, ContentModel, Schema, TypeDef, TypeRef};
+use crate::error::SchemaError;
+use crate::resolve::SimpleTypeError;
+
+/// A checked schema plus lazily populated caches (content DFAs, effective
+/// attribute lists, child-element types), cheap to clone and share across
+/// threads. The caches are what make V-DOM's per-mutation checks O(1)
+/// amortized rather than a schema walk per operation.
+#[derive(Debug, Clone)]
+pub struct CompiledSchema {
+    schema: Arc<Schema>,
+    dfas: Arc<RwLock<HashMap<String, ContentDfa>>>,
+    attrs: Arc<RwLock<HashMap<String, Arc<[AttributeUse]>>>>,
+    child_types: Arc<RwLock<HashMap<(String, String), Option<TypeRef>>>>,
+}
+
+impl CompiledSchema {
+    /// Checks the schema (references, derivations, UPA) and wraps it.
+    pub fn new(schema: Schema) -> Result<CompiledSchema, SchemaError> {
+        schema.check()?;
+        Ok(CompiledSchema {
+            schema: Arc::new(schema),
+            dfas: Arc::new(RwLock::new(HashMap::new())),
+            attrs: Arc::new(RwLock::new(HashMap::new())),
+            child_types: Arc::new(RwLock::new(HashMap::new())),
+        })
+    }
+
+    /// Parses, checks and compiles schema text in one step.
+    pub fn parse(source: &str) -> Result<CompiledSchema, SchemaError> {
+        CompiledSchema::new(crate::reader::parse_schema(source)?)
+    }
+
+    /// The underlying schema components.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The content DFA of a complex type, compiled on first use.
+    pub fn content_dfa(&self, type_name: &str) -> Result<ContentDfa, SimpleTypeError> {
+        if let Some(dfa) = self.dfas.read().expect("dfa cache lock").get(type_name) {
+            return Ok(dfa.clone());
+        }
+        let expr = self.schema.content_expr(type_name)?;
+        let dfa = ContentDfa::compile(&expr).map_err(|e| {
+            SimpleTypeError::Unresolved(format!("content model of {type_name}: {e}"))
+        })?;
+        self.dfas
+            .write()
+            .expect("dfa cache lock")
+            .insert(type_name.to_string(), dfa.clone());
+        Ok(dfa)
+    }
+
+    /// The (uncompiled) content expression of a complex type.
+    pub fn content_expr(&self, type_name: &str) -> Result<ContentExpr, SimpleTypeError> {
+        self.schema.content_expr(type_name)
+    }
+
+    /// Whether the content of `type_name` allows interleaved text.
+    ///
+    /// `true` for mixed and simple content; `false` for element-only and
+    /// empty content.
+    pub fn allows_text(&self, type_ref: &TypeRef) -> bool {
+        match type_ref {
+            TypeRef::Builtin(_) => true,
+            TypeRef::Named(n) | TypeRef::Anonymous(n) => match self.schema.types.get(n) {
+                Some(TypeDef::Simple(_)) => true,
+                Some(TypeDef::Complex(c)) => matches!(
+                    c.content,
+                    ContentModel::Mixed(_) | ContentModel::Simple(_)
+                ),
+                None => false,
+            },
+        }
+    }
+
+    /// The effective attribute uses of a complex type, cached.
+    pub fn effective_attributes(
+        &self,
+        type_name: &str,
+    ) -> Result<Arc<[AttributeUse]>, SimpleTypeError> {
+        if let Some(a) = self.attrs.read().expect("attr cache lock").get(type_name) {
+            return Ok(a.clone());
+        }
+        let computed: Arc<[AttributeUse]> =
+            self.schema.effective_attributes(type_name)?.into();
+        self.attrs
+            .write()
+            .expect("attr cache lock")
+            .insert(type_name.to_string(), computed.clone());
+        Ok(computed)
+    }
+
+    /// The declared type of `child` inside complex type `type_name`,
+    /// cached (including negative results).
+    pub fn child_element_type(&self, type_name: &str, child: &str) -> Option<TypeRef> {
+        let key = (type_name.to_string(), child.to_string());
+        if let Some(t) = self
+            .child_types
+            .read()
+            .expect("child-type cache lock")
+            .get(&key)
+        {
+            return t.clone();
+        }
+        let computed = self.schema.child_element_type(type_name, child);
+        self.child_types
+            .write()
+            .expect("child-type cache lock")
+            .insert(key, computed.clone());
+        computed
+    }
+
+    /// Number of DFAs compiled so far (bench metric).
+    pub fn compiled_count(&self) -> usize {
+        self.dfas.read().expect("dfa cache lock").len()
+    }
+}

@@ -1,0 +1,410 @@
+//! The paper's schemas and documents, shared by tests, examples and
+//! benches across the workspace.
+//!
+//! Everything here is transcribed from the paper: the purchase-order
+//! schema (Figs. 2–3) and document (Fig. 1), the Sect. 3 variants used in
+//! the naming-scheme discussion, the Sect. 3 extension/substitution
+//! examples, and a WML subset schema for the Sect. 5 example.
+
+/// The purchase-order schema of Figs. 2–3 (complete, including the
+/// anonymous item type, the `quantity` restriction and the `SKU` pattern).
+pub const PURCHASE_ORDER_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:annotation>
+    <xsd:documentation xml:lang="en">
+      Purchase order schema for Example.com.
+      Copyright 2000 Example.com. All rights reserved.
+    </xsd:documentation>
+  </xsd:annotation>
+
+  <xsd:element name="purchaseOrder" type="PurchaseOrderType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+
+  <xsd:complexType name="PurchaseOrderType">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+      <xsd:element ref="comment" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+    <xsd:attribute name="orderDate" type="xsd:date"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+    </xsd:sequence>
+    <xsd:attribute name="country" type="xsd:NMTOKEN" fixed="US"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" minOccurs="0" maxOccurs="unbounded">
+        <xsd:complexType>
+          <xsd:sequence>
+            <xsd:element name="productName" type="xsd:string"/>
+            <xsd:element name="quantity">
+              <xsd:simpleType>
+                <xsd:restriction base="xsd:positiveInteger">
+                  <xsd:maxExclusive value="100"/>
+                </xsd:restriction>
+              </xsd:simpleType>
+            </xsd:element>
+            <xsd:element name="USPrice" type="xsd:decimal"/>
+            <xsd:element ref="comment" minOccurs="0"/>
+            <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+          </xsd:sequence>
+          <xsd:attribute name="partNum" type="SKU" use="required"/>
+        </xsd:complexType>
+      </xsd:element>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:simpleType name="SKU">
+    <xsd:restriction base="xsd:string">
+      <xsd:pattern value="\d{3}-[A-Z]{2}"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+</xsd:schema>
+"#;
+
+/// The purchase-order instance document of Fig. 1.
+pub const PURCHASE_ORDER_XML: &str = r#"<purchaseOrder orderDate="1999-10-20">
+  <shipTo country="US">
+    <name>Alice Smith</name>
+    <street>123 Maple Street</street>
+    <city>Mill Valley</city>
+    <state>CA</state>
+    <zip>90952</zip>
+  </shipTo>
+  <billTo country="US">
+    <name>Robert Smith</name>
+    <street>8 Oak Avenue</street>
+    <city>Old Town</city>
+    <state>PA</state>
+    <zip>95819</zip>
+  </billTo>
+  <comment>Hurry, my lawn is going wild</comment>
+  <items>
+    <item partNum="872-AA">
+      <productName>Lawnmower</productName>
+      <quantity>1</quantity>
+      <USPrice>148.95</USPrice>
+      <comment>Confirm this is electric</comment>
+    </item>
+    <item partNum="926-AA">
+      <productName>Baby Monitor</productName>
+      <quantity>1</quantity>
+      <USPrice>39.98</USPrice>
+      <shipDate>1999-05-21</shipDate>
+    </item>
+  </items>
+</purchaseOrder>
+"#;
+
+/// The Sect. 3 variant of `PurchaseOrderType` whose first component is a
+/// choice between a single address and a two-address pair — the example
+/// driving the paper's naming-scheme discussion (Figs. 5–6).
+pub const CHOICE_PO_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="PurchaseOrderType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+
+  <xsd:complexType name="PurchaseOrderType">
+    <xsd:sequence>
+      <xsd:choice>
+        <xsd:element name="singAddr" type="USAddress"/>
+        <xsd:element name="twoAddr" type="TwoAddress"/>
+      </xsd:choice>
+      <xsd:element ref="comment" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+    </xsd:sequence>
+    <xsd:attribute name="country" type="xsd:NMTOKEN" fixed="US"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="TwoAddress">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"#;
+
+/// The same schema after the Sect. 3 evolution step: the choice gains a
+/// `multAddr` alternative. Inherited naming keeps generated names stable
+/// under this change.
+pub const CHOICE_PO_EVOLVED_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="PurchaseOrderType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+
+  <xsd:complexType name="PurchaseOrderType">
+    <xsd:sequence>
+      <xsd:choice>
+        <xsd:element name="singAddr" type="USAddress"/>
+        <xsd:element name="twoAddr" type="TwoAddress"/>
+        <xsd:element name="multAddr" type="MultAddress"/>
+      </xsd:choice>
+      <xsd:element ref="comment" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+    </xsd:sequence>
+    <xsd:attribute name="country" type="xsd:NMTOKEN" fixed="US"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="TwoAddress">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="MultAddress">
+    <xsd:sequence>
+      <xsd:element name="addr" type="USAddress" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"#;
+
+/// The Sect. 3 type-extension example: `USAddress extends Address`.
+pub const ADDRESS_EXTENSION_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="address" type="Address"/>
+
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:complexContent>
+      <xsd:extension base="Address">
+        <xsd:sequence>
+          <xsd:element name="state" type="xsd:string"/>
+          <xsd:element name="zip" type="xsd:string"/>
+        </xsd:sequence>
+      </xsd:extension>
+    </xsd:complexContent>
+  </xsd:complexType>
+</xsd:schema>
+"#;
+
+/// The Sect. 3 substitution-group example: `shipComment` and
+/// `customerComment` substitute for the (abstract-capable) `comment`.
+pub const SUBSTITUTION_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:element name="shipComment" type="xsd:string" substitutionGroup="comment"/>
+  <xsd:element name="customerComment" type="xsd:string" substitutionGroup="comment"/>
+
+  <xsd:element name="order" type="OrderType"/>
+  <xsd:complexType name="OrderType">
+    <xsd:sequence>
+      <xsd:element name="id" type="xsd:string"/>
+      <xsd:element ref="comment" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"#;
+
+/// A WML subset schema covering the Sect. 5 example: cards containing
+/// paragraphs with bold text, line breaks and select/option lists.
+pub const WML_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="wml" type="WmlType"/>
+
+  <xsd:complexType name="WmlType">
+    <xsd:sequence>
+      <xsd:element name="card" type="CardType" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="CardType">
+    <xsd:sequence>
+      <xsd:element name="p" type="PType" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+    <xsd:attribute name="id" type="xsd:NCName"/>
+    <xsd:attribute name="title" type="xsd:string"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="PType" mixed="true">
+    <xsd:choice minOccurs="0" maxOccurs="unbounded">
+      <xsd:element name="b" type="InlineType"/>
+      <xsd:element name="em" type="InlineType"/>
+      <xsd:element name="br" type="EmptyType"/>
+      <xsd:element name="select" type="SelectType"/>
+      <xsd:element name="a" type="AnchorType"/>
+    </xsd:choice>
+    <xsd:attribute name="align" type="AlignType"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="InlineType" mixed="true">
+    <xsd:sequence/>
+  </xsd:complexType>
+
+  <xsd:complexType name="EmptyType">
+    <xsd:sequence/>
+  </xsd:complexType>
+
+  <xsd:complexType name="SelectType">
+    <xsd:sequence>
+      <xsd:element name="option" type="OptionType" maxOccurs="unbounded"/>
+    </xsd:sequence>
+    <xsd:attribute name="name" type="xsd:NCName" use="required"/>
+    <xsd:attribute name="multiple" type="xsd:boolean"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="OptionType" mixed="true">
+    <xsd:sequence/>
+    <xsd:attribute name="value" type="xsd:string" use="required"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="AnchorType" mixed="true">
+    <xsd:sequence/>
+    <xsd:attribute name="href" type="xsd:anyURI" use="required"/>
+  </xsd:complexType>
+
+  <xsd:simpleType name="AlignType">
+    <xsd:restriction base="xsd:token">
+      <xsd:enumeration value="left"/>
+      <xsd:enumeration value="center"/>
+      <xsd:enumeration value="right"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+</xsd:schema>
+"#;
+
+/// The explicit named-group example from Sect. 3 (`AddressGroup`).
+pub const NAMED_GROUP_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="PurchaseOrderType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+
+  <xsd:group name="AddressGroup">
+    <xsd:choice>
+      <xsd:element name="singAddr" type="xsd:string"/>
+      <xsd:element name="twoAddr" type="xsd:string"/>
+    </xsd:choice>
+  </xsd:group>
+
+  <xsd:complexType name="PurchaseOrderType">
+    <xsd:sequence>
+      <xsd:group ref="AddressGroup"/>
+      <xsd:element ref="comment" minOccurs="0"/>
+      <xsd:element name="items" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"#;
+
+/// An XHTML subset schema for the paper's Sect. 1 server-page example
+/// (`html`, `head`/`title`, `body` with headings, paragraphs, anchors
+/// and lists).
+pub const XHTML_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="html" type="HtmlType"/>
+
+  <xsd:complexType name="HtmlType">
+    <xsd:sequence>
+      <xsd:element name="head" type="HeadType"/>
+      <xsd:element name="body" type="BodyType"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="HeadType">
+    <xsd:sequence>
+      <xsd:element name="title" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="BodyType">
+    <xsd:choice minOccurs="0" maxOccurs="unbounded">
+      <xsd:element name="h1" type="InlineMarkup"/>
+      <xsd:element name="h2" type="InlineMarkup"/>
+      <xsd:element name="p" type="InlineMarkup"/>
+      <xsd:element name="ul" type="ListType"/>
+    </xsd:choice>
+  </xsd:complexType>
+
+  <xsd:complexType name="InlineMarkup" mixed="true">
+    <xsd:choice minOccurs="0" maxOccurs="unbounded">
+      <xsd:element name="a" type="HtmlAnchorType"/>
+      <xsd:element name="em" type="xsd:string"/>
+      <xsd:element name="code" type="xsd:string"/>
+    </xsd:choice>
+  </xsd:complexType>
+
+  <xsd:complexType name="ListType">
+    <xsd:sequence>
+      <xsd:element name="li" type="InlineMarkup" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="HtmlAnchorType" mixed="true">
+    <xsd:sequence/>
+    <xsd:attribute name="href" type="xsd:anyURI" use="required"/>
+  </xsd:complexType>
+</xsd:schema>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompiledSchema;
+
+    #[test]
+    fn every_corpus_schema_compiles() {
+        for (name, xsd) in [
+            ("purchase order", PURCHASE_ORDER_XSD),
+            ("choice po", CHOICE_PO_XSD),
+            ("choice po evolved", CHOICE_PO_EVOLVED_XSD),
+            ("address extension", ADDRESS_EXTENSION_XSD),
+            ("substitution", SUBSTITUTION_XSD),
+            ("wml", WML_XSD),
+            ("named group", NAMED_GROUP_XSD),
+            ("xhtml", XHTML_XSD),
+        ] {
+            CompiledSchema::parse(xsd).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

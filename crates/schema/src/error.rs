@@ -1,0 +1,131 @@
+//! Errors for schema reading and resolution.
+
+use std::fmt;
+
+use xmlchars::Span;
+
+/// An error found while reading or resolving a schema document.
+#[derive(Debug, Clone)]
+pub struct SchemaError {
+    /// What went wrong.
+    pub kind: SchemaErrorKind,
+    /// Source location in the schema document, when known.
+    pub span: Span,
+}
+
+/// The kinds of schema errors.
+#[derive(Debug, Clone)]
+pub enum SchemaErrorKind {
+    /// The document's root element is not `xsd:schema`.
+    NotASchema,
+    /// The schema document itself failed to parse as XML.
+    Xml(String),
+    /// A feature outside this profile (`list`, `union`, wildcards,
+    /// identity constraints, `import`/`include`, `redefine`, `notation`).
+    Unsupported {
+        /// The feature.
+        feature: &'static str,
+        /// Extra context (e.g. the element name encountered).
+        detail: String,
+    },
+    /// A required attribute is missing.
+    MissingAttribute {
+        /// Owning element.
+        element: String,
+        /// The attribute.
+        attribute: &'static str,
+    },
+    /// `minOccurs`/`maxOccurs` did not parse or `min > max`.
+    BadOccurs(String),
+    /// A `type=`/`base=`/`ref=` QName resolved to the XSD namespace but
+    /// is not a supported built-in.
+    UnknownBuiltin(String),
+    /// Two components of the same kind share a name.
+    Duplicate {
+        /// Component kind (`"type"`, `"element"`, …).
+        kind: &'static str,
+        /// The clashing name.
+        name: String,
+    },
+    /// A reference to a component that does not exist.
+    UnresolvedReference {
+        /// Component kind.
+        kind: &'static str,
+        /// The dangling name.
+        name: String,
+    },
+    /// A facet value did not parse (bad pattern, non-numeric length…).
+    BadFacet {
+        /// Facet name.
+        facet: String,
+        /// Why.
+        reason: String,
+    },
+    /// Structurally misplaced schema element.
+    Misplaced {
+        /// What was found.
+        found: String,
+        /// Where.
+        context: &'static str,
+    },
+    /// The content model violates unique particle attribution.
+    Ambiguous(String),
+    /// Derivation cycles or a simple/complex mismatch in `base=`.
+    BadDerivation(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.span)
+    }
+}
+
+impl fmt::Display for SchemaErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaErrorKind::NotASchema => write!(f, "root element is not xsd:schema"),
+            SchemaErrorKind::Xml(e) => write!(f, "schema document is not well-formed: {e}"),
+            SchemaErrorKind::Unsupported { feature, detail } => {
+                write!(f, "unsupported schema feature {feature} ({detail})")
+            }
+            SchemaErrorKind::MissingAttribute { element, attribute } => {
+                write!(f, "<{element}> requires a {attribute}= attribute")
+            }
+            SchemaErrorKind::BadOccurs(v) => write!(f, "invalid occurrence bound {v:?}"),
+            SchemaErrorKind::UnknownBuiltin(n) => {
+                write!(f, "xsd:{n} is not a supported built-in type")
+            }
+            SchemaErrorKind::Duplicate { kind, name } => {
+                write!(f, "duplicate {kind} {name:?}")
+            }
+            SchemaErrorKind::UnresolvedReference { kind, name } => {
+                write!(f, "reference to undeclared {kind} {name:?}")
+            }
+            SchemaErrorKind::BadFacet { facet, reason } => {
+                write!(f, "invalid {facet} facet: {reason}")
+            }
+            SchemaErrorKind::Misplaced { found, context } => {
+                write!(f, "<{found}> is not allowed in {context}")
+            }
+            SchemaErrorKind::Ambiguous(m) => write!(f, "{m}"),
+            SchemaErrorKind::BadDerivation(m) => write!(f, "invalid derivation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl SchemaError {
+    /// Creates an error with a known location.
+    pub fn at(kind: SchemaErrorKind, span: Span) -> Self {
+        SchemaError { kind, span }
+    }
+
+    /// Creates an error with no useful location.
+    pub fn nowhere(kind: SchemaErrorKind) -> Self {
+        SchemaError {
+            kind,
+            span: Span::default(),
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! The XSD document reader: parses a schema document (itself XML) into
+//! the [`Schema`] component model.
+//!
+//! The reader accepts the XML Schema structures used by the paper and its
+//! examples: top-level and nested element declarations, named and
+//! anonymous complex/simple types, sequence/choice/all groups, named
+//! model groups and attribute groups, simple-type restriction with all
+//! twelve facets, complex-type extension and restriction, substitution
+//! groups, and abstract elements/types. Features outside the paper's
+//! profile (wildcards, identity constraints, `list`/`union`,
+//! `import`/`include`) are rejected with [`SchemaErrorKind::Unsupported`].
+
+use dom::{Document, NodeId};
+use xmlchars::Span;
+
+use crate::builtin::BuiltinType;
+use crate::components::*;
+use crate::error::{SchemaError, SchemaErrorKind};
+use crate::facets::{CompiledPattern, Facet};
+
+/// The XML Schema namespace URI.
+pub const XSD_NAMESPACE: &str = "http://www.w3.org/2001/XMLSchema";
+
+/// Parses the text of an XSD document into a [`Schema`].
+pub fn parse_schema(source: &str) -> Result<Schema, SchemaError> {
+    let doc = xmlparse::parse_document(source)
+        .map_err(|e| SchemaError::nowhere(SchemaErrorKind::Xml(e.to_string())))?;
+    read_schema(&doc)
+}
+
+/// Reads an already-parsed XSD document into a [`Schema`].
+pub fn read_schema(doc: &Document) -> Result<Schema, SchemaError> {
+    let root = doc
+        .root_element()
+        .ok_or_else(|| SchemaError::nowhere(SchemaErrorKind::NotASchema))?;
+    let mut reader = SchemaReader {
+        doc,
+        schema: Schema::default(),
+        anon_counter: 0,
+    };
+    reader.read_root(root)?;
+    Ok(reader.schema)
+}
+
+struct SchemaReader<'a> {
+    doc: &'a Document,
+    schema: Schema,
+    anon_counter: u32,
+}
+
+impl<'a> SchemaReader<'a> {
+    fn span(&self, node: NodeId) -> Span {
+        self.doc.span(node).unwrap_or_default()
+    }
+
+    /// Splits a lexical tag name and checks it resolves to the XSD
+    /// namespace; returns the local name, or `None` for foreign elements.
+    fn xsd_local(&self, node: NodeId) -> Option<String> {
+        let tag = self.doc.tag_name(node).ok()?;
+        let (prefix, local) = match tag.split_once(':') {
+            Some((p, l)) => (Some(p), l),
+            None => (None, tag),
+        };
+        let ns = self.doc.namespace_of_prefix(node, prefix)?;
+        (ns == XSD_NAMESPACE).then(|| local.to_string())
+    }
+
+    /// Resolves a QName-valued attribute (`type=`, `base=`, `ref=`) to a
+    /// [`TypeRef`]-style decision: `Ok(Ok(builtin))` when it lives in the
+    /// XSD namespace, `Ok(Err(local_name))` otherwise.
+    fn resolve_qname(
+        &self,
+        node: NodeId,
+        value: &str,
+    ) -> Result<Result<BuiltinType, String>, SchemaError> {
+        let (prefix, local) = match value.split_once(':') {
+            Some((p, l)) => (Some(p), l),
+            None => (None, value),
+        };
+        let ns = self.doc.namespace_of_prefix(node, prefix);
+        if ns.as_deref() == Some(XSD_NAMESPACE) {
+            match BuiltinType::by_name(local) {
+                Some(b) => Ok(Ok(b)),
+                None => Err(SchemaError::at(
+                    SchemaErrorKind::UnknownBuiltin(local.to_string()),
+                    self.span(node),
+                )),
+            }
+        } else {
+            Ok(Err(local.to_string()))
+        }
+    }
+
+    fn type_ref_of(&self, node: NodeId, value: &str) -> Result<TypeRef, SchemaError> {
+        Ok(match self.resolve_qname(node, value)? {
+            Ok(builtin) => TypeRef::Builtin(builtin),
+            Err(name) => TypeRef::Named(name),
+        })
+    }
+
+    fn attr(&self, node: NodeId, name: &str) -> Option<String> {
+        self.doc
+            .attribute(node, name)
+            .ok()
+            .flatten()
+            .map(str::to_string)
+    }
+
+    fn require_attr(&self, node: NodeId, name: &'static str) -> Result<String, SchemaError> {
+        self.attr(node, name).ok_or_else(|| {
+            SchemaError::at(
+                SchemaErrorKind::MissingAttribute {
+                    element: self.doc.tag_name(node).unwrap_or("?").to_string(),
+                    attribute: name,
+                },
+                self.span(node),
+            )
+        })
+    }
+
+    /// Generates a name for an anonymous type attached to element `owner`.
+    fn anon_name(&mut self, owner: &str) -> String {
+        let mut base: String = {
+            let mut chars = owner.chars();
+            match chars.next() {
+                Some(first) => first.to_uppercase().chain(chars).collect(),
+                None => "Anon".to_string(),
+            }
+        };
+        base.push_str("Type");
+        if !self.schema.types.contains_key(&base) {
+            return base;
+        }
+        loop {
+            self.anon_counter += 1;
+            let candidate = format!("{base}{}", self.anon_counter);
+            if !self.schema.types.contains_key(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    fn xsd_children(&self, node: NodeId) -> Vec<(String, NodeId)> {
+        self.doc
+            .child_elements(node)
+            .filter_map(|c| self.xsd_local(c).map(|l| (l, c)))
+            .collect()
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn read_root(&mut self, root: NodeId) -> Result<(), SchemaError> {
+        if self.xsd_local(root).as_deref() != Some("schema") {
+            return Err(SchemaError::at(
+                SchemaErrorKind::NotASchema,
+                self.span(root),
+            ));
+        }
+        self.schema.target_namespace = self.attr(root, "targetNamespace");
+        for (local, child) in self.xsd_children(root) {
+            match local.as_str() {
+                "annotation" => {}
+                "element" => {
+                    let decl = self.read_top_element(child)?;
+                    if self.schema.elements.contains_key(&decl.name) {
+                        return Err(SchemaError::at(
+                            SchemaErrorKind::Duplicate {
+                                kind: "element",
+                                name: decl.name,
+                            },
+                            self.span(child),
+                        ));
+                    }
+                    self.schema.elements.insert(decl.name.clone(), decl);
+                }
+                "complexType" => {
+                    let name = self.require_attr(child, "name")?;
+                    let ct = self.read_complex_type(child, name.clone(), false)?;
+                    self.insert_type(child, TypeDef::Complex(ct))?;
+                }
+                "simpleType" => {
+                    let name = self.require_attr(child, "name")?;
+                    let st = self.read_simple_type(child, name.clone(), false)?;
+                    self.insert_type(child, TypeDef::Simple(st))?;
+                }
+                "group" => {
+                    let name = self.require_attr(child, "name")?;
+                    let particle = self.read_group_body(child)?;
+                    if self.schema.groups.contains_key(&name) {
+                        return Err(SchemaError::at(
+                            SchemaErrorKind::Duplicate { kind: "group", name },
+                            self.span(child),
+                        ));
+                    }
+                    self.schema
+                        .groups
+                        .insert(name.clone(), GroupDef { name, particle });
+                }
+                "attributeGroup" => {
+                    let name = self.require_attr(child, "name")?;
+                    let attributes = self.read_attribute_uses(child)?;
+                    self.schema.attribute_groups.insert(
+                        name.clone(),
+                        AttributeGroupDef { name, attributes },
+                    );
+                }
+                "import" | "include" | "redefine" | "notation" => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::Unsupported {
+                            feature: "schema composition",
+                            detail: local,
+                        },
+                        self.span(child),
+                    ))
+                }
+                other => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::Misplaced {
+                            found: other.to_string(),
+                            context: "xsd:schema",
+                        },
+                        self.span(child),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_type(&mut self, node: NodeId, def: TypeDef) -> Result<(), SchemaError> {
+        let name = def.name().to_string();
+        if self.schema.types.contains_key(&name) {
+            return Err(SchemaError::at(
+                SchemaErrorKind::Duplicate { kind: "type", name },
+                self.span(node),
+            ));
+        }
+        self.schema.types.insert(name, def);
+        Ok(())
+    }
+
+    // ---- elements --------------------------------------------------------
+
+    fn read_top_element(&mut self, node: NodeId) -> Result<ElementDecl, SchemaError> {
+        let name = self.require_attr(node, "name")?;
+        let type_ref = self.element_type(node, &name)?;
+        let substitution_group = match self.attr(node, "substitutionGroup") {
+            Some(v) => match self.resolve_qname(node, &v)? {
+                Ok(_) => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::BadDerivation(
+                            "substitutionGroup head cannot be a built-in".to_string(),
+                        ),
+                        self.span(node),
+                    ))
+                }
+                Err(local) => Some(local),
+            },
+            None => None,
+        };
+        let is_abstract = self.attr(node, "abstract").as_deref() == Some("true");
+        Ok(ElementDecl {
+            name,
+            type_ref,
+            substitution_group,
+            is_abstract,
+        })
+    }
+
+    /// Determines the type of an element declaration: a `type=`
+    /// attribute, a nested anonymous type, or defaulted `anyType`
+    /// (profiled here as `xsd:string` content is NOT assumed — we reject,
+    /// since the paper's schemas always declare types).
+    fn element_type(&mut self, node: NodeId, owner: &str) -> Result<TypeRef, SchemaError> {
+        if let Some(t) = self.attr(node, "type") {
+            return self.type_ref_of(node, &t);
+        }
+        for (local, child) in self.xsd_children(node) {
+            match local.as_str() {
+                "complexType" => {
+                    let name = self.anon_name(owner);
+                    let ct = self.read_complex_type(child, name.clone(), true)?;
+                    self.insert_type(child, TypeDef::Complex(ct))?;
+                    return Ok(TypeRef::Anonymous(name));
+                }
+                "simpleType" => {
+                    let name = self.anon_name(owner);
+                    let st = self.read_simple_type(child, name.clone(), true)?;
+                    self.insert_type(child, TypeDef::Simple(st))?;
+                    return Ok(TypeRef::Anonymous(name));
+                }
+                "annotation" => {}
+                other => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::Misplaced {
+                            found: other.to_string(),
+                            context: "xsd:element",
+                        },
+                        self.span(child),
+                    ))
+                }
+            }
+        }
+        Err(SchemaError::at(
+            SchemaErrorKind::MissingAttribute {
+                element: format!("element name=\"{owner}\""),
+                attribute: "type (or a nested type definition)",
+            },
+            self.span(node),
+        ))
+    }
+
+    // ---- particles -------------------------------------------------------
+
+    fn read_occurs(&self, node: NodeId) -> Result<Occurs, SchemaError> {
+        let parse_bound = |v: &str| -> Result<u32, SchemaError> {
+            v.parse().map_err(|_| {
+                SchemaError::at(SchemaErrorKind::BadOccurs(v.to_string()), self.span(node))
+            })
+        };
+        let min = match self.attr(node, "minOccurs") {
+            Some(v) => parse_bound(&v)?,
+            None => 1,
+        };
+        let max = match self.attr(node, "maxOccurs") {
+            Some(v) if v == "unbounded" => None,
+            Some(v) => Some(parse_bound(&v)?),
+            None => Some(1),
+        };
+        if let Some(m) = max {
+            if min > m {
+                return Err(SchemaError::at(
+                    SchemaErrorKind::BadOccurs(format!("minOccurs={min} > maxOccurs={m}")),
+                    self.span(node),
+                ));
+            }
+        }
+        Ok(Occurs { min, max })
+    }
+
+    /// Reads one particle-forming child (`element`, `sequence`, `choice`,
+    /// `all`, `group ref`, `any`).
+    fn read_particle(&mut self, local: &str, node: NodeId) -> Result<Particle, SchemaError> {
+        let occurs = self.read_occurs(node)?;
+        let term = match local {
+            "element" => {
+                if let Some(r) = self.attr(node, "ref") {
+                    match self.resolve_qname(node, &r)? {
+                        Ok(_) => {
+                            return Err(SchemaError::at(
+                                SchemaErrorKind::BadDerivation(
+                                    "element ref cannot target a built-in type".to_string(),
+                                ),
+                                self.span(node),
+                            ))
+                        }
+                        Err(name) => Term::ElementRef(name),
+                    }
+                } else {
+                    let name = self.require_attr(node, "name")?;
+                    let type_ref = self.element_type(node, &name)?;
+                    Term::Element { name, type_ref }
+                }
+            }
+            "sequence" => Term::Sequence(self.read_child_particles(node)?),
+            "choice" => Term::Choice(self.read_child_particles(node)?),
+            "all" => Term::All(self.read_child_particles(node)?),
+            "group" => {
+                let r = self.require_attr(node, "ref")?;
+                match self.resolve_qname(node, &r)? {
+                    Ok(_) => {
+                        return Err(SchemaError::at(
+                            SchemaErrorKind::BadDerivation(
+                                "group ref cannot target the XSD namespace".to_string(),
+                            ),
+                            self.span(node),
+                        ))
+                    }
+                    Err(name) => Term::GroupRef(name),
+                }
+            }
+            "any" => {
+                return Err(SchemaError::at(
+                    SchemaErrorKind::Unsupported {
+                        feature: "wildcards",
+                        detail: "xsd:any".to_string(),
+                    },
+                    self.span(node),
+                ))
+            }
+            other => {
+                return Err(SchemaError::at(
+                    SchemaErrorKind::Misplaced {
+                        found: other.to_string(),
+                        context: "content model",
+                    },
+                    self.span(node),
+                ))
+            }
+        };
+        Ok(Particle { term, occurs })
+    }
+
+    fn read_child_particles(&mut self, node: NodeId) -> Result<Vec<Particle>, SchemaError> {
+        let mut out = Vec::new();
+        for (local, child) in self.xsd_children(node) {
+            if local == "annotation" {
+                continue;
+            }
+            out.push(self.read_particle(&local, child)?);
+        }
+        Ok(out)
+    }
+
+    fn read_group_body(&mut self, node: NodeId) -> Result<Particle, SchemaError> {
+        for (local, child) in self.xsd_children(node) {
+            match local.as_str() {
+                "annotation" => {}
+                "sequence" | "choice" | "all" => return self.read_particle(&local, child),
+                other => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::Misplaced {
+                            found: other.to_string(),
+                            context: "xsd:group",
+                        },
+                        self.span(child),
+                    ))
+                }
+            }
+        }
+        Err(SchemaError::at(
+            SchemaErrorKind::MissingAttribute {
+                element: "group".to_string(),
+                attribute: "a sequence/choice/all child",
+            },
+            self.span(node),
+        ))
+    }
+
+    // ---- complex types ---------------------------------------------------
+
+    fn read_complex_type(
+        &mut self,
+        node: NodeId,
+        name: String,
+        anonymous: bool,
+    ) -> Result<ComplexType, SchemaError> {
+        let is_abstract = self.attr(node, "abstract").as_deref() == Some("true");
+        let mixed = self.attr(node, "mixed").as_deref() == Some("true");
+        let mut derivation = None;
+        let mut particle: Option<Particle> = None;
+        let mut simple_content: Option<TypeRef> = None;
+        let mut attributes = Vec::new();
+        let mut attribute_groups = Vec::new();
+
+        for (local, child) in self.xsd_children(node) {
+            match local.as_str() {
+                "annotation" => {}
+                "sequence" | "choice" | "all" | "group" => {
+                    particle = Some(self.read_particle(&local, child)?);
+                }
+                "attribute" => attributes.push(self.read_attribute_use(child)?),
+                "attributeGroup" => {
+                    let r = self.require_attr(child, "ref")?;
+                    match self.resolve_qname(child, &r)? {
+                        Err(g) => attribute_groups.push(g),
+                        Ok(_) => {
+                            return Err(SchemaError::at(
+                                SchemaErrorKind::BadDerivation(
+                                    "attributeGroup ref cannot target the XSD namespace"
+                                        .to_string(),
+                                ),
+                                self.span(child),
+                            ))
+                        }
+                    }
+                }
+                "complexContent" | "simpleContent" => {
+                    let is_simple = local == "simpleContent";
+                    for (inner_local, inner) in self.xsd_children(child) {
+                        match inner_local.as_str() {
+                            "annotation" => {}
+                            "extension" | "restriction" => {
+                                let base_attr = self.require_attr(inner, "base")?;
+                                let method = if inner_local == "extension" {
+                                    DerivationMethod::Extension
+                                } else {
+                                    DerivationMethod::Restriction
+                                };
+                                if is_simple {
+                                    // simpleContent: base is a simple type;
+                                    // facets on restriction wrap the base.
+                                    let base_ref = self.type_ref_of(inner, &base_attr)?;
+                                    let facets = self.read_facets(inner)?;
+                                    let content_ref = if facets.is_empty() {
+                                        base_ref
+                                    } else {
+                                        let anon = self.anon_name(&name);
+                                        let st = SimpleType {
+                                            name: anon.clone(),
+                                            anonymous: true,
+                                            base: base_ref,
+                                            facets,
+                                        };
+                                        self.insert_type(inner, TypeDef::Simple(st))?;
+                                        TypeRef::Anonymous(anon)
+                                    };
+                                    simple_content = Some(content_ref);
+                                } else {
+                                    derivation = Some(Derivation {
+                                        method,
+                                        base: match self.resolve_qname(inner, &base_attr)? {
+                                            Err(n) => n,
+                                            Ok(b) => {
+                                                return Err(SchemaError::at(
+                                                    SchemaErrorKind::BadDerivation(format!(
+                                                        "complexContent base cannot be built-in xsd:{}",
+                                                        b.name()
+                                                    )),
+                                                    self.span(inner),
+                                                ))
+                                            }
+                                        },
+                                    });
+                                }
+                                // nested particle and attributes
+                                for (gl, gc) in self.xsd_children(inner) {
+                                    match gl.as_str() {
+                                        "annotation" => {}
+                                        "sequence" | "choice" | "all" | "group" => {
+                                            particle = Some(self.read_particle(&gl, gc)?);
+                                        }
+                                        "attribute" => {
+                                            attributes.push(self.read_attribute_use(gc)?)
+                                        }
+                                        "attributeGroup" => {
+                                            let r = self.require_attr(gc, "ref")?;
+                                            if let Err(g) = self.resolve_qname(gc, &r)? {
+                                                attribute_groups.push(g);
+                                            }
+                                        }
+                                        // facets were read by read_facets above
+                                        _ if is_facet_name(&gl) => {}
+                                        other => {
+                                            return Err(SchemaError::at(
+                                                SchemaErrorKind::Misplaced {
+                                                    found: other.to_string(),
+                                                    context: "extension/restriction",
+                                                },
+                                                self.span(gc),
+                                            ))
+                                        }
+                                    }
+                                }
+                            }
+                            other => {
+                                return Err(SchemaError::at(
+                                    SchemaErrorKind::Misplaced {
+                                        found: other.to_string(),
+                                        context: "complexContent/simpleContent",
+                                    },
+                                    self.span(inner),
+                                ))
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::Misplaced {
+                            found: other.to_string(),
+                            context: "xsd:complexType",
+                        },
+                        self.span(child),
+                    ))
+                }
+            }
+        }
+
+        let content = if let Some(simple) = simple_content {
+            ContentModel::Simple(simple)
+        } else {
+            match particle {
+                Some(p) if mixed => ContentModel::Mixed(p),
+                Some(p) => ContentModel::ElementOnly(p),
+                None if mixed => ContentModel::Mixed(Particle {
+                    term: Term::Sequence(Vec::new()),
+                    occurs: Occurs::ONCE,
+                }),
+                None => ContentModel::Empty,
+            }
+        };
+
+        Ok(ComplexType {
+            name,
+            anonymous,
+            derivation,
+            content,
+            attributes,
+            attribute_groups,
+            is_abstract,
+        })
+    }
+
+    // ---- simple types ----------------------------------------------------
+
+    fn read_simple_type(
+        &mut self,
+        node: NodeId,
+        name: String,
+        anonymous: bool,
+    ) -> Result<SimpleType, SchemaError> {
+        for (local, child) in self.xsd_children(node) {
+            match local.as_str() {
+                "annotation" => {}
+                "restriction" => {
+                    let base_attr = self.require_attr(child, "base")?;
+                    let base = self.type_ref_of(child, &base_attr)?;
+                    let facets = self.read_facets(child)?;
+                    return Ok(SimpleType {
+                        name,
+                        anonymous,
+                        base,
+                        facets,
+                    });
+                }
+                "list" | "union" => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::Unsupported {
+                            feature: "simple-type variety",
+                            detail: local,
+                        },
+                        self.span(child),
+                    ))
+                }
+                other => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::Misplaced {
+                            found: other.to_string(),
+                            context: "xsd:simpleType",
+                        },
+                        self.span(child),
+                    ))
+                }
+            }
+        }
+        Err(SchemaError::at(
+            SchemaErrorKind::MissingAttribute {
+                element: "simpleType".to_string(),
+                attribute: "a restriction child",
+            },
+            self.span(node),
+        ))
+    }
+
+    fn read_facets(&mut self, restriction: NodeId) -> Result<Vec<Facet>, SchemaError> {
+        let mut facets = Vec::new();
+        let mut enumeration: Vec<String> = Vec::new();
+        for (local, child) in self.xsd_children(restriction) {
+            if !is_facet_name(&local) {
+                continue; // attributes etc. are handled by the caller
+            }
+            let value = self.require_attr(child, "value")?;
+            let bad = |reason: String| {
+                SchemaError::at(
+                    SchemaErrorKind::BadFacet {
+                        facet: local.clone(),
+                        reason,
+                    },
+                    self.span(child),
+                )
+            };
+            let parse_u64 =
+                |v: &str| v.parse::<u64>().map_err(|e| bad(format!("{v:?}: {e}")));
+            match local.as_str() {
+                "length" => facets.push(Facet::Length(parse_u64(&value)?)),
+                "minLength" => facets.push(Facet::MinLength(parse_u64(&value)?)),
+                "maxLength" => facets.push(Facet::MaxLength(parse_u64(&value)?)),
+                "totalDigits" => facets.push(Facet::TotalDigits(parse_u64(&value)?)),
+                "fractionDigits" => facets.push(Facet::FractionDigits(parse_u64(&value)?)),
+                "pattern" => facets.push(Facet::Pattern(
+                    CompiledPattern::new(&value).map_err(|e| bad(e.to_string()))?,
+                )),
+                "enumeration" => enumeration.push(value),
+                "whiteSpace" => facets.push(Facet::WhiteSpace(match value.as_str() {
+                    "preserve" => xmlchars::WhiteSpaceMode::Preserve,
+                    "replace" => xmlchars::WhiteSpaceMode::Replace,
+                    "collapse" => xmlchars::WhiteSpaceMode::Collapse,
+                    other => return Err(bad(format!("unknown mode {other:?}"))),
+                })),
+                "maxInclusive" => facets.push(Facet::MaxInclusive(value)),
+                "maxExclusive" => facets.push(Facet::MaxExclusive(value)),
+                "minInclusive" => facets.push(Facet::MinInclusive(value)),
+                "minExclusive" => facets.push(Facet::MinExclusive(value)),
+                _ => unreachable!("is_facet_name covers all cases"),
+            }
+        }
+        if !enumeration.is_empty() {
+            facets.push(Facet::Enumeration(enumeration));
+        }
+        Ok(facets)
+    }
+
+    // ---- attributes -------------------------------------------------------
+
+    fn read_attribute_use(&mut self, node: NodeId) -> Result<AttributeUse, SchemaError> {
+        let name = self.require_attr(node, "name")?;
+        let type_ref = if let Some(t) = self.attr(node, "type") {
+            self.type_ref_of(node, &t)?
+        } else {
+            // nested simpleType, or default to string
+            let mut found = None;
+            for (local, child) in self.xsd_children(node) {
+                if local == "simpleType" {
+                    let anon = self.anon_name(&name);
+                    let st = self.read_simple_type(child, anon.clone(), true)?;
+                    self.insert_type(child, TypeDef::Simple(st))?;
+                    found = Some(TypeRef::Anonymous(anon));
+                }
+            }
+            found.unwrap_or(TypeRef::Builtin(BuiltinType::String))
+        };
+        Ok(AttributeUse {
+            name,
+            type_ref,
+            required: self.attr(node, "use").as_deref() == Some("required"),
+            fixed: self.attr(node, "fixed"),
+            default: self.attr(node, "default"),
+        })
+    }
+
+    fn read_attribute_uses(&mut self, node: NodeId) -> Result<Vec<AttributeUse>, SchemaError> {
+        let mut out = Vec::new();
+        for (local, child) in self.xsd_children(node) {
+            match local.as_str() {
+                "annotation" => {}
+                "attribute" => out.push(self.read_attribute_use(child)?),
+                other => {
+                    return Err(SchemaError::at(
+                        SchemaErrorKind::Misplaced {
+                            found: other.to_string(),
+                            context: "xsd:attributeGroup",
+                        },
+                        self.span(child),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn is_facet_name(local: &str) -> bool {
+    matches!(
+        local,
+        "length"
+            | "minLength"
+            | "maxLength"
+            | "pattern"
+            | "enumeration"
+            | "whiteSpace"
+            | "maxInclusive"
+            | "maxExclusive"
+            | "minInclusive"
+            | "minExclusive"
+            | "totalDigits"
+            | "fractionDigits"
+    )
+}

@@ -1,0 +1,469 @@
+//! Reference resolution and lowering: from the component model to the
+//! content automata and effective attribute/simple-type views that the
+//! validator, V-DOM and codegen all consume.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use automata::{ContentExpr, Glushkov};
+
+use crate::builtin::BuiltinType;
+use crate::components::*;
+use crate::error::{SchemaError, SchemaErrorKind};
+use crate::facets::{Facet, FacetViolation};
+
+/// An error validating a simple-typed value.
+#[derive(Debug, Clone)]
+pub enum SimpleTypeError {
+    /// The value does not belong to the built-in base type's space.
+    Lexical {
+        /// The built-in that rejected it.
+        builtin: BuiltinType,
+        /// Expected form.
+        expected: &'static str,
+        /// The normalized value.
+        value: String,
+    },
+    /// A constraining facet rejected the value.
+    Facet(FacetViolation),
+    /// The type reference does not resolve to a simple type.
+    NotSimple(String),
+    /// The type reference dangles.
+    Unresolved(String),
+}
+
+impl fmt::Display for SimpleTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimpleTypeError::Lexical {
+                builtin,
+                expected,
+                value,
+            } => write!(
+                f,
+                "{value:?} is not a valid xsd:{} ({expected})",
+                builtin.name()
+            ),
+            SimpleTypeError::Facet(v) => write!(f, "{v}"),
+            SimpleTypeError::NotSimple(n) => write!(f, "type {n:?} is not a simple type"),
+            SimpleTypeError::Unresolved(n) => write!(f, "unresolved type {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SimpleTypeError {}
+
+/// The flattened simple-type view: the built-in at the bottom of the
+/// restriction chain plus every facet layer, most derived first.
+#[derive(Debug, Clone)]
+pub struct SimpleView<'a> {
+    /// The built-in primitive-ish base (bottom of the chain).
+    pub builtin: BuiltinType,
+    /// Facet layers, most-derived type first.
+    pub facet_layers: Vec<&'a [Facet]>,
+}
+
+fn simple_to_schema(e: SimpleTypeError) -> SchemaError {
+    SchemaError::nowhere(SchemaErrorKind::BadDerivation(e.to_string()))
+}
+
+impl Schema {
+    // ---- well-formedness of the schema itself ---------------------------
+
+    /// Checks that every reference resolves, derivations are acyclic and
+    /// well-kinded, and every complex type's content model satisfies
+    /// unique particle attribution.
+    pub fn check(&self) -> Result<(), SchemaError> {
+        for decl in self.elements.values() {
+            self.check_type_ref(&decl.type_ref)?;
+            if let Some(head) = &decl.substitution_group {
+                if !self.elements.contains_key(head) {
+                    return Err(SchemaError::nowhere(SchemaErrorKind::UnresolvedReference {
+                        kind: "substitutionGroup head",
+                        name: head.clone(),
+                    }));
+                }
+            }
+        }
+        for def in self.types.values() {
+            match def {
+                TypeDef::Simple(s) => {
+                    self.simple_view(&s.base).map_err(|e| {
+                        SchemaError::nowhere(SchemaErrorKind::BadDerivation(e.to_string()))
+                    })?;
+                }
+                TypeDef::Complex(c) => {
+                    self.check_complex(c)?;
+                }
+            }
+        }
+        for group in self.groups.values() {
+            self.check_particle(&group.particle)?;
+        }
+        Ok(())
+    }
+
+    fn check_type_ref(&self, r: &TypeRef) -> Result<(), SchemaError> {
+        match r {
+            TypeRef::Builtin(_) => Ok(()),
+            TypeRef::Named(n) | TypeRef::Anonymous(n) => {
+                if self.types.contains_key(n) {
+                    Ok(())
+                } else {
+                    Err(SchemaError::nowhere(SchemaErrorKind::UnresolvedReference {
+                        kind: "type",
+                        name: n.clone(),
+                    }))
+                }
+            }
+        }
+    }
+
+    fn check_complex(&self, c: &ComplexType) -> Result<(), SchemaError> {
+        // derivation chain must exist and be acyclic
+        let mut seen = vec![c.name.clone()];
+        let mut cur = c;
+        while let Some(d) = &cur.derivation {
+            if seen.contains(&d.base) {
+                return Err(SchemaError::nowhere(SchemaErrorKind::BadDerivation(
+                    format!("derivation cycle through {:?}", d.base),
+                )));
+            }
+            seen.push(d.base.clone());
+            cur = match self.types.get(&d.base) {
+                Some(TypeDef::Complex(base)) => base,
+                Some(TypeDef::Simple(_)) => {
+                    return Err(SchemaError::nowhere(SchemaErrorKind::BadDerivation(
+                        format!("complex type {} extends simple type {}", c.name, d.base),
+                    )))
+                }
+                None => {
+                    return Err(SchemaError::nowhere(SchemaErrorKind::UnresolvedReference {
+                        kind: "base type",
+                        name: d.base.clone(),
+                    }))
+                }
+            };
+        }
+        if let ContentModel::ElementOnly(p) | ContentModel::Mixed(p) = &c.content {
+            self.check_particle(p)?;
+        }
+        for a in self.effective_attributes(&c.name).map_err(simple_to_schema)? {
+            self.check_type_ref(&a.type_ref)?;
+        }
+        // UPA over the fully merged content model
+        let expr = self.content_expr(&c.name).map_err(|e| {
+            SchemaError::nowhere(SchemaErrorKind::BadDerivation(e.to_string()))
+        })?;
+        let expanded = expr.expand_occurrences().map_err(|bound| {
+            SchemaError::nowhere(SchemaErrorKind::BadOccurs(format!(
+                "maxOccurs={bound} too large for DFA construction"
+            )))
+        })?;
+        Glushkov::construct(&expanded)
+            .check_determinism()
+            .map_err(|e| SchemaError::nowhere(SchemaErrorKind::Ambiguous(e.to_string())))?;
+        Ok(())
+    }
+
+    fn check_particle(&self, p: &Particle) -> Result<(), SchemaError> {
+        match &p.term {
+            Term::Element { type_ref, .. } => self.check_type_ref(type_ref),
+            Term::ElementRef(name) => {
+                if self.elements.contains_key(name) {
+                    Ok(())
+                } else {
+                    Err(SchemaError::nowhere(SchemaErrorKind::UnresolvedReference {
+                        kind: "element",
+                        name: name.clone(),
+                    }))
+                }
+            }
+            Term::Sequence(parts) | Term::Choice(parts) | Term::All(parts) => {
+                parts.iter().try_for_each(|p| self.check_particle(p))
+            }
+            Term::GroupRef(name) => {
+                if self.groups.contains_key(name) {
+                    Ok(())
+                } else {
+                    Err(SchemaError::nowhere(SchemaErrorKind::UnresolvedReference {
+                        kind: "group",
+                        name: name.clone(),
+                    }))
+                }
+            }
+        }
+    }
+
+    // ---- content lowering ------------------------------------------------
+
+    /// The complete content expression of a complex type, with extension
+    /// chains merged (base content first, as `xsd:extension` prescribes),
+    /// group references inlined, and substitution groups expanded into
+    /// choices.
+    pub fn content_expr(&self, type_name: &str) -> Result<ContentExpr, SimpleTypeError> {
+        let mut chain: Vec<&ComplexType> = Vec::new();
+        let mut cur_name = type_name.to_string();
+        loop {
+            let c = match self.types.get(&cur_name) {
+                Some(TypeDef::Complex(c)) => c,
+                Some(TypeDef::Simple(_)) => {
+                    return Err(SimpleTypeError::NotSimple(format!(
+                        "{cur_name} (expected complex)"
+                    )))
+                }
+                None => return Err(SimpleTypeError::Unresolved(cur_name)),
+            };
+            chain.push(c);
+            match &c.derivation {
+                Some(d) if d.method == DerivationMethod::Extension => {
+                    cur_name = d.base.clone();
+                }
+                // restriction replaces the content model wholesale
+                _ => break,
+            }
+        }
+        // base-most first
+        let mut parts = Vec::new();
+        for c in chain.iter().rev() {
+            match &c.content {
+                ContentModel::ElementOnly(p) | ContentModel::Mixed(p) => {
+                    parts.push(self.lower_particle(p)?);
+                }
+                ContentModel::Empty | ContentModel::Simple(_) => {}
+            }
+        }
+        Ok(ContentExpr::sequence(parts))
+    }
+
+    fn lower_particle(&self, p: &Particle) -> Result<ContentExpr, SimpleTypeError> {
+        let inner = match &p.term {
+            Term::Element { name, .. } => ContentExpr::leaf(name.clone()),
+            Term::ElementRef(name) => self.element_leaf(name)?,
+            Term::Sequence(parts) | Term::All(parts) => ContentExpr::sequence(
+                parts
+                    .iter()
+                    .map(|p| self.lower_particle(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Term::Choice(parts) => ContentExpr::choice(
+                parts
+                    .iter()
+                    .map(|p| self.lower_particle(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Term::GroupRef(name) => {
+                let group = self
+                    .groups
+                    .get(name)
+                    .ok_or_else(|| SimpleTypeError::Unresolved(name.clone()))?;
+                self.lower_particle(&group.particle)?
+            }
+        };
+        Ok(if p.occurs.is_once() {
+            inner
+        } else {
+            ContentExpr::occur(inner, p.occurs.min, p.occurs.max)
+        })
+    }
+
+    /// The expression for one referenced global element: a plain leaf, or
+    /// a choice over its substitution group (excluding the head when the
+    /// head is abstract).
+    fn element_leaf(&self, name: &str) -> Result<ContentExpr, SimpleTypeError> {
+        let head = self
+            .elements
+            .get(name)
+            .ok_or_else(|| SimpleTypeError::Unresolved(name.to_string()))?;
+        let members = self.substitution_members(name);
+        let mut alternatives = Vec::new();
+        if !head.is_abstract {
+            alternatives.push(ContentExpr::leaf(name.to_string()));
+        }
+        for m in members {
+            if !m.is_abstract {
+                alternatives.push(ContentExpr::leaf(m.name.clone()));
+            }
+        }
+        if alternatives.is_empty() {
+            // an abstract head with no members: unsatisfiable, surface it
+            return Err(SimpleTypeError::Unresolved(format!(
+                "abstract element {name} has no substitution-group members"
+            )));
+        }
+        Ok(ContentExpr::choice(alternatives))
+    }
+
+    /// Finds the declared type of a child element of `type_name`,
+    /// searching the merged particle tree, group refs, element refs and
+    /// substitution groups. Returns `None` when no particle mentions it.
+    pub fn child_element_type(&self, type_name: &str, child: &str) -> Option<TypeRef> {
+        let mut cur_name = type_name;
+        loop {
+            let c = match self.types.get(cur_name) {
+                Some(TypeDef::Complex(c)) => c,
+                _ => return None,
+            };
+            if let ContentModel::ElementOnly(p) | ContentModel::Mixed(p) = &c.content {
+                if let Some(t) = self.find_in_particle(p, child) {
+                    return Some(t);
+                }
+            }
+            match &c.derivation {
+                Some(d) if d.method == DerivationMethod::Extension => cur_name = &d.base,
+                _ => return None,
+            }
+        }
+    }
+
+    fn find_in_particle(&self, p: &Particle, child: &str) -> Option<TypeRef> {
+        match &p.term {
+            Term::Element { name, type_ref } => (name == child).then(|| type_ref.clone()),
+            Term::ElementRef(name) => {
+                if name == child {
+                    return self.elements.get(name).map(|d| d.type_ref.clone());
+                }
+                // substitution members of the referenced head
+                self.substitution_members(name)
+                    .into_iter()
+                    .find(|m| m.name == child)
+                    .map(|m| m.type_ref.clone())
+            }
+            Term::Sequence(parts) | Term::Choice(parts) | Term::All(parts) => {
+                parts.iter().find_map(|p| self.find_in_particle(p, child))
+            }
+            Term::GroupRef(name) => self
+                .groups
+                .get(name)
+                .and_then(|g| self.find_in_particle(&g.particle, child)),
+        }
+    }
+
+    // ---- attributes --------------------------------------------------------
+
+    /// The effective attribute uses of a complex type: its own, its
+    /// attribute groups', and (for derived types) the base's, with
+    /// derived declarations overriding same-named base declarations.
+    pub fn effective_attributes(
+        &self,
+        type_name: &str,
+    ) -> Result<Vec<AttributeUse>, SimpleTypeError> {
+        let mut layers: Vec<Vec<AttributeUse>> = Vec::new();
+        let mut cur_name = type_name.to_string();
+        loop {
+            let c = match self.types.get(&cur_name) {
+                Some(TypeDef::Complex(c)) => c,
+                Some(TypeDef::Simple(_)) => return Err(SimpleTypeError::NotSimple(cur_name)),
+                None => return Err(SimpleTypeError::Unresolved(cur_name)),
+            };
+            let mut layer = c.attributes.clone();
+            for group_name in &c.attribute_groups {
+                let group = self
+                    .attribute_groups
+                    .get(group_name)
+                    .ok_or_else(|| SimpleTypeError::Unresolved(group_name.clone()))?;
+                layer.extend(group.attributes.iter().cloned());
+            }
+            layers.push(layer);
+            match &c.derivation {
+                Some(d) => cur_name = d.base.clone(),
+                None => break,
+            }
+        }
+        // base first, derived override
+        let mut merged: BTreeMap<String, AttributeUse> = BTreeMap::new();
+        for layer in layers.into_iter().rev() {
+            for a in layer {
+                merged.insert(a.name.clone(), a);
+            }
+        }
+        Ok(merged.into_values().collect())
+    }
+
+    // ---- simple types ------------------------------------------------------
+
+    /// Flattens a simple-type reference into its built-in base and facet
+    /// layers.
+    pub fn simple_view<'s>(&'s self, r: &TypeRef) -> Result<SimpleView<'s>, SimpleTypeError> {
+        let mut facet_layers: Vec<&'s [Facet]> = Vec::new();
+        let mut current = r.clone();
+        let mut hops = 0;
+        loop {
+            hops += 1;
+            if hops > 64 {
+                return Err(SimpleTypeError::Unresolved(format!(
+                    "restriction chain too deep or cyclic at {}",
+                    current.name()
+                )));
+            }
+            match current {
+                TypeRef::Builtin(b) => {
+                    return Ok(SimpleView {
+                        builtin: b,
+                        facet_layers,
+                    })
+                }
+                TypeRef::Named(n) | TypeRef::Anonymous(n) => match self.types.get(&n) {
+                    Some(TypeDef::Simple(s)) => {
+                        facet_layers.push(&s.facets);
+                        current = s.base.clone();
+                    }
+                    Some(TypeDef::Complex(c)) => {
+                        // simpleContent complex types delegate to their
+                        // simple content for *value* validation
+                        if let ContentModel::Simple(inner) = &c.content {
+                            current = inner.clone();
+                        } else {
+                            return Err(SimpleTypeError::NotSimple(n));
+                        }
+                    }
+                    None => return Err(SimpleTypeError::Unresolved(n)),
+                },
+            }
+        }
+    }
+
+    /// Validates a raw lexical value against a simple type: whitespace
+    /// normalization, built-in lexical check, then every facet layer from
+    /// most derived to base. Returns the normalized value.
+    pub fn validate_simple_value(
+        &self,
+        r: &TypeRef,
+        raw: &str,
+    ) -> Result<String, SimpleTypeError> {
+        let view = self.simple_view(r)?;
+        // effective whitespace: the most derived explicit facet, else the
+        // built-in's own mode
+        let mode = view
+            .facet_layers
+            .iter()
+            .flat_map(|layer| layer.iter())
+            .find_map(|f| match f {
+                Facet::WhiteSpace(m) => Some(*m),
+                _ => None,
+            })
+            .unwrap_or_else(|| view.builtin.whitespace());
+        let value = mode.apply(raw).into_owned();
+        view.builtin
+            .validate(&value)
+            .map_err(|expected| SimpleTypeError::Lexical {
+                builtin: view.builtin,
+                expected,
+                value: value.clone(),
+            })?;
+        for layer in &view.facet_layers {
+            for facet in layer.iter() {
+                facet
+                    .check(&value, view.builtin)
+                    .map_err(SimpleTypeError::Facet)?;
+            }
+        }
+        Ok(value)
+    }
+
+    /// Whether `r` names a simple type (built-in, named simple, or a
+    /// complex type with simple content).
+    pub fn is_simple(&self, r: &TypeRef) -> bool {
+        self.simple_view(r).is_ok()
+    }
+}

@@ -1,0 +1,175 @@
+//! Validation errors with source positions.
+
+use std::fmt;
+
+use xmlchars::Span;
+
+/// One schema violation found in a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// What is wrong.
+    pub kind: ValidationErrorKind,
+    /// Where (from the parser's recorded spans; default when the tree was
+    /// built programmatically).
+    pub span: Span,
+}
+
+impl ValidationError {
+    pub(crate) fn at(kind: ValidationErrorKind, span: Span) -> Self {
+        ValidationError { kind, span }
+    }
+
+    pub(crate) fn nowhere(kind: ValidationErrorKind) -> Self {
+        ValidationError {
+            kind,
+            span: Span::default(),
+        }
+    }
+}
+
+/// The kinds of schema violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationErrorKind {
+    /// The document has no root element at all.
+    NoRootElement,
+    /// The root element is not declared in the schema.
+    UndeclaredRoot(String),
+    /// An abstract element appeared in the instance.
+    AbstractElement(String),
+    /// An element whose type is abstract appeared in the instance.
+    AbstractType(String),
+    /// A type reference could not be resolved (schema/tree mismatch).
+    UnknownType(String),
+    /// A child element violated the parent's content model.
+    UnexpectedChild {
+        /// Parent element name.
+        parent: String,
+        /// Offending child name.
+        child: String,
+        /// What the content model expected instead.
+        expected: Vec<String>,
+    },
+    /// The element ended before its content model was satisfied.
+    IncompleteContent {
+        /// Element name.
+        element: String,
+        /// Elements still expected.
+        expected: Vec<String>,
+    },
+    /// Character data in element-only content.
+    TextNotAllowed {
+        /// Element name.
+        element: String,
+    },
+    /// A simple-typed element's text failed validation.
+    SimpleType {
+        /// Element name.
+        element: String,
+        /// Underlying simple-type error.
+        message: String,
+    },
+    /// An attribute value failed simple-type validation.
+    AttributeValue {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+        /// Underlying simple-type error.
+        message: String,
+    },
+    /// A `fixed` attribute carried a different value.
+    FixedAttribute {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+        /// The fixed value required by the schema.
+        fixed: String,
+        /// The value actually present.
+        actual: String,
+    },
+    /// A required attribute is absent.
+    MissingAttribute {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// An attribute not declared for the element's type.
+    UndeclaredAttribute {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.span)
+    }
+}
+
+impl fmt::Display for ValidationErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ValidationErrorKind::UndeclaredRoot(n) => {
+                write!(f, "root element <{n}> is not declared in the schema")
+            }
+            ValidationErrorKind::AbstractElement(n) => {
+                write!(f, "abstract element <{n}> may not appear in instances")
+            }
+            ValidationErrorKind::AbstractType(n) => {
+                write!(f, "abstract type {n} may not appear in instances")
+            }
+            ValidationErrorKind::UnknownType(n) => write!(f, "unknown type {n:?}"),
+            ValidationErrorKind::UnexpectedChild {
+                parent,
+                child,
+                expected,
+            } => {
+                write!(f, "<{child}> is not allowed here in <{parent}>")?;
+                if !expected.is_empty() {
+                    write!(f, "; expected one of: {}", expected.join(", "))?;
+                }
+                Ok(())
+            }
+            ValidationErrorKind::IncompleteContent { element, expected } => {
+                write!(
+                    f,
+                    "<{element}> is incomplete; expected: {}",
+                    expected.join(", ")
+                )
+            }
+            ValidationErrorKind::TextNotAllowed { element } => {
+                write!(f, "character data is not allowed in <{element}>")
+            }
+            ValidationErrorKind::SimpleType { element, message } => {
+                write!(f, "content of <{element}>: {message}")
+            }
+            ValidationErrorKind::AttributeValue {
+                element,
+                attribute,
+                message,
+            } => write!(f, "attribute {attribute} of <{element}>: {message}"),
+            ValidationErrorKind::FixedAttribute {
+                element,
+                attribute,
+                fixed,
+                actual,
+            } => write!(
+                f,
+                "attribute {attribute} of <{element}> is fixed to {fixed:?} but is {actual:?}"
+            ),
+            ValidationErrorKind::MissingAttribute { element, attribute } => {
+                write!(f, "<{element}> is missing required attribute {attribute}")
+            }
+            ValidationErrorKind::UndeclaredAttribute { element, attribute } => {
+                write!(f, "attribute {attribute} is not declared for <{element}>")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}

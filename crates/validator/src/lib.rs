@@ -1,0 +1,477 @@
+//! Runtime validation of generic DOM trees against a compiled schema —
+//! the **baseline** the paper argues against (Sect. 2: "Invalid documents
+//! usually cannot be detected until runtime requiring extensive
+//! testing").
+//!
+//! Given a [`dom::Document`] built by hand or by the parser, the
+//! validator walks the tree and checks, per element:
+//!
+//! * the element is declared (top level or within its parent's type);
+//! * the child-element sequence matches the type's content-model DFA;
+//! * character data appears only where mixed/simple content allows it;
+//! * simple-typed content and every attribute value validate against
+//!   their simple types (whitespace → built-in → facets);
+//! * required attributes are present, `fixed` values respected, and
+//!   undeclared attributes rejected (namespace declarations exempt);
+//! * abstract elements and abstract types do not appear in instances.
+//!
+//! All violations are collected (not just the first), each with the
+//! source span recorded by the parser — this is the "extensive testing at
+//! runtime" cost centre measured by benches B1/B2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+
+use automata::Matcher;
+use dom::{Document, NodeId, NodeKind};
+use schema::{CompiledSchema, ContentModel, TypeDef, TypeRef};
+
+pub use error::{ValidationError, ValidationErrorKind};
+
+/// Validates a whole document: the root element must be declared at the
+/// schema's top level. Returns all violations found (empty = valid).
+pub fn validate_document(compiled: &CompiledSchema, doc: &Document) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let root = match doc.root_element() {
+        Some(r) => r,
+        None => {
+            errors.push(ValidationError::nowhere(
+                ValidationErrorKind::NoRootElement,
+            ));
+            return errors;
+        }
+    };
+    let root_name = doc.tag_name(root).unwrap_or_default().to_string();
+    match compiled.schema().element(&root_name) {
+        Some(decl) => {
+            if decl.is_abstract {
+                errors.push(ValidationError::at(
+                    ValidationErrorKind::AbstractElement(root_name),
+                    doc.span(root).unwrap_or_default(),
+                ));
+            } else {
+                let type_ref = decl.type_ref.clone();
+                validate_element(compiled, doc, root, &type_ref, &mut errors);
+            }
+        }
+        None => errors.push(ValidationError::at(
+            ValidationErrorKind::UndeclaredRoot(root_name),
+            doc.span(root).unwrap_or_default(),
+        )),
+    }
+    errors
+}
+
+/// Convenience: `true` when [`validate_document`] finds no violations.
+pub fn is_valid(compiled: &CompiledSchema, doc: &Document) -> bool {
+    validate_document(compiled, doc).is_empty()
+}
+
+/// Validates the subtree rooted at `node`, assuming it should conform to
+/// `type_ref`. Appends violations to `errors`.
+pub fn validate_element(
+    compiled: &CompiledSchema,
+    doc: &Document,
+    node: NodeId,
+    type_ref: &TypeRef,
+    errors: &mut Vec<ValidationError>,
+) {
+    let span = doc.span(node).unwrap_or_default();
+    let schema = compiled.schema();
+    match type_ref {
+        // Element of a built-in simple type: text-only content.
+        TypeRef::Builtin(_) => {
+            validate_simple_element(compiled, doc, node, type_ref, errors);
+            validate_attributes(compiled, doc, node, None, errors);
+        }
+        TypeRef::Named(name) | TypeRef::Anonymous(name) => match schema.type_def(name) {
+            Some(TypeDef::Simple(_)) => {
+                validate_simple_element(compiled, doc, node, type_ref, errors);
+                validate_attributes(compiled, doc, node, None, errors);
+            }
+            Some(TypeDef::Complex(ct)) => {
+                if ct.is_abstract {
+                    errors.push(ValidationError::at(
+                        ValidationErrorKind::AbstractType(name.clone()),
+                        span,
+                    ));
+                }
+                validate_attributes(compiled, doc, node, Some(name), errors);
+                match &ct.content {
+                    ContentModel::Simple(simple) => {
+                        let simple = simple.clone();
+                        validate_simple_element(compiled, doc, node, &simple, errors);
+                    }
+                    ContentModel::Empty | ContentModel::ElementOnly(_) => {
+                        validate_complex_content(compiled, doc, node, name, false, errors);
+                    }
+                    ContentModel::Mixed(_) => {
+                        validate_complex_content(compiled, doc, node, name, true, errors);
+                    }
+                }
+            }
+            None => errors.push(ValidationError::at(
+                ValidationErrorKind::UnknownType(name.clone()),
+                span,
+            )),
+        },
+    }
+}
+
+fn validate_simple_element(
+    compiled: &CompiledSchema,
+    doc: &Document,
+    node: NodeId,
+    type_ref: &TypeRef,
+    errors: &mut Vec<ValidationError>,
+) {
+    let span = doc.span(node).unwrap_or_default();
+    // no element children allowed
+    for child in doc.child_elements(node) {
+        errors.push(ValidationError::at(
+            ValidationErrorKind::UnexpectedChild {
+                parent: doc.tag_name(node).unwrap_or_default().to_string(),
+                child: doc.tag_name(child).unwrap_or_default().to_string(),
+                expected: Vec::new(),
+            },
+            doc.span(child).unwrap_or_default(),
+        ));
+    }
+    let text = doc.text_content(node).unwrap_or_default();
+    if let Err(e) = compiled.schema().validate_simple_value(type_ref, &text) {
+        errors.push(ValidationError::at(
+            ValidationErrorKind::SimpleType {
+                element: doc.tag_name(node).unwrap_or_default().to_string(),
+                message: e.to_string(),
+            },
+            span,
+        ));
+    }
+}
+
+fn validate_complex_content(
+    compiled: &CompiledSchema,
+    doc: &Document,
+    node: NodeId,
+    type_name: &str,
+    mixed: bool,
+    errors: &mut Vec<ValidationError>,
+) {
+    let schema = compiled.schema();
+    let parent_name = doc.tag_name(node).unwrap_or_default().to_string();
+    let dfa = match compiled.content_dfa(type_name) {
+        Ok(d) => d,
+        Err(e) => {
+            errors.push(ValidationError::at(
+                ValidationErrorKind::SimpleType {
+                    element: parent_name,
+                    message: e.to_string(),
+                },
+                doc.span(node).unwrap_or_default(),
+            ));
+            return;
+        }
+    };
+    let mut matcher = dfa.start();
+    let mut content_ok = true;
+    for child in doc.child_vec(node).unwrap_or_default() {
+        match doc.kind(child) {
+            Ok(NodeKind::Element { name, .. }) => {
+                let name = name.clone();
+                if content_ok {
+                    if let Err(e) = matcher.step(&name) {
+                        errors.push(ValidationError::at(
+                            ValidationErrorKind::UnexpectedChild {
+                                parent: parent_name.clone(),
+                                child: name.clone(),
+                                expected: e.expected,
+                            },
+                            doc.span(child).unwrap_or_default(),
+                        ));
+                        content_ok = false;
+                    }
+                }
+                // recurse regardless, so nested errors surface too
+                if let Some(child_type) = schema.child_element_type(type_name, &name) {
+                    validate_element(compiled, doc, child, &child_type, errors)
+                }
+                // undeclared children were already reported by the DFA step
+            }
+            Ok(NodeKind::Text(t)) if !mixed && !t.trim().is_empty() => {
+                errors.push(ValidationError::at(
+                    ValidationErrorKind::TextNotAllowed {
+                        element: parent_name.clone(),
+                    },
+                    doc.span(child).unwrap_or_default(),
+                ));
+            }
+            // comments and PIs are always permitted
+            _ => {}
+        }
+    }
+    if content_ok && !matcher.is_accepting() {
+        errors.push(ValidationError::at(
+            ValidationErrorKind::IncompleteContent {
+                element: parent_name,
+                expected: matcher.expected(),
+            },
+            doc.span(node).unwrap_or_default(),
+        ));
+    }
+}
+
+fn validate_attributes(
+    compiled: &CompiledSchema,
+    doc: &Document,
+    node: NodeId,
+    complex_type: Option<&str>,
+    errors: &mut Vec<ValidationError>,
+) {
+    let span = doc.span(node).unwrap_or_default();
+    let element = doc.tag_name(node).unwrap_or_default().to_string();
+    let declared = complex_type
+        .and_then(|t| compiled.schema().effective_attributes(t).ok())
+        .unwrap_or_default();
+    let present = doc.attributes(node).unwrap_or(&[]).to_vec();
+
+    for attr in &present {
+        if attr.name == "xmlns" || attr.name.starts_with("xmlns:") || attr.name.starts_with("xml:")
+        {
+            continue;
+        }
+        match declared.iter().find(|d| d.name == attr.name) {
+            Some(decl) => {
+                if let Err(e) = compiled
+                    .schema()
+                    .validate_simple_value(&decl.type_ref, &attr.value)
+                {
+                    errors.push(ValidationError::at(
+                        ValidationErrorKind::AttributeValue {
+                            element: element.clone(),
+                            attribute: attr.name.clone(),
+                            message: e.to_string(),
+                        },
+                        span,
+                    ));
+                }
+                if let Some(fixed) = &decl.fixed {
+                    if &attr.value != fixed {
+                        errors.push(ValidationError::at(
+                            ValidationErrorKind::FixedAttribute {
+                                element: element.clone(),
+                                attribute: attr.name.clone(),
+                                fixed: fixed.clone(),
+                                actual: attr.value.clone(),
+                            },
+                            span,
+                        ));
+                    }
+                }
+            }
+            None => errors.push(ValidationError::at(
+                ValidationErrorKind::UndeclaredAttribute {
+                    element: element.clone(),
+                    attribute: attr.name.clone(),
+                },
+                span,
+            )),
+        }
+    }
+    for decl in &declared {
+        if decl.required && !present.iter().any(|a| a.name == decl.name) {
+            errors.push(ValidationError::at(
+                ValidationErrorKind::MissingAttribute {
+                    element: element.clone(),
+                    attribute: decl.name.clone(),
+                },
+                span,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::corpus::{PURCHASE_ORDER_XML, PURCHASE_ORDER_XSD, WML_XSD};
+
+    fn compiled() -> CompiledSchema {
+        CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap()
+    }
+
+    fn po_doc() -> Document {
+        xmlparse::parse_document(PURCHASE_ORDER_XML).unwrap()
+    }
+
+    #[test]
+    fn paper_document_is_valid() {
+        let errors = validate_document(&compiled(), &po_doc());
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn wrong_child_order_detected() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        // move shipTo to the end, after items
+        let ship = doc.child_element_named(root, "shipTo").unwrap();
+        doc.detach(ship).unwrap();
+        doc.append_child(root, ship).unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::UnexpectedChild { .. })));
+    }
+
+    #[test]
+    fn missing_required_child_detected() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        let items = doc.child_element_named(root, "items").unwrap();
+        doc.remove(items).unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(&e.kind, ValidationErrorKind::IncompleteContent { expected, .. }
+                if expected.contains(&"items".to_string()))));
+    }
+
+    #[test]
+    fn bad_simple_value_detected_with_position() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        let ship = doc.child_element_named(root, "shipTo").unwrap();
+        let zip = doc.child_element_named(ship, "zip").unwrap();
+        let text = doc.child_vec(zip).unwrap()[0];
+        doc.set_text(text, "not-a-number").unwrap();
+        let errors = validate_document(&c, &doc);
+        assert_eq!(errors.len(), 1, "{errors:#?}");
+        assert!(matches!(errors[0].kind, ValidationErrorKind::SimpleType { .. }));
+        assert!(errors[0].span.start.line > 1);
+    }
+
+    #[test]
+    fn bad_attribute_value_detected() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        doc.set_attribute(root, "orderDate", "yesterday").unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::AttributeValue { .. })));
+    }
+
+    #[test]
+    fn missing_required_attribute_detected() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        let items = doc.child_element_named(root, "items").unwrap();
+        let item = doc.child_elements(items).next().unwrap();
+        doc.remove_attribute(item, "partNum").unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors.iter().any(|e| matches!(
+            &e.kind,
+            ValidationErrorKind::MissingAttribute { attribute, .. } if attribute == "partNum"
+        )));
+    }
+
+    #[test]
+    fn fixed_attribute_enforced() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        let ship = doc.child_element_named(root, "shipTo").unwrap();
+        doc.set_attribute(ship, "country", "DE").unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors.iter().any(|e| matches!(
+            &e.kind,
+            ValidationErrorKind::FixedAttribute { fixed, actual, .. }
+                if fixed == "US" && actual == "DE"
+        )));
+    }
+
+    #[test]
+    fn undeclared_attribute_detected() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        doc.set_attribute(root, "bogus", "x").unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::UndeclaredAttribute { .. })));
+    }
+
+    #[test]
+    fn text_in_element_only_content_detected() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        let t = doc.create_text("stray text");
+        doc.append_child(root, t).unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::TextNotAllowed { .. })));
+    }
+
+    #[test]
+    fn undeclared_root_detected() {
+        let c = compiled();
+        let mut doc = Document::new();
+        let root = doc.create_element("unknownRoot").unwrap();
+        let dn = doc.document_node();
+        doc.append_child(dn, root).unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(matches!(errors[0].kind, ValidationErrorKind::UndeclaredRoot(_)));
+    }
+
+    #[test]
+    fn multiple_errors_collected() {
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        doc.set_attribute(root, "orderDate", "bad").unwrap();
+        doc.set_attribute(root, "bogus", "x").unwrap();
+        let items = doc.child_element_named(root, "items").unwrap();
+        doc.remove(items).unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors.len() >= 3, "{errors:#?}");
+    }
+
+    #[test]
+    fn mixed_content_allows_text() {
+        let c = CompiledSchema::parse(WML_XSD).unwrap();
+        let doc = xmlparse::parse_document(
+            "<wml><card id=\"c\"><p>hello <b>bold</b> world<br/></p></card></wml>",
+        )
+        .unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn wml_select_requires_option() {
+        let c = CompiledSchema::parse(WML_XSD).unwrap();
+        let doc = xmlparse::parse_document(
+            "<wml><card><p><select name=\"dirs\"></select></p></card></wml>",
+        )
+        .unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::IncompleteContent { .. })));
+    }
+
+    #[test]
+    fn is_valid_helper() {
+        assert!(is_valid(&compiled(), &po_doc()));
+    }
+}

@@ -1,0 +1,123 @@
+//! The paper's opening example (Sect. 1): a Java Server Page that emits
+//! an HTML page with a dynamic title — and the "Wrong Server Page" whose
+//! markup typo every compiler accepts.
+//!
+//! Reproduced here against the XHTML-subset schema: the string version
+//! can go wrong silently, the P-XML version of the same page is refused
+//! by the static checker before anything runs.
+
+use pxml::{check_template, PxmlError, Template, TypeEnv};
+use schema::CompiledSchema;
+
+/// The correct "Simple Server Page" as a string generator.
+pub fn simple_server_page_string(title: &str, body_text: &str) -> String {
+    format!(
+        "<html><head><title>{t}</title></head><body><h1>{t}</h1><p>{b}</p></body></html>",
+        t = xmlchars::escape_text(title),
+        b = xmlchars::escape_text(body_text),
+    )
+}
+
+/// The paper's "Wrong Server Page": the title element is accidentally
+/// closed with the wrong tag. The host language is perfectly happy.
+pub fn wrong_server_page_string(title: &str) -> String {
+    format!(
+        // </TITLE> typo'd into a second <title> — ill-formed output
+        "<html><head><title>{t}<title></head><body></body></html>",
+        t = xmlchars::escape_text(title),
+    )
+}
+
+/// The same two pages as P-XML constructors. The correct one checks; the
+/// wrong one is rejected statically (returns its diagnostics).
+pub fn check_server_pages(compiled: &CompiledSchema) -> (Vec<PxmlError>, Vec<PxmlError>) {
+    let env = TypeEnv::new().text("title").text("bodyText");
+    let good = Template::parse(
+        "<html><head><title>$title$</title></head>\
+         <body><h1>$title$</h1><p>$bodyText$</p></body></html>",
+    )
+    .expect("well-formed template");
+    let good_errors = check_template(compiled, &good, &env);
+
+    // the "wrong" page: a structural typo — title under body's h1 slot
+    // (a well-formed template that is *invalid* against the schema, the
+    // analogue of the paper's wrong-output example at the template level)
+    let wrong = Template::parse(
+        "<html><head></head><body><title>$title$</title></body></html>",
+    )
+    .expect("well-formed template");
+    let wrong_errors = check_template(compiled, &wrong, &env);
+    (good_errors, wrong_errors)
+}
+
+/// Renders the correct page through the typed V-DOM API.
+pub fn simple_server_page_vdom(
+    compiled: &CompiledSchema,
+    title: &str,
+    body_text: &str,
+) -> Result<String, vdom::VdomError> {
+    let mut td = vdom::TypedDocument::new(compiled.clone());
+    let html = td.create_root("html")?;
+    let head = td.append_element(html, "head")?;
+    let title_el = td.append_element(head, "title")?;
+    td.append_text(title_el, title)?;
+    let body = td.append_element(html, "body")?;
+    let h1 = td.append_element(body, "h1")?;
+    td.append_text(h1, title)?;
+    let p = td.append_element(body, "p")?;
+    td.append_text(p, body_text)?;
+    let doc = td.seal()?;
+    let root = doc.root_element().expect("root");
+    Ok(dom::serialize(&doc, root).expect("serialize"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::corpus::XHTML_XSD;
+
+    fn compiled() -> CompiledSchema {
+        CompiledSchema::parse(XHTML_XSD).unwrap()
+    }
+
+    #[test]
+    fn correct_page_agrees_across_backends() {
+        let c = compiled();
+        let s = simple_server_page_string("A Simple Server Page", "generated content");
+        let v = simple_server_page_vdom(&c, "A Simple Server Page", "generated content").unwrap();
+        assert_eq!(s, v);
+        let doc = xmlparse::parse_document(&v).unwrap();
+        assert!(validator::validate_document(&c, &doc).is_empty());
+    }
+
+    #[test]
+    fn wrong_server_page_is_broken_and_undetected_at_build() {
+        // the paper's point: the generator runs fine, the output is junk
+        let page = wrong_server_page_string("A Wrong Server Page");
+        assert!(xmlparse::parse_document(&page).is_err());
+    }
+
+    #[test]
+    fn pxml_rejects_the_wrong_page_statically() {
+        let c = compiled();
+        let (good, wrong) = check_server_pages(&c);
+        assert!(good.is_empty(), "{good:#?}");
+        assert!(!wrong.is_empty());
+    }
+
+    #[test]
+    fn typed_api_rejects_misplaced_title_at_call_site() {
+        let c = compiled();
+        let mut td = vdom::TypedDocument::new(c);
+        let html = td.create_root("html").unwrap();
+        let head = td.append_element(html, "head").unwrap();
+        let _ = head;
+        // body before title content is finished? try putting title in body
+        let err = td.append_element(html, "body");
+        // head's content (title) is not yet complete, but content models are
+        // per-element: body is allowed after head ends; title goes in head:
+        assert!(err.is_ok());
+        let body = err.unwrap();
+        assert!(td.append_element(body, "title").is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! A synthetic media archive, standing in for the paper's media archive
+//! project (Sect. 1/5: "The page which is taken from our media archive
+//! project generates the current directory in the media structure").
+//!
+//! The real archive's content is not available, so we generate a
+//! deterministic directory tree from a seed; what matters for the
+//! reproduction is the *shape* of the workload — a current directory
+//! with a parent and a list of subdirectories driving the WML page.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One directory in the archive.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    /// Directory name (last path segment).
+    pub name: String,
+    /// Child directories.
+    pub children: Vec<Directory>,
+}
+
+/// The media archive: a rooted directory tree.
+#[derive(Debug, Clone)]
+pub struct MediaArchive {
+    root: Directory,
+}
+
+/// A cursor into the archive — the equivalent of the paper's `mdmo`
+/// media object (`getChilds`, `getFullPath`, `getName`).
+#[derive(Debug, Clone)]
+pub struct MediaObject<'a> {
+    archive: &'a MediaArchive,
+    /// Path of indices from the root.
+    path: Vec<usize>,
+}
+
+const NAME_PARTS: &[&str] = &[
+    "audio", "video", "images", "lectures", "slides", "raw", "masters", "exports", "archive",
+    "projects", "sessions", "clips", "intro", "chapter", "final", "draft",
+];
+
+impl MediaArchive {
+    /// Generates an archive with roughly `breadth` children per node and
+    /// the given `depth`, deterministically from `seed`.
+    pub fn generate(seed: u64, breadth: usize, depth: usize) -> MediaArchive {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root = gen_dir(&mut rng, "workspace", breadth, depth);
+        MediaArchive { root }
+    }
+
+    /// A cursor at the archive root.
+    pub fn root(&self) -> MediaObject<'_> {
+        MediaObject {
+            archive: self,
+            path: Vec::new(),
+        }
+    }
+
+    /// Total number of directories.
+    pub fn len(&self) -> usize {
+        fn count(d: &Directory) -> usize {
+            1 + d.children.iter().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// Whether the archive has only the root.
+    pub fn is_empty(&self) -> bool {
+        self.root.children.is_empty()
+    }
+}
+
+fn gen_dir(rng: &mut StdRng, name: &str, breadth: usize, depth: usize) -> Directory {
+    let children = if depth == 0 {
+        Vec::new()
+    } else {
+        let n = if breadth == 0 {
+            0
+        } else {
+            rng.random_range(1..=breadth)
+        };
+        (0..n)
+            .map(|i| {
+                let part = NAME_PARTS[rng.random_range(0..NAME_PARTS.len())];
+                let child_name = format!("{part}{:02}", i + 1);
+                gen_dir(rng, &child_name, breadth, depth - 1)
+            })
+            .collect()
+    };
+    Directory {
+        name: name.to_string(),
+        children,
+    }
+}
+
+impl<'a> MediaObject<'a> {
+    fn dir(&self) -> &'a Directory {
+        let mut d = &self.archive.root;
+        for &i in &self.path {
+            d = &d.children[i];
+        }
+        d
+    }
+
+    /// The directory's own name (paper: `getName`).
+    pub fn get_name(&self) -> &str {
+        &self.dir().name
+    }
+
+    /// Names of child directories (paper: `getChilds`).
+    pub fn get_childs(&self) -> Vec<String> {
+        self.dir().children.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// The full path from the root (paper: `getFullPath`).
+    pub fn get_full_path(&self) -> String {
+        let mut parts = vec![self.archive.root.name.clone()];
+        let mut d = &self.archive.root;
+        for &i in &self.path {
+            d = &d.children[i];
+            parts.push(d.name.clone());
+        }
+        format!("/{}", parts.join("/"))
+    }
+
+    /// The parent directory's full path (`/workspace` at the root, as in
+    /// the paper's fallback).
+    pub fn parent_path(&self) -> String {
+        if self.path.is_empty() {
+            return "/workspace".to_string();
+        }
+        let mut up = self.clone();
+        up.path.pop();
+        up.get_full_path()
+    }
+
+    /// Descends into the `i`-th child.
+    pub fn child(&self, i: usize) -> Option<MediaObject<'a>> {
+        if i < self.dir().children.len() {
+            let mut path = self.path.clone();
+            path.push(i);
+            Some(MediaObject {
+                archive: self.archive,
+                path,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MediaArchive::generate(42, 4, 3);
+        let b = MediaArchive::generate(42, 4, 3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.root().get_childs(), b.root().get_childs());
+        let c = MediaArchive::generate(43, 4, 3);
+        // different seed, almost surely different tree
+        assert!(a.len() != c.len() || a.root().get_childs() != c.root().get_childs());
+    }
+
+    #[test]
+    fn cursor_navigation() {
+        let a = MediaArchive::generate(7, 3, 2);
+        let root = a.root();
+        assert_eq!(root.get_full_path(), "/workspace");
+        assert_eq!(root.parent_path(), "/workspace");
+        if let Some(child) = root.child(0) {
+            assert!(child.get_full_path().starts_with("/workspace/"));
+            assert_eq!(child.parent_path(), "/workspace");
+            assert_eq!(child.get_name(), root.get_childs()[0]);
+        }
+        assert!(root.child(999).is_none());
+    }
+
+    #[test]
+    fn depth_zero_has_no_children() {
+        let a = MediaArchive::generate(1, 5, 0);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! A process-wide registry of compiled schemas, shared by server pages:
+//! schemas compile once and every page handler clones a cheap handle
+//! (`CompiledSchema` is `Arc`-backed).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use schema::{CompiledSchema, SchemaError};
+
+/// A named registry of compiled schemas.
+#[derive(Default)]
+pub struct SchemaRegistry {
+    schemas: RwLock<HashMap<String, CompiledSchema>>,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> SchemaRegistry {
+        SchemaRegistry::default()
+    }
+
+    /// A registry preloaded with the paper's corpus schemas
+    /// (`purchase-order`, `wml`).
+    pub fn with_corpus() -> Result<SchemaRegistry, SchemaError> {
+        let reg = SchemaRegistry::new();
+        reg.register("purchase-order", schema::corpus::PURCHASE_ORDER_XSD)?;
+        reg.register("wml", schema::corpus::WML_XSD)?;
+        reg.register("xhtml", schema::corpus::XHTML_XSD)?;
+        Ok(reg)
+    }
+
+    /// Compiles and registers a schema under `name`.
+    pub fn register(&self, name: &str, xsd: &str) -> Result<CompiledSchema, SchemaError> {
+        let compiled = CompiledSchema::parse(xsd)?;
+        self.schemas
+            .write()
+            .insert(name.to_string(), compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Fetches a registered schema.
+    pub fn get(&self, name: &str) -> Option<CompiledSchema> {
+        self.schemas.read().get(name).cloned()
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.schemas.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_registry() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        assert_eq!(reg.len(), 3);
+        assert!(reg.get("wml").is_some());
+        assert!(reg.get("purchase-order").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn registration_replaces() {
+        let reg = SchemaRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("wml", schema::corpus::WML_XSD).unwrap();
+        reg.register("wml", schema::corpus::WML_XSD).unwrap();
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let reg = std::sync::Arc::new(SchemaRegistry::with_corpus().unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.get("wml").unwrap();
+                    assert!(c.schema().element("wml").is_some());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

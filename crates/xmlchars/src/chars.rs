@@ -1,0 +1,125 @@
+//! XML 1.0 character classes.
+//!
+//! The predicates below implement the `Char`, `S`, `NameStartChar` and
+//! `NameChar` productions of XML 1.0 (Fifth Edition). They are used by the
+//! parser for well-formedness checking and by the schema layer for
+//! validating `NCName`/`NMTOKEN` lexical values.
+
+/// Returns `true` if `c` is a legal XML 1.0 `Char`.
+///
+/// Production \[2\]: `#x9 | #xA | #xD | [#x20-#xD7FF] | [#xE000-#xFFFD] |
+/// [#x10000-#x10FFFF]`.
+#[inline]
+pub fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Returns `true` if `c` is XML whitespace (production \[3\] `S`).
+#[inline]
+pub fn is_xml_whitespace(c: char) -> bool {
+    matches!(c, ' ' | '\t' | '\r' | '\n')
+}
+
+/// Returns `true` if `c` may start an XML `Name` (production \[4\]).
+#[inline]
+pub fn is_name_start_char(c: char) -> bool {
+    matches!(c,
+        ':' | '_'
+        | 'A'..='Z' | 'a'..='z'
+        | '\u{C0}'..='\u{D6}' | '\u{D8}'..='\u{F6}' | '\u{F8}'..='\u{2FF}'
+        | '\u{370}'..='\u{37D}' | '\u{37F}'..='\u{1FFF}'
+        | '\u{200C}'..='\u{200D}' | '\u{2070}'..='\u{218F}'
+        | '\u{2C00}'..='\u{2FEF}' | '\u{3001}'..='\u{D7FF}'
+        | '\u{F900}'..='\u{FDCF}' | '\u{FDF0}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{EFFFF}')
+}
+
+/// Returns `true` if `c` may continue an XML `Name` (production \[4a\]).
+#[inline]
+pub fn is_name_char(c: char) -> bool {
+    is_name_start_char(c)
+        || matches!(c,
+            '-' | '.' | '0'..='9'
+            | '\u{B7}' | '\u{300}'..='\u{36F}' | '\u{203F}'..='\u{2040}')
+}
+
+/// Returns `true` if `s` is a non-empty XML `Name`.
+pub fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) if is_name_start_char(first) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+/// Returns `true` if `s` is a non-empty `NMTOKEN` (every char a `NameChar`).
+pub fn is_nmtoken(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(is_name_char)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_is_exactly_the_four_s_chars() {
+        for c in [' ', '\t', '\r', '\n'] {
+            assert!(is_xml_whitespace(c));
+        }
+        assert!(!is_xml_whitespace('\u{A0}'));
+        assert!(!is_xml_whitespace('\u{B}'));
+    }
+
+    #[test]
+    fn control_chars_are_not_xml_chars() {
+        assert!(!is_xml_char('\u{0}'));
+        assert!(!is_xml_char('\u{8}'));
+        assert!(!is_xml_char('\u{B}'));
+        assert!(!is_xml_char('\u{1F}'));
+        assert!(is_xml_char('\u{9}'));
+        assert!(is_xml_char(' '));
+    }
+
+    #[test]
+    fn surrogate_gap_is_excluded() {
+        // chars can't encode surrogates directly; check the boundaries.
+        assert!(is_xml_char('\u{D7FF}'));
+        assert!(is_xml_char('\u{E000}'));
+        assert!(is_xml_char('\u{FFFD}'));
+        assert!(!is_xml_char('\u{FFFE}'));
+        assert!(!is_xml_char('\u{FFFF}'));
+    }
+
+    #[test]
+    fn names_accept_colon_and_underscore_starts() {
+        assert!(is_name("purchaseOrder"));
+        assert!(is_name("_private"));
+        assert!(is_name("xsd:element"));
+        assert!(is_name("a-b.c1"));
+        assert!(!is_name(""));
+        assert!(!is_name("1abc"));
+        assert!(!is_name("-abc"));
+        assert!(!is_name("a b"));
+    }
+
+    #[test]
+    fn nmtoken_allows_leading_digit_and_dash() {
+        assert!(is_nmtoken("007"));
+        assert!(is_nmtoken("-x-"));
+        assert!(is_nmtoken("US"));
+        assert!(!is_nmtoken(""));
+        assert!(!is_nmtoken("a b"));
+    }
+
+    #[test]
+    fn unicode_letters_are_name_chars() {
+        assert!(is_name("übermaß"));
+        assert!(is_name("数量"));
+        assert!(is_name_char('\u{B7}'));
+        assert!(!is_name_start_char('\u{B7}'));
+    }
+}

@@ -1,0 +1,230 @@
+//! Escaping and unescaping of character data and attribute values.
+//!
+//! Serialization escapes the five predefined entities where required;
+//! parsing resolves them together with decimal and hexadecimal character
+//! references (`&#10;`, `&#x2019;`).
+
+use std::borrow::Cow;
+use std::fmt;
+
+use crate::chars::is_xml_char;
+
+/// Escapes `text` for use as element character data.
+///
+/// Replaces `&`, `<` and `>` (the latter for `]]>` safety and symmetry
+/// with common serializers). Returns a borrowed value when no escaping is
+/// needed, avoiding allocation on the fast path.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, false)
+}
+
+/// Escapes `value` for use inside a double-quoted attribute value.
+///
+/// Replaces `&`, `<`, `>`, `"` and the whitespace characters that would
+/// otherwise be normalized away by attribute-value normalization.
+pub fn escape_attribute(value: &str) -> Cow<'_, str> {
+    escape_with(value, true)
+}
+
+fn needs_escape(c: char, attr: bool) -> bool {
+    match c {
+        '&' | '<' | '>' => true,
+        '"' | '\t' | '\n' | '\r' if attr => true,
+        _ => false,
+    }
+}
+
+fn escape_with(text: &str, attr: bool) -> Cow<'_, str> {
+    let first = match text.char_indices().find(|&(_, c)| needs_escape(c, attr)) {
+        Some((i, _)) => i,
+        None => return Cow::Borrowed(text),
+    };
+    let mut out = String::with_capacity(text.len() + 8);
+    out.push_str(&text[..first]);
+    for c in text[first..].chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\t' if attr => out.push_str("&#9;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\r' if attr => out.push_str("&#13;"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// An error produced while resolving entity or character references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnescapeError {
+    /// `&` was not followed by a terminated reference (`;` missing).
+    UnterminatedReference {
+        /// Byte offset of the `&` in the input.
+        at: usize,
+    },
+    /// An entity name other than the five predefined ones was used.
+    UnknownEntity {
+        /// The entity name between `&` and `;`.
+        name: String,
+        /// Byte offset of the `&` in the input.
+        at: usize,
+    },
+    /// A character reference did not parse as a number or denotes a
+    /// code point that is not a legal XML `Char`.
+    InvalidCharRef {
+        /// The reference text between `&#` and `;`.
+        text: String,
+        /// Byte offset of the `&` in the input.
+        at: usize,
+    },
+}
+
+impl fmt::Display for UnescapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnescapeError::UnterminatedReference { at } => {
+                write!(f, "unterminated entity reference at byte {at}")
+            }
+            UnescapeError::UnknownEntity { name, at } => {
+                write!(f, "unknown entity \"&{name};\" at byte {at}")
+            }
+            UnescapeError::InvalidCharRef { text, at } => {
+                write!(f, "invalid character reference \"&#{text};\" at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnescapeError {}
+
+/// Resolves the predefined entities and character references in `text`.
+///
+/// Returns a borrowed value when the input contains no `&`.
+pub fn unescape(text: &str) -> Result<Cow<'_, str>, UnescapeError> {
+    let first = match text.find('&') {
+        Some(i) => i,
+        None => return Ok(Cow::Borrowed(text)),
+    };
+    let mut out = String::with_capacity(text.len());
+    out.push_str(&text[..first]);
+    let mut rest = &text[first..];
+    let mut offset = first;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let at = offset + amp;
+        let after = &rest[amp + 1..];
+        let semi = after
+            .find(';')
+            .ok_or(UnescapeError::UnterminatedReference { at })?;
+        let name = &after[..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with('#') => {
+                let digits = &name[1..];
+                let value = if let Some(hex) = digits.strip_prefix('x') {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    digits.parse::<u32>()
+                };
+                let c = value
+                    .ok()
+                    .and_then(char::from_u32)
+                    .filter(|&c| is_xml_char(c))
+                    .ok_or_else(|| UnescapeError::InvalidCharRef {
+                        text: digits.to_string(),
+                        at,
+                    })?;
+                out.push(c);
+            }
+            _ => {
+                return Err(UnescapeError::UnknownEntity {
+                    name: name.to_string(),
+                    at,
+                })
+            }
+        }
+        rest = &after[semi + 1..];
+        offset = at + 1 + semi + 1;
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_borrows() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello world").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_markup_characters() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(escape_attribute("say \"hi\""), "say &quot;hi&quot;");
+        assert_eq!(escape_attribute("tab\there"), "tab&#9;here");
+    }
+
+    #[test]
+    fn text_escaping_keeps_quotes() {
+        assert_eq!(escape_text("\"quoted\""), "\"quoted\"");
+    }
+
+    #[test]
+    fn unescapes_predefined_entities() {
+        assert_eq!(
+            unescape("a &lt; b &amp; c &gt; d &quot;q&quot; &apos;a&apos;").unwrap(),
+            "a < b & c > d \"q\" 'a'"
+        );
+    }
+
+    #[test]
+    fn unescapes_char_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x43;").unwrap(), "ABC");
+        assert_eq!(unescape("&#x20AC;").unwrap(), "\u{20AC}");
+    }
+
+    #[test]
+    fn rejects_bad_references() {
+        assert!(matches!(
+            unescape("a &bogus; b"),
+            Err(UnescapeError::UnknownEntity { .. })
+        ));
+        assert!(matches!(
+            unescape("a &amp"),
+            Err(UnescapeError::UnterminatedReference { .. })
+        ));
+        assert!(matches!(
+            unescape("&#xZZ;"),
+            Err(UnescapeError::InvalidCharRef { .. })
+        ));
+        // #x0 is not an XML Char.
+        assert!(matches!(
+            unescape("&#0;"),
+            Err(UnescapeError::InvalidCharRef { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_escape_unescape() {
+        let original = "mixed <tags> & \"quotes\" with 'apostrophes' and \u{2019}";
+        assert_eq!(unescape(&escape_text(original)).unwrap(), original);
+        assert_eq!(unescape(&escape_attribute(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn error_positions_point_at_ampersand() {
+        match unescape("abc&bogus;") {
+            Err(UnescapeError::UnknownEntity { at, .. }) => assert_eq!(at, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

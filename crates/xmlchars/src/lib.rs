@@ -1,0 +1,26 @@
+//! Foundational XML 1.0 lexical utilities shared by every crate in the
+//! workspace: character classes, name validation, escaping, qualified
+//! names, whitespace normalization, and source positions.
+//!
+//! Everything here follows the XML 1.0 (Fifth Edition) and Namespaces in
+//! XML 1.0 recommendations closely enough for the document class used by
+//! the paper (no DTD-internal-subset processing; the five predefined
+//! entities plus character references).
+//!
+//! This crate deliberately has no dependencies: it is the bottom of the
+//! substrate stack described in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chars;
+pub mod escape;
+pub mod position;
+pub mod qname;
+pub mod whitespace;
+
+pub use chars::{is_name_char, is_name_start_char, is_xml_char, is_xml_whitespace};
+pub use escape::{escape_attribute, escape_text, unescape, UnescapeError};
+pub use position::{Position, Span};
+pub use qname::{validate_ncname, validate_qname, NameError, QName};
+pub use whitespace::{collapse, replace, WhiteSpaceMode};

@@ -1,0 +1,110 @@
+//! Source positions for diagnostics.
+//!
+//! Every parser in the workspace (XML, XSD regex, P-XML templates) reports
+//! errors in terms of these types so that tooling can render uniform
+//! messages.
+
+use std::fmt;
+
+/// A 1-based line/column position plus a byte offset into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number, counted in characters.
+    pub column: u32,
+    /// 0-based byte offset.
+    pub offset: usize,
+}
+
+impl Position {
+    /// The start of a document.
+    pub const START: Position = Position {
+        line: 1,
+        column: 1,
+        offset: 0,
+    };
+
+    /// Advances the position over `c`.
+    #[inline]
+    pub fn advance(&mut self, c: char) {
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+    }
+}
+
+impl Default for Position {
+    fn default() -> Self {
+        Position::START
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A half-open span `[start, end)` in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Position of the first character.
+    pub start: Position,
+    /// Position one past the last character.
+    pub end: Position,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: Position, end: Position) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: Position) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_tracks_lines_columns_and_bytes() {
+        let mut p = Position::START;
+        for c in "ab\ncd".chars() {
+            p.advance(c);
+        }
+        assert_eq!(p.line, 2);
+        assert_eq!(p.column, 3);
+        assert_eq!(p.offset, 5);
+    }
+
+    #[test]
+    fn advance_counts_multibyte_offsets() {
+        let mut p = Position::START;
+        p.advance('\u{20AC}');
+        assert_eq!(p.offset, 3);
+        assert_eq!(p.column, 2);
+    }
+
+    #[test]
+    fn display_is_line_colon_column() {
+        assert_eq!(Position::START.to_string(), "1:1");
+    }
+}

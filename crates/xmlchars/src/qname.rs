@@ -1,0 +1,159 @@
+//! Qualified names and NCName validation per Namespaces in XML 1.0.
+
+use std::fmt;
+
+use crate::chars::{is_name_char, is_name_start_char};
+
+/// An error produced while validating an `NCName` or `QName`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// The name was empty.
+    Empty,
+    /// The name contained an illegal character at the given byte offset.
+    IllegalChar {
+        /// The offending character.
+        c: char,
+        /// Byte offset within the name.
+        at: usize,
+    },
+    /// A `QName` contained more than one colon, or a colon in an `NCName`.
+    MisplacedColon,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::Empty => write!(f, "name is empty"),
+            NameError::IllegalChar { c, at } => {
+                write!(f, "illegal character {c:?} at byte {at} in name")
+            }
+            NameError::MisplacedColon => write!(f, "misplaced colon in name"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// Validates that `s` is a legal `NCName` (a `Name` without colons).
+pub fn validate_ncname(s: &str) -> Result<(), NameError> {
+    if s.is_empty() {
+        return Err(NameError::Empty);
+    }
+    for (i, c) in s.char_indices() {
+        if c == ':' {
+            return Err(NameError::MisplacedColon);
+        }
+        let ok = if i == 0 {
+            is_name_start_char(c)
+        } else {
+            is_name_char(c)
+        };
+        if !ok {
+            return Err(NameError::IllegalChar { c, at: i });
+        }
+    }
+    Ok(())
+}
+
+/// Validates that `s` is a legal `QName` (`prefix:local` or `local`) and
+/// returns the `(prefix, local)` split.
+pub fn validate_qname(s: &str) -> Result<(Option<&str>, &str), NameError> {
+    match s.find(':') {
+        None => {
+            validate_ncname(s)?;
+            Ok((None, s))
+        }
+        Some(i) => {
+            let (prefix, local) = (&s[..i], &s[i + 1..]);
+            validate_ncname(prefix)?;
+            validate_ncname(local)?;
+            Ok((Some(prefix), local))
+        }
+    }
+}
+
+/// An owned qualified name: optional prefix plus local part.
+///
+/// The workspace resolves prefixes at parse time, so most components carry
+/// only local names; `QName` is used where the prefix must be preserved
+/// (serialization, schema references like `xsd:string`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Namespace prefix, if any.
+    pub prefix: Option<String>,
+    /// Local part.
+    pub local: String,
+}
+
+impl QName {
+    /// Creates an unprefixed name.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName {
+            prefix: None,
+            local: local.into(),
+        }
+    }
+
+    /// Creates a prefixed name.
+    pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
+        QName {
+            prefix: Some(prefix.into()),
+            local: local.into(),
+        }
+    }
+
+    /// Parses and validates a lexical `QName`.
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        let (prefix, local) = validate_qname(s)?;
+        Ok(QName {
+            prefix: prefix.map(str::to_string),
+            local: local.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => write!(f, "{}", self.local),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ncname_rejects_colon_and_empty() {
+        assert_eq!(validate_ncname(""), Err(NameError::Empty));
+        assert_eq!(validate_ncname("a:b"), Err(NameError::MisplacedColon));
+        assert!(validate_ncname("purchaseOrder").is_ok());
+    }
+
+    #[test]
+    fn qname_splits_prefix() {
+        assert_eq!(validate_qname("xsd:string").unwrap(), (Some("xsd"), "string"));
+        assert_eq!(validate_qname("comment").unwrap(), (None, "comment"));
+        assert!(validate_qname("a:b:c").is_err());
+        assert!(validate_qname(":b").is_err());
+        assert!(validate_qname("a:").is_err());
+    }
+
+    #[test]
+    fn qname_display_roundtrips() {
+        let q = QName::parse("xsd:element").unwrap();
+        assert_eq!(q.to_string(), "xsd:element");
+        let q = QName::parse("items").unwrap();
+        assert_eq!(q.to_string(), "items");
+    }
+
+    #[test]
+    fn illegal_char_reports_offset() {
+        match validate_ncname("ab cd") {
+            Err(NameError::IllegalChar { c: ' ', at: 2 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

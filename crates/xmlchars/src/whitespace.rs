@@ -1,0 +1,105 @@
+//! Whitespace normalization per the XML Schema `whiteSpace` facet.
+//!
+//! Simple-type validation (crate `schema`) normalizes lexical values with
+//! one of the three modes before applying the remaining facets, exactly as
+//! XML Schema Part 2 prescribes.
+
+use std::borrow::Cow;
+
+/// The three values of the `whiteSpace` facet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WhiteSpaceMode {
+    /// Keep the value as is (`xsd:string`).
+    #[default]
+    Preserve,
+    /// Replace each tab/CR/LF by a space (`xsd:normalizedString`).
+    Replace,
+    /// Replace, then collapse runs of spaces and trim (`xsd:token` and all
+    /// types derived from it, including numbers and dates).
+    Collapse,
+}
+
+impl WhiteSpaceMode {
+    /// Applies this mode to `value`.
+    pub fn apply<'a>(self, value: &'a str) -> Cow<'a, str> {
+        match self {
+            WhiteSpaceMode::Preserve => Cow::Borrowed(value),
+            WhiteSpaceMode::Replace => replace(value),
+            WhiteSpaceMode::Collapse => collapse(value),
+        }
+    }
+}
+
+/// `replace` normalization: each `#x9 | #xA | #xD` becomes a space.
+pub fn replace(value: &str) -> Cow<'_, str> {
+    if !value.contains(['\t', '\n', '\r']) {
+        return Cow::Borrowed(value);
+    }
+    Cow::Owned(
+        value
+            .chars()
+            .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
+            .collect(),
+    )
+}
+
+/// `collapse` normalization: `replace`, then collapse space runs and trim.
+pub fn collapse(value: &str) -> Cow<'_, str> {
+    let needs_work = value.starts_with([' ', '\t', '\n', '\r'])
+        || value.ends_with([' ', '\t', '\n', '\r'])
+        || value.contains(['\t', '\n', '\r'])
+        || value.contains("  ");
+    if !needs_work {
+        return Cow::Borrowed(value);
+    }
+    let mut out = String::with_capacity(value.len());
+    let mut in_space = true; // leading whitespace is dropped
+    for c in value.chars() {
+        if matches!(c, ' ' | '\t' | '\n' | '\r') {
+            if !in_space {
+                out.push(' ');
+                in_space = true;
+            }
+        } else {
+            out.push(c);
+            in_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserve_is_identity() {
+        let v = "  a\tb\n";
+        assert_eq!(WhiteSpaceMode::Preserve.apply(v), v);
+    }
+
+    #[test]
+    fn replace_maps_each_ws_char_to_space() {
+        assert_eq!(replace("a\tb\nc\rd"), "a b c d");
+        assert_eq!(replace(" a  b "), " a  b ");
+        assert!(matches!(replace("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn collapse_trims_and_collapses() {
+        assert_eq!(collapse("  a \t b\n\nc  "), "a b c");
+        assert_eq!(collapse(""), "");
+        assert_eq!(collapse("   "), "");
+        assert_eq!(collapse("already clean"), "already clean");
+        assert!(matches!(collapse("already clean"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn collapse_handles_single_char() {
+        assert_eq!(collapse(" x"), "x");
+        assert_eq!(collapse("x "), "x");
+    }
+}

@@ -1,0 +1,102 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+use xmlchars::{Position, UnescapeError};
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was in the middle of.
+        context: &'static str,
+    },
+    /// A character that is not legal XML appeared in the input.
+    IllegalChar(char),
+    /// Something other than the expected token appeared.
+    Expected {
+        /// Human description of what was expected.
+        what: &'static str,
+        /// The character actually found.
+        found: char,
+    },
+    /// A name (tag or attribute) was malformed.
+    BadName(String),
+    /// An end tag did not match the open start tag.
+    MismatchedTag {
+        /// Name in the start tag.
+        open: String,
+        /// Name in the end tag.
+        close: String,
+    },
+    /// An end tag appeared with no element open.
+    UnmatchedEndTag(String),
+    /// The document ended with elements still open.
+    UnclosedElements(Vec<String>),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// Bad entity or character reference.
+    Reference(UnescapeError),
+    /// More than one root element, or content after the root.
+    TrailingContent,
+    /// The document contains no root element.
+    NoRootElement,
+    /// `--` inside a comment, `]]>` in character data, etc.
+    IllegalSequence(&'static str),
+    /// DOCTYPE declarations are not supported by this pipeline.
+    DoctypeUnsupported,
+}
+
+/// A parse error: kind plus position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Where it went wrong.
+    pub position: Position,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, position: Position) -> Self {
+        ParseError { kind, position }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.position)
+    }
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input in {context}")
+            }
+            ParseErrorKind::IllegalChar(c) => write!(f, "illegal XML character {c:?}"),
+            ParseErrorKind::Expected { what, found } => {
+                write!(f, "expected {what}, found {found:?}")
+            }
+            ParseErrorKind::BadName(n) => write!(f, "malformed name {n:?}"),
+            ParseErrorKind::MismatchedTag { open, close } => {
+                write!(f, "end tag </{close}> does not match start tag <{open}>")
+            }
+            ParseErrorKind::UnmatchedEndTag(n) => write!(f, "end tag </{n}> with no open element"),
+            ParseErrorKind::UnclosedElements(names) => {
+                write!(f, "input ended with unclosed elements: {}", names.join(", "))
+            }
+            ParseErrorKind::DuplicateAttribute(n) => write!(f, "duplicate attribute {n:?}"),
+            ParseErrorKind::Reference(e) => write!(f, "{e}"),
+            ParseErrorKind::TrailingContent => write!(f, "content after document root"),
+            ParseErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ParseErrorKind::IllegalSequence(s) => write!(f, "illegal sequence {s:?}"),
+            ParseErrorKind::DoctypeUnsupported => {
+                write!(f, "DOCTYPE declarations are not supported (schema-based pipeline)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,64 @@
+//! The events produced by the pull reader.
+
+use xmlchars::Span;
+
+/// One attribute as read from a start tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeEvent {
+    /// Lexical attribute name.
+    pub name: String,
+    /// Value after attribute-value normalization and entity resolution.
+    pub value: String,
+}
+
+/// A parsing event.
+///
+/// The reader guarantees that start/end events are properly nested and
+/// that exactly one root element is produced before [`Event::Eof`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" …>` — `self_closing` distinguishes `<name/>`.
+    StartElement {
+        /// Lexical tag name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<AttributeEvent>,
+        /// Whether the tag was `<name/>`; the reader still emits a
+        /// matching [`Event::EndElement`] immediately after.
+        self_closing: bool,
+        /// Source span of the tag.
+        span: Span,
+    },
+    /// `</name>` (also synthesized after a self-closing start tag).
+    EndElement {
+        /// Lexical tag name.
+        name: String,
+        /// Source span of the tag.
+        span: Span,
+    },
+    /// Character data with entities resolved; CDATA sections are folded in.
+    Text {
+        /// Resolved text.
+        text: String,
+        /// Source span of the run.
+        span: Span,
+    },
+    /// `<!-- … -->` without the delimiters.
+    Comment {
+        /// Comment body.
+        text: String,
+        /// Source span.
+        span: Span,
+    },
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data, possibly empty.
+        data: String,
+        /// Source span.
+        span: Span,
+    },
+    /// End of input, after the root element closed.
+    Eof,
+}

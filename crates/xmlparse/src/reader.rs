@@ -1,0 +1,612 @@
+//! The pull reader: a hand-written, position-tracking XML tokenizer with
+//! integrated well-formedness checking.
+
+use xmlchars::chars::{is_name_char, is_name_start_char, is_xml_char, is_xml_whitespace};
+use xmlchars::{unescape, Position, Span};
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::event::{AttributeEvent, Event};
+
+/// A pull parser over a complete in-memory document.
+///
+/// Call [`Reader::next_event`] repeatedly until it returns
+/// [`Event::Eof`]. The reader enforces well-formedness: tag nesting,
+/// attribute uniqueness, character legality, a single root element, and
+/// reference syntax. Errors are fatal; after an error the reader should be
+/// discarded.
+pub struct Reader<'a> {
+    src: &'a str,
+    pos: Position,
+    /// Stack of open element names for nesting checks.
+    open: Vec<String>,
+    /// Whether the root element has been seen and closed.
+    root_closed: bool,
+    /// Whether any root element has been opened yet.
+    root_seen: bool,
+    /// Queued end-element event for self-closing tags.
+    pending_end: Option<(String, Span)>,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader for a complete document.
+    pub fn new(src: &'a str) -> Self {
+        Reader {
+            src,
+            pos: Position::START,
+            open: Vec::new(),
+            root_closed: false,
+            root_seen: false,
+            pending_end: None,
+        }
+    }
+
+    /// Creates a reader for a fragment: leading/trailing whitespace and a
+    /// missing XML declaration are fine, but exactly one element must span
+    /// the content (as required of P-XML constructors). The grammar happens
+    /// to coincide with [`Reader::new`]; the constructor exists so callers
+    /// state their intent and fragment-specific rules have a home.
+    pub fn fragment(src: &'a str) -> Self {
+        Reader::new(src)
+    }
+
+    /// Current position (for error reporting by embedding tools).
+    pub fn position(&self) -> Position {
+        self.pos
+    }
+
+    /// Names of currently open elements, outermost first.
+    pub fn open_elements(&self) -> &[String] {
+        &self.open
+    }
+
+    // ---- low-level cursor helpers --------------------------------------
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos.offset..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos.advance(c);
+        Some(c)
+    }
+
+    fn eat(&mut self, expected: char, what: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.err(ParseErrorKind::Expected { what, found: c })),
+            None => Err(self.err(ParseErrorKind::UnexpectedEof { context: what })),
+        }
+    }
+
+    fn eat_str(&mut self, expected: &str, what: &'static str) -> Result<(), ParseError> {
+        if self.rest().starts_with(expected) {
+            for _ in expected.chars() {
+                self.bump();
+            }
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(c) => Err(self.err(ParseErrorKind::Expected { what, found: c })),
+                None => Err(self.err(ParseErrorKind::UnexpectedEof { context: what })),
+            }
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if is_xml_whitespace(c)) {
+            self.bump();
+        }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(kind, self.pos)
+    }
+
+    fn err_at(&self, kind: ParseErrorKind, at: Position) -> ParseError {
+        ParseError::new(kind, at)
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos.offset;
+        match self.peek() {
+            Some(c) if is_name_start_char(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(self.err(ParseErrorKind::Expected {
+                    what: "name",
+                    found: c,
+                }))
+            }
+            None => {
+                return Err(self.err(ParseErrorKind::UnexpectedEof { context: "name" }));
+            }
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.src[start..self.pos.offset].to_string())
+    }
+
+    // ---- event production ----------------------------------------------
+
+    /// Produces the next event.
+    pub fn next_event(&mut self) -> Result<Event, ParseError> {
+        if let Some((name, span)) = self.pending_end.take() {
+            self.finish_element(&name)?;
+            return Ok(Event::EndElement { name, span });
+        }
+        // Outside the root element, skip whitespace-only text.
+        if self.open.is_empty() {
+            self.skip_whitespace();
+        }
+        match self.peek() {
+            Some('<') => self.read_markup(),
+            Some(_) => {
+                if self.open.is_empty() {
+                    return Err(self.err(ParseErrorKind::TrailingContent));
+                }
+                self.read_text()
+            }
+            None => self.finish_document(),
+        }
+    }
+
+    fn finish_document(&mut self) -> Result<Event, ParseError> {
+        if !self.open.is_empty() {
+            return Err(self.err(ParseErrorKind::UnclosedElements(self.open.clone())));
+        }
+        if !self.root_seen {
+            return Err(self.err(ParseErrorKind::NoRootElement));
+        }
+        Ok(Event::Eof)
+    }
+
+    fn read_markup(&mut self) -> Result<Event, ParseError> {
+        let start = self.pos;
+        self.eat('<', "markup")?;
+        match self.peek() {
+            Some('?') => self.read_pi(start),
+            Some('!') => {
+                self.bump();
+                if self.rest().starts_with("--") {
+                    self.read_comment(start)
+                } else if self.rest().starts_with("[CDATA[") {
+                    self.read_cdata(start)
+                } else if self.rest().starts_with("DOCTYPE") {
+                    Err(self.err_at(ParseErrorKind::DoctypeUnsupported, start))
+                } else {
+                    Err(self.err(ParseErrorKind::IllegalSequence("<!")))
+                }
+            }
+            Some('/') => {
+                self.bump();
+                self.read_end_tag(start)
+            }
+            _ => self.read_start_tag(start),
+        }
+    }
+
+    fn read_start_tag(&mut self, start: Position) -> Result<Event, ParseError> {
+        if self.root_closed && self.open.is_empty() {
+            return Err(self.err_at(ParseErrorKind::TrailingContent, start));
+        }
+        let name = self.read_name()?;
+        let mut attributes: Vec<AttributeEvent> = Vec::new();
+        loop {
+            let had_space = matches!(self.peek(), Some(c) if is_xml_whitespace(c));
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.eat('>', "self-closing tag")?;
+                    let span = Span::new(start, self.pos);
+                    self.open.push(name.clone());
+                    self.root_seen = true;
+                    self.pending_end = Some((name.clone(), span));
+                    return Ok(Event::StartElement {
+                        name,
+                        attributes,
+                        self_closing: true,
+                        span,
+                    });
+                }
+                Some(c) if is_name_start_char(c) => {
+                    if !had_space {
+                        return Err(self.err(ParseErrorKind::Expected {
+                            what: "whitespace before attribute",
+                            found: c,
+                        }));
+                    }
+                    let attr = self.read_attribute()?;
+                    if attributes.iter().any(|a| a.name == attr.name) {
+                        return Err(self.err(ParseErrorKind::DuplicateAttribute(attr.name)));
+                    }
+                    attributes.push(attr);
+                }
+                Some(c) => {
+                    return Err(self.err(ParseErrorKind::Expected {
+                        what: "attribute, '>' or '/>'",
+                        found: c,
+                    }))
+                }
+                None => {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof {
+                        context: "start tag",
+                    }))
+                }
+            }
+        }
+        let span = Span::new(start, self.pos);
+        self.open.push(name.clone());
+        self.root_seen = true;
+        Ok(Event::StartElement {
+            name,
+            attributes,
+            self_closing: false,
+            span,
+        })
+    }
+
+    fn read_attribute(&mut self) -> Result<AttributeEvent, ParseError> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.eat('=', "'=' in attribute")?;
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                q
+            }
+            Some(c) => {
+                return Err(self.err(ParseErrorKind::Expected {
+                    what: "quoted attribute value",
+                    found: c,
+                }))
+            }
+            None => {
+                return Err(self.err(ParseErrorKind::UnexpectedEof {
+                    context: "attribute value",
+                }))
+            }
+        };
+        let start = self.pos.offset;
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => break,
+                Some('<') => {
+                    return Err(self.err(ParseErrorKind::Expected {
+                        what: "attribute value character",
+                        found: '<',
+                    }))
+                }
+                Some(c) if !is_xml_char(c) => {
+                    return Err(self.err(ParseErrorKind::IllegalChar(c)))
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof {
+                        context: "attribute value",
+                    }))
+                }
+            }
+        }
+        let raw = &self.src[start..self.pos.offset];
+        self.bump(); // closing quote
+        // Attribute-value normalization: tabs and newlines become spaces
+        // (XML 1.0 §3.3.3), then references are resolved.
+        let normalized: String = raw
+            .chars()
+            .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
+            .collect();
+        let value = unescape(&normalized)
+            .map_err(|e| self.err(ParseErrorKind::Reference(e)))?
+            .into_owned();
+        Ok(AttributeEvent { name, value })
+    }
+
+    fn read_end_tag(&mut self, start: Position) -> Result<Event, ParseError> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.eat('>', "end tag")?;
+        let span = Span::new(start, self.pos);
+        self.finish_element(&name)?;
+        Ok(Event::EndElement { name, span })
+    }
+
+    fn finish_element(&mut self, name: &str) -> Result<(), ParseError> {
+        match self.open.pop() {
+            Some(open) if open == name => {
+                if self.open.is_empty() {
+                    self.root_closed = true;
+                }
+                Ok(())
+            }
+            Some(open) => Err(self.err(ParseErrorKind::MismatchedTag {
+                open,
+                close: name.to_string(),
+            })),
+            None => Err(self.err(ParseErrorKind::UnmatchedEndTag(name.to_string()))),
+        }
+    }
+
+    fn read_text(&mut self) -> Result<Event, ParseError> {
+        let start = self.pos;
+        let begin = self.pos.offset;
+        while let Some(c) = self.peek() {
+            if c == '<' {
+                break;
+            }
+            if !is_xml_char(c) {
+                return Err(self.err(ParseErrorKind::IllegalChar(c)));
+            }
+            if c == ']' && self.rest().starts_with("]]>") {
+                return Err(self.err(ParseErrorKind::IllegalSequence("]]>")));
+            }
+            self.bump();
+        }
+        let raw = &self.src[begin..self.pos.offset];
+        let text = unescape(raw)
+            .map_err(|e| self.err(ParseErrorKind::Reference(e)))?
+            .into_owned();
+        Ok(Event::Text {
+            text,
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn read_comment(&mut self, start: Position) -> Result<Event, ParseError> {
+        self.eat_str("--", "comment opener")?;
+        let begin = self.pos.offset;
+        loop {
+            if self.rest().starts_with("-->") {
+                break;
+            }
+            if self.rest().starts_with("--") {
+                return Err(self.err(ParseErrorKind::IllegalSequence("-- inside comment")));
+            }
+            match self.peek() {
+                Some(c) if is_xml_char(c) => {
+                    self.bump();
+                }
+                Some(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
+                None => {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof { context: "comment" }))
+                }
+            }
+        }
+        let text = self.src[begin..self.pos.offset].to_string();
+        self.eat_str("-->", "comment closer")?;
+        Ok(Event::Comment {
+            text,
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn read_cdata(&mut self, start: Position) -> Result<Event, ParseError> {
+        self.eat_str("[CDATA[", "CDATA opener")?;
+        if self.open.is_empty() {
+            return Err(self.err_at(ParseErrorKind::TrailingContent, start));
+        }
+        let begin = self.pos.offset;
+        loop {
+            if self.rest().starts_with("]]>") {
+                break;
+            }
+            match self.peek() {
+                Some(c) if is_xml_char(c) => {
+                    self.bump();
+                }
+                Some(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
+                None => {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof {
+                        context: "CDATA section",
+                    }))
+                }
+            }
+        }
+        let text = self.src[begin..self.pos.offset].to_string();
+        self.eat_str("]]>", "CDATA closer")?;
+        Ok(Event::Text {
+            text,
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn read_pi(&mut self, start: Position) -> Result<Event, ParseError> {
+        self.eat('?', "processing instruction")?;
+        let target = self.read_name()?;
+        if target.eq_ignore_ascii_case("xml") && start.offset != 0 {
+            return Err(self.err_at(
+                ParseErrorKind::IllegalSequence("XML declaration not at start"),
+                start,
+            ));
+        }
+        self.skip_whitespace();
+        let begin = self.pos.offset;
+        loop {
+            if self.rest().starts_with("?>") {
+                break;
+            }
+            match self.peek() {
+                Some(c) if is_xml_char(c) => {
+                    self.bump();
+                }
+                Some(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
+                None => {
+                    return Err(self.err(ParseErrorKind::UnexpectedEof {
+                        context: "processing instruction",
+                    }))
+                }
+            }
+        }
+        let data = self.src[begin..self.pos.offset].to_string();
+        self.eat_str("?>", "PI closer")?;
+        let span = Span::new(start, self.pos);
+        if target.eq_ignore_ascii_case("xml") {
+            // Swallow the XML declaration and continue with the next event.
+            return self.next_event();
+        }
+        Ok(Event::ProcessingInstruction { target, data, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Result<Vec<Event>, ParseError> {
+        let mut r = Reader::new(src);
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event()?;
+            let done = e == Event::Eof;
+            out.push(e);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn names(src: &str) -> Vec<String> {
+        events(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::StartElement { name, .. } => Some(format!("+{name}")),
+                Event::EndElement { name, .. } => Some(format!("-{name}")),
+                Event::Text { text, .. } => Some(format!("\"{text}\"")),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_document() {
+        assert_eq!(
+            names("<a><b>hi</b></a>"),
+            ["+a", "+b", "\"hi\"", "-b", "-a"]
+        );
+    }
+
+    #[test]
+    fn self_closing_emits_end_event() {
+        assert_eq!(names("<a><b/></a>"), ["+a", "+b", "-b", "-a"]);
+    }
+
+    #[test]
+    fn attributes_parsed_and_normalized() {
+        let evs = events("<a x=\"1\" y='two &amp; three'\n z=\"a\tb\"/>").unwrap();
+        match &evs[0] {
+            Event::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "1");
+                assert_eq!(attributes[1].value, "two & three");
+                assert_eq!(attributes[2].value, "a b"); // tab normalized
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = events("<a x=\"1\" x=\"2\"/>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected_with_position() {
+        let err = events("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedTag { .. }));
+        assert_eq!(err.position.line, 1);
+    }
+
+    #[test]
+    fn unclosed_elements_rejected() {
+        let err = events("<a><b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnclosedElements(ref v) if v == &["a", "b"]));
+    }
+
+    #[test]
+    fn second_root_rejected() {
+        let err = events("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn no_root_rejected() {
+        let err = events("   \n  ").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn cdata_folds_into_text() {
+        assert_eq!(
+            names("<a><![CDATA[<raw> & text]]></a>"),
+            ["+a", "\"<raw> & text\"", "-a"]
+        );
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let evs = events("<?xml version=\"1.0\"?><!-- top --><a><?php echo?></a>").unwrap();
+        assert!(matches!(&evs[0], Event::Comment { text, .. } if text == " top "));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::ProcessingInstruction { target, .. } if target == "php")));
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected() {
+        let err = events("<a><!-- bad -- comment --></a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::IllegalSequence(_)));
+    }
+
+    #[test]
+    fn doctype_rejected_clearly() {
+        let err = events("<!DOCTYPE html><a/>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DoctypeUnsupported));
+    }
+
+    #[test]
+    fn cdata_end_in_text_rejected() {
+        let err = events("<a>bad ]]> text</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::IllegalSequence("]]>")));
+    }
+
+    #[test]
+    fn bad_entity_rejected() {
+        let err = events("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Reference(_)));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let err = events("<a>\n  <b>\n</a>").unwrap_err();
+        assert_eq!(err.position.line, 3);
+    }
+
+    #[test]
+    fn purchase_order_smoke() {
+        let src = "<purchaseOrder orderDate=\"1999-10-20\">\n  <shipTo country=\"US\">\n    <name>Alice Smith</name>\n  </shipTo>\n</purchaseOrder>";
+        let evs = events(src).unwrap();
+        assert!(matches!(
+            &evs[0],
+            Event::StartElement { name, attributes, .. }
+                if name == "purchaseOrder" && attributes[0].value == "1999-10-20"
+        ));
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests for the parser: no panics on arbitrary input, and
+//! parse∘serialize is the identity on serializer output.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = xmlparse::parse_document(&input);
+    }
+
+    /// Same for inputs that look like markup.
+    #[test]
+    fn parser_never_panics_on_markupish(input in "[<>/a-z\"'= &;!?\\-\\[\\]]{0,100}") {
+        let _ = xmlparse::parse_document(&input);
+    }
+
+    /// Escaped text round-trips through a full parse.
+    #[test]
+    fn text_roundtrip(text in "[^\\x00-\\x08\\x0b\\x0c\\x0e-\\x1f]{0,40}") {
+        let xml = format!("<a>{}</a>", xmlchars::escape_text(&text));
+        let doc = xmlparse::parse_document(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        prop_assert_eq!(doc.text_content(root).unwrap(), text);
+    }
+
+    /// Escaped attribute values round-trip, including whitespace that
+    /// attribute-value normalization would otherwise fold.
+    #[test]
+    fn attribute_roundtrip(value in "[^\\x00-\\x08\\x0b\\x0c\\x0e-\\x1f]{0,30}") {
+        let xml = format!("<a v=\"{}\"/>", xmlchars::escape_attribute(&value));
+        let doc = xmlparse::parse_document(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        prop_assert_eq!(doc.attribute(root, "v").unwrap().unwrap(), value);
+    }
+
+    /// Deeply nested documents parse without stack overflow (the tree
+    /// builder and serializer are iterative where it matters).
+    #[test]
+    fn deep_nesting(depth in 1usize..400) {
+        let mut xml = String::new();
+        for _ in 0..depth {
+            xml.push_str("<d>");
+        }
+        for _ in 0..depth {
+            xml.push_str("</d>");
+        }
+        let doc = xmlparse::parse_document(&xml).unwrap();
+        prop_assert_eq!(doc.len(), depth + 1);
+    }
+}

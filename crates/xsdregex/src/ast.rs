@@ -1,0 +1,56 @@
+//! The abstract syntax of XSD patterns.
+
+use crate::charset::CharSet;
+
+/// A parsed pattern expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty string.
+    Empty,
+    /// Any single character from the set.
+    Class(CharSet),
+    /// Concatenation of parts, in order.
+    Concat(Vec<Ast>),
+    /// Alternation between branches.
+    Alternate(Vec<Ast>),
+    /// `inner{min, max}` with `max = None` meaning unbounded.
+    Repeat {
+        /// Repeated expression.
+        inner: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions, `None` = unbounded.
+        max: Option<u32>,
+    },
+}
+
+impl Ast {
+    /// Counts AST nodes (used by tests and the tooling bench).
+    pub fn size(&self) -> usize {
+        match self {
+            Ast::Empty | Ast::Class(_) => 1,
+            Ast::Concat(parts) | Ast::Alternate(parts) => {
+                1 + parts.iter().map(Ast::size).sum::<usize>()
+            }
+            Ast::Repeat { inner, .. } => 1 + inner.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_nodes() {
+        let ast = Ast::Concat(vec![
+            Ast::Class(CharSet::single('a')),
+            Ast::Repeat {
+                inner: Box::new(Ast::Class(CharSet::single('b'))),
+                min: 0,
+                max: None,
+            },
+        ]);
+        assert_eq!(ast.size(), 4);
+    }
+}

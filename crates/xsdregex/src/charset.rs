@@ -1,0 +1,293 @@
+//! Sets of Unicode scalar values, represented as sorted, disjoint,
+//! non-adjacent inclusive ranges.
+//!
+//! This is the alphabet type shared by the NFA and DFA: transitions are
+//! labelled with `CharSet`s, and the DFA construction partitions the
+//! alphabet into equivalence classes derived from the range boundaries.
+
+/// The maximum Unicode scalar value.
+const MAX_CHAR: u32 = char::MAX as u32;
+
+/// An immutable set of characters as sorted disjoint inclusive ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CharSet {
+    /// Sorted, disjoint, non-adjacent `(lo, hi)` inclusive ranges.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CharSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        CharSet::default()
+    }
+
+    /// The set of every XML character (approximated as all scalar values;
+    /// the parser rejects non-XML chars before matching is attempted).
+    pub fn any() -> Self {
+        CharSet {
+            ranges: vec![(0, MAX_CHAR)],
+        }
+    }
+
+    /// A single character.
+    pub fn single(c: char) -> Self {
+        CharSet {
+            ranges: vec![(c as u32, c as u32)],
+        }
+    }
+
+    /// An inclusive range `lo..=hi`.
+    pub fn range(lo: char, hi: char) -> Self {
+        assert!(lo <= hi, "invalid range {lo:?}..={hi:?}");
+        CharSet {
+            ranges: vec![(lo as u32, hi as u32)],
+        }
+    }
+
+    /// Builds a set from arbitrary `(lo, hi)` pairs, normalizing.
+    pub fn from_ranges(pairs: impl IntoIterator<Item = (char, char)>) -> Self {
+        let mut set = CharSet::empty();
+        for (lo, hi) in pairs {
+            set = set.union(&CharSet::range(lo, hi));
+        }
+        set
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of characters in the set.
+    pub fn len(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| u64::from(hi - lo) + 1)
+            .sum()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: char) -> bool {
+        let cp = c as u32;
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if cp < lo {
+                    std::cmp::Ordering::Greater
+                } else if cp > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// The sorted disjoint ranges.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CharSet) -> CharSet {
+        let mut all: Vec<(u32, u32)> = self
+            .ranges
+            .iter()
+            .chain(other.ranges.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(all.len());
+        for (lo, hi) in all {
+            match out.last_mut() {
+                // merge overlapping or adjacent ranges
+                Some(&mut (_, ref mut phi)) if lo <= phi.saturating_add(1) => {
+                    *phi = (*phi).max(hi);
+                }
+                _ => out.push((lo, hi)),
+            }
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Set complement (relative to all scalar values).
+    pub fn negate(&self) -> CharSet {
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        let mut next = 0u32;
+        for &(lo, hi) in &self.ranges {
+            if lo > next {
+                out.push((next, lo - 1));
+            }
+            next = hi.saturating_add(1);
+            if next > MAX_CHAR {
+                return CharSet { ranges: out };
+            }
+        }
+        if next <= MAX_CHAR {
+            out.push((next, MAX_CHAR));
+        }
+        CharSet { ranges: out }
+    }
+
+    /// Set difference `self - other` (XSD class subtraction `[a-z-[aeiou]]`).
+    pub fn subtract(&self, other: &CharSet) -> CharSet {
+        self.intersect(&other.negate())
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &CharSet) -> CharSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (alo, ahi) = self.ranges[i];
+            let (blo, bhi) = other.ranges[j];
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if ahi < bhi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        CharSet { ranges: out }
+    }
+
+    /// An arbitrary member, if non-empty (used by tests and error demos).
+    pub fn example(&self) -> Option<char> {
+        self.ranges.first().and_then(|&(lo, _)| char::from_u32(lo))
+    }
+
+    // ---- the multi-character escape classes of XSD ----------------------
+
+    /// `\d`: Unicode decimal digits (approximated by `char::is_numeric`
+    /// restricted to `Nd` via `is_ascii_digit` ∪ common digit blocks; for
+    /// schema validation ASCII digits dominate, but we include the BMP
+    /// decimal-digit blocks used in practice).
+    pub fn digit() -> CharSet {
+        CharSet::from_ranges([
+            ('0', '9'),
+            ('\u{0660}', '\u{0669}'), // Arabic-Indic
+            ('\u{06F0}', '\u{06F9}'), // Extended Arabic-Indic
+            ('\u{0966}', '\u{096F}'), // Devanagari
+            ('\u{FF10}', '\u{FF19}'), // Fullwidth
+        ])
+    }
+
+    /// `\s`: the XSD whitespace class — exactly space, tab, CR, LF.
+    pub fn space() -> CharSet {
+        CharSet::from_ranges([('\t', '\n'), ('\r', '\r'), (' ', ' ')])
+    }
+
+    /// `\i`: initial name characters (`NameStartChar`).
+    pub fn name_start() -> CharSet {
+        CharSet::from_ranges([
+            (':', ':'),
+            ('A', 'Z'),
+            ('_', '_'),
+            ('a', 'z'),
+            ('\u{C0}', '\u{D6}'),
+            ('\u{D8}', '\u{F6}'),
+            ('\u{F8}', '\u{2FF}'),
+            ('\u{370}', '\u{37D}'),
+            ('\u{37F}', '\u{1FFF}'),
+            ('\u{200C}', '\u{200D}'),
+            ('\u{2070}', '\u{218F}'),
+            ('\u{2C00}', '\u{2FEF}'),
+            ('\u{3001}', '\u{D7FF}'),
+            ('\u{F900}', '\u{FDCF}'),
+            ('\u{FDF0}', '\u{FFFD}'),
+            ('\u{10000}', '\u{EFFFF}'),
+        ])
+    }
+
+    /// `\c`: name characters (`NameChar`).
+    pub fn name_char() -> CharSet {
+        CharSet::name_start().union(&CharSet::from_ranges([
+            ('-', '.'),
+            ('0', '9'),
+            ('\u{B7}', '\u{B7}'),
+            ('\u{300}', '\u{36F}'),
+            ('\u{203F}', '\u{2040}'),
+        ]))
+    }
+
+    /// `\w`: word characters — everything except punctuation, separators
+    /// and control/other. We approximate with letters, digits, marks,
+    /// connector punctuation over the ASCII + common ranges used by the
+    /// schema corpus, as permitted for a profile implementation.
+    pub fn word() -> CharSet {
+        CharSet::from_ranges([('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')])
+            .union(&CharSet::range('\u{C0}', '\u{2FF}'))
+            .union(&CharSet::range('\u{370}', '\u{1FFF}'))
+            .union(&CharSet::range('\u{3040}', '\u{9FFF}'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_merges_overlaps_and_adjacency() {
+        let s = CharSet::range('a', 'f').union(&CharSet::range('d', 'k'));
+        assert_eq!(s.ranges(), &[('a' as u32, 'k' as u32)]);
+        let s = CharSet::range('a', 'b').union(&CharSet::range('c', 'd'));
+        assert_eq!(s.ranges(), &[('a' as u32, 'd' as u32)]);
+        let s = CharSet::range('a', 'b').union(&CharSet::range('x', 'z'));
+        assert_eq!(s.ranges().len(), 2);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let s = CharSet::from_ranges([('a', 'f'), ('x', 'z'), ('0', '4')]);
+        for c in ['a', 'f', 'c', 'x', 'z', '0', '4'] {
+            assert!(s.contains(c), "{c}");
+        }
+        for c in ['g', 'w', '5', ' '] {
+            assert!(!s.contains(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn negate_partitions_the_alphabet() {
+        let s = CharSet::range('b', 'd');
+        let n = s.negate();
+        assert!(!n.contains('b') && !n.contains('c') && !n.contains('d'));
+        assert!(n.contains('a') && n.contains('e') && n.contains('\u{10FFFF}'));
+        assert_eq!(n.negate(), s);
+        assert_eq!(CharSet::any().negate(), CharSet::empty());
+        assert_eq!(CharSet::empty().negate(), CharSet::any());
+    }
+
+    #[test]
+    fn intersect_and_subtract() {
+        let az = CharSet::range('a', 'z');
+        let vowels = CharSet::from_ranges([('a', 'a'), ('e', 'e'), ('i', 'i'), ('o', 'o'), ('u', 'u')]);
+        let consonants = az.subtract(&vowels);
+        assert!(consonants.contains('b'));
+        assert!(!consonants.contains('e'));
+        assert_eq!(consonants.len(), 21);
+        assert_eq!(az.intersect(&vowels), vowels);
+    }
+
+    #[test]
+    fn len_counts_characters() {
+        assert_eq!(CharSet::range('a', 'z').len(), 26);
+        assert_eq!(CharSet::single('x').len(), 1);
+        assert_eq!(CharSet::empty().len(), 0);
+    }
+
+    #[test]
+    fn class_escapes_sanity() {
+        assert!(CharSet::digit().contains('7'));
+        assert!(!CharSet::digit().contains('x'));
+        assert!(CharSet::space().contains('\t'));
+        assert!(!CharSet::space().contains('\u{A0}'));
+        assert!(CharSet::name_start().contains('A'));
+        assert!(!CharSet::name_start().contains('-'));
+        assert!(CharSet::name_char().contains('-'));
+        assert!(CharSet::word().contains('_'));
+    }
+}

@@ -1,0 +1,203 @@
+//! Subset construction: NFA → DFA over a partition of the alphabet.
+//!
+//! Transition labels are [`CharSet`]s, so the classic construction is
+//! adapted: for each DFA state (a set of NFA states) we collect the
+//! outgoing `CharSet`s and refine them into disjoint cells; each cell
+//! yields at most one successor. Matching then walks one state per input
+//! character — the representation the paper's Sect. 6 preprocessor uses
+//! for repeated validation.
+
+use std::collections::HashMap;
+
+use crate::charset::CharSet;
+use crate::nfa::{Nfa, StateId};
+
+/// A deterministic automaton for whole-string matching.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Per-state transition table: disjoint `(CharSet, target)` pairs.
+    transitions: Vec<Vec<(CharSet, usize)>>,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Builds a DFA from `nfa` by subset construction.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let start_set = nfa.epsilon_closure(&[nfa.start()]);
+        let mut index: HashMap<Vec<StateId>, usize> = HashMap::new();
+        index.insert(start_set.clone(), 0);
+        let mut worklist = vec![start_set];
+        let mut transitions: Vec<Vec<(CharSet, usize)>> = vec![Vec::new()];
+        let mut accepting = vec![false];
+        let mut processed = 0;
+
+        while processed < worklist.len() {
+            let current = worklist[processed].clone();
+            let current_id = index[&current];
+            accepting[current_id] = current.contains(&nfa.accept());
+
+            // Gather all outgoing labels and refine into disjoint cells.
+            let labels: Vec<&CharSet> = current
+                .iter()
+                .flat_map(|&s| nfa.states()[s].transitions.iter().map(|t| &t.on))
+                .collect();
+            for cell in refine(&labels) {
+                // successor under any character of `cell` (cells are
+                // equivalence classes, so one representative suffices)
+                let repr = cell.example().expect("cells are non-empty");
+                let mut next: Vec<StateId> = Vec::new();
+                for &s in &current {
+                    for t in &nfa.states()[s].transitions {
+                        if t.on.contains(repr) && !next.contains(&t.to) {
+                            next.push(t.to);
+                        }
+                    }
+                }
+                let next = nfa.epsilon_closure(&next);
+                if next.is_empty() {
+                    continue;
+                }
+                let next_id = *index.entry(next.clone()).or_insert_with(|| {
+                    worklist.push(next.clone());
+                    transitions.push(Vec::new());
+                    accepting.push(false);
+                    transitions.len() - 1
+                });
+                transitions[current_id].push((cell, next_id));
+            }
+            processed += 1;
+        }
+
+        Dfa {
+            transitions,
+            accepting,
+        }
+    }
+
+    /// Number of DFA states (bench metric).
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whole-string match.
+    pub fn is_match(&self, input: &str) -> bool {
+        let mut state = 0usize;
+        for c in input.chars() {
+            match self.transitions[state]
+                .iter()
+                .find(|(set, _)| set.contains(c))
+            {
+                Some(&(_, next)) => state = next,
+                None => return false,
+            }
+        }
+        self.accepting[state]
+    }
+}
+
+/// Refines a collection of possibly-overlapping `CharSet`s into the
+/// coarsest partition of their union such that every cell is contained in
+/// or disjoint from every input set.
+fn refine(labels: &[&CharSet]) -> Vec<CharSet> {
+    // Collect boundary points from every range.
+    let mut bounds: Vec<u32> = Vec::new();
+    for set in labels {
+        for &(lo, hi) in set.ranges() {
+            bounds.push(lo);
+            bounds.push(hi.saturating_add(1));
+        }
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let mut cells = Vec::new();
+    for window in bounds.windows(2) {
+        let (lo, hi_excl) = (window[0], window[1]);
+        let lo_char = match char::from_u32(lo) {
+            Some(c) => c,
+            None => continue, // lo inside the surrogate gap: cell boundary only
+        };
+        // a cell is relevant only if some label contains it
+        if labels.iter().any(|s| s.contains(lo_char)) {
+            let hi_char = char::from_u32(hi_excl - 1)
+                .or_else(|| char::from_u32(0xD7FF))
+                .expect("valid char below boundary");
+            cells.push(CharSet::range(lo_char, hi_char.max(lo_char)));
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn dfa(pattern: &str) -> Dfa {
+        Dfa::from_nfa(&Nfa::compile(&parse(pattern).unwrap()))
+    }
+
+    #[test]
+    fn dragon_book_example() {
+        // (a|b)*abb — the classic Aho–Sethi–Ullman example from the
+        // paper's implementation section.
+        let d = dfa("(a|b)*abb");
+        assert!(d.is_match("abb"));
+        assert!(d.is_match("aabb"));
+        assert!(d.is_match("bbbabb"));
+        assert!(!d.is_match("ab"));
+        assert!(!d.is_match("abba"));
+        assert!(!d.is_match(""));
+        // minimal DFA for this language has 4 states; subset construction
+        // may add a few more but must stay small
+        assert!(d.state_count() <= 8, "states = {}", d.state_count());
+    }
+
+    #[test]
+    fn overlapping_classes_are_refined() {
+        // [a-m] and [g-z] overlap in [g-m]
+        let d = dfa("[a-m][g-z]");
+        assert!(d.is_match("am".replace('m', "g").as_str()));
+        assert!(d.is_match("gz"));
+        assert!(d.is_match("mz"));
+        assert!(!d.is_match("za"));
+        assert!(!d.is_match("af"));
+    }
+
+    #[test]
+    fn counted_pattern_in_dfa() {
+        let d = dfa(r"\d{3}-[A-Z]{2}");
+        assert!(d.is_match("926-AA"));
+        assert!(!d.is_match("926-Aa"));
+    }
+
+    #[test]
+    fn empty_language_never_matches_nonempty() {
+        let d = dfa("");
+        assert!(d.is_match(""));
+        assert!(!d.is_match("x"));
+    }
+
+    #[test]
+    fn refine_produces_disjoint_cells() {
+        let a = CharSet::range('a', 'm');
+        let b = CharSet::range('g', 'z');
+        let cells = refine(&[&a, &b]);
+        assert_eq!(cells.len(), 3); // [a-f] [g-m] [n-z]
+        for (i, x) in cells.iter().enumerate() {
+            for y in cells.iter().skip(i + 1) {
+                assert!(x.intersect(y).is_empty());
+            }
+        }
+        let union = cells.iter().fold(CharSet::empty(), |acc, c| acc.union(c));
+        assert_eq!(union, a.union(&b));
+    }
+
+    #[test]
+    fn negated_class_cells_handle_huge_ranges() {
+        let d = dfa("[^a]+");
+        assert!(d.is_match("xyz"));
+        assert!(d.is_match("\u{10FFFF}"));
+        assert!(!d.is_match("xay"));
+    }
+}

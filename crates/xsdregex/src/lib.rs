@@ -1,0 +1,113 @@
+//! A regular-expression engine for XML Schema `pattern` facets.
+//!
+//! XML Schema Part 2 (Appendix F) defines its own regex dialect: patterns
+//! are implicitly anchored at both ends, there are no backreferences or
+//! lookarounds, and character classes include the multi-character escapes
+//! `\d \D \w \W \s \S \i \c` plus class subtraction. This crate implements
+//! that dialect from scratch:
+//!
+//! * [`ast`] + [`parser`] — the pattern grammar;
+//! * [`charset`] — sets of Unicode scalar values as sorted range lists;
+//! * [`nfa`] — Thompson construction and direct NFA simulation;
+//! * [`dfa`] — subset construction over a partition of the alphabet,
+//!   used by the `schema` crate when a pattern is matched many times.
+//!
+//! The engine is used by simple-type validation (e.g. the purchase-order
+//! schema's `SKU` type, `\d{3}-[A-Z]{2}`, paper Fig. 3).
+//!
+//! # Example
+//!
+//! ```
+//! use xsdregex::Regex;
+//! let sku = Regex::parse(r"\d{3}-[A-Z]{2}").unwrap();
+//! assert!(sku.is_match("926-AA"));
+//! assert!(!sku.is_match("926-aa"));
+//! assert!(!sku.is_match("x926-AA")); // implicitly anchored
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod charset;
+pub mod dfa;
+pub mod nfa;
+pub mod parser;
+
+pub use charset::CharSet;
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use parser::{ParsePatternError, PatternErrorKind};
+
+/// A compiled XSD pattern.
+///
+/// Compilation builds a Thompson NFA eagerly; a DFA can be derived with
+/// [`Regex::dfa`] and cached by callers that match repeatedly.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    nfa: Nfa,
+}
+
+impl Regex {
+    /// Parses and compiles `pattern`.
+    pub fn parse(pattern: &str) -> Result<Self, ParsePatternError> {
+        let ast = parser::parse(pattern)?;
+        let nfa = Nfa::compile(&ast);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            nfa,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether `input` matches the whole pattern (XSD anchoring).
+    pub fn is_match(&self, input: &str) -> bool {
+        self.nfa.is_match(input)
+    }
+
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Builds a DFA for this pattern.
+    pub fn dfa(&self) -> Dfa {
+        Dfa::from_nfa(&self.nfa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sku_pattern_from_the_paper() {
+        let re = Regex::parse(r"\d{3}-[A-Z]{2}").unwrap();
+        assert!(re.is_match("926-AA"));
+        assert!(re.is_match("000-ZZ"));
+        assert!(!re.is_match("92-AA"));
+        assert!(!re.is_match("9266-AA"));
+        assert!(!re.is_match("926-A"));
+        assert!(!re.is_match(""));
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa() {
+        let re = Regex::parse(r"(a|b)*abb").unwrap();
+        let dfa = re.dfa();
+        for input in ["abb", "aabb", "babb", "ab", "", "abba", "aaabb"] {
+            assert_eq!(re.is_match(input), dfa.is_match(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_accessor() {
+        let re = Regex::parse("a+").unwrap();
+        assert_eq!(re.pattern(), "a+");
+    }
+}

@@ -1,0 +1,301 @@
+//! Thompson construction and direct NFA simulation.
+//!
+//! Counted repetitions `{n,m}` are compiled by structural repetition of
+//! the sub-automaton, which keeps simulation simple; the schema corpus
+//! uses small counts (`{3}`, `{2}`), and construction cost is measured in
+//! the `automata` bench (B5 ablates counter automata for the content-model
+//! case, where counts can be large).
+
+use crate::ast::Ast;
+use crate::charset::CharSet;
+
+/// State index within an [`Nfa`].
+pub type StateId = usize;
+
+/// A transition: consume one character from `on`, go to `to`.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// The labelled character set.
+    pub on: CharSet,
+    /// Target state.
+    pub to: StateId,
+}
+
+/// A single NFA state: character transitions plus ε-moves.
+#[derive(Debug, Clone, Default)]
+pub struct State {
+    /// Character-consuming transitions.
+    pub transitions: Vec<Transition>,
+    /// ε-transitions.
+    pub epsilon: Vec<StateId>,
+}
+
+/// A Thompson NFA with a single start and a single accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<State>,
+    start: StateId,
+    accept: StateId,
+}
+
+impl Nfa {
+    /// Compiles an AST into an NFA.
+    pub fn compile(ast: &Ast) -> Nfa {
+        let mut builder = Builder { states: Vec::new() };
+        let start = builder.new_state();
+        let accept = builder.new_state();
+        builder.build(ast, start, accept);
+        Nfa {
+            states: builder.states,
+            start,
+            accept,
+        }
+    }
+
+    /// Number of states (bench metric).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The accept state.
+    pub fn accept(&self) -> StateId {
+        self.accept
+    }
+
+    /// The states, indexable by [`StateId`].
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// ε-closure of a set of states, as a sorted deduplicated vec.
+    pub fn epsilon_closure(&self, seeds: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = seeds.to_vec();
+        for &s in seeds {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s].epsilon {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &v)| v.then_some(i))
+            .collect()
+    }
+
+    /// Whole-string match by breadth-first NFA simulation.
+    pub fn is_match(&self, input: &str) -> bool {
+        let mut current = self.epsilon_closure(&[self.start]);
+        for c in input.chars() {
+            if current.is_empty() {
+                return false;
+            }
+            let mut next: Vec<StateId> = Vec::new();
+            for &s in &current {
+                for t in &self.states[s].transitions {
+                    if t.on.contains(c) && !next.contains(&t.to) {
+                        next.push(t.to);
+                    }
+                }
+            }
+            current = self.epsilon_closure(&next);
+        }
+        current.contains(&self.accept)
+    }
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn new_state(&mut self) -> StateId {
+        self.states.push(State::default());
+        self.states.len() - 1
+    }
+
+    fn epsilon(&mut self, from: StateId, to: StateId) {
+        self.states[from].epsilon.push(to);
+    }
+
+    fn transition(&mut self, from: StateId, on: CharSet, to: StateId) {
+        self.states[from].transitions.push(Transition { on, to });
+    }
+
+    /// Builds `ast` between `from` and `to`.
+    fn build(&mut self, ast: &Ast, from: StateId, to: StateId) {
+        match ast {
+            Ast::Empty => self.epsilon(from, to),
+            Ast::Class(set) => self.transition(from, set.clone(), to),
+            Ast::Concat(parts) => {
+                let mut current = from;
+                for (i, part) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.new_state()
+                    };
+                    self.build(part, current, next);
+                    current = next;
+                }
+                if parts.is_empty() {
+                    self.epsilon(from, to);
+                }
+            }
+            Ast::Alternate(branches) => {
+                for branch in branches {
+                    let s = self.new_state();
+                    let e = self.new_state();
+                    self.epsilon(from, s);
+                    self.build(branch, s, e);
+                    self.epsilon(e, to);
+                }
+            }
+            Ast::Repeat { inner, min, max } => {
+                match max {
+                    Some(max) => {
+                        // chain of `max` copies; copies past `min` are skippable
+                        let mut current = from;
+                        for i in 0..*max {
+                            let next = if i + 1 == *max { to } else { self.new_state() };
+                            if i >= *min {
+                                self.epsilon(current, to);
+                            }
+                            self.build(inner, current, next);
+                            current = next;
+                        }
+                        if *max == 0 {
+                            self.epsilon(from, to);
+                        }
+                    }
+                    None => {
+                        // `min` mandatory copies, then a Kleene loop
+                        let mut current = from;
+                        for _ in 0..*min {
+                            let next = self.new_state();
+                            self.build(inner, current, next);
+                            current = next;
+                        }
+                        let loop_start = self.new_state();
+                        let loop_end = self.new_state();
+                        self.epsilon(current, loop_start);
+                        self.epsilon(current, to);
+                        self.build(inner, loop_start, loop_end);
+                        self.epsilon(loop_end, loop_start);
+                        self.epsilon(loop_end, to);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa(pattern: &str) -> Nfa {
+        Nfa::compile(&parse(pattern).unwrap())
+    }
+
+    #[test]
+    fn literal_match() {
+        let n = nfa("abc");
+        assert!(n.is_match("abc"));
+        assert!(!n.is_match("ab"));
+        assert!(!n.is_match("abcd"));
+        assert!(!n.is_match(""));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        let n = nfa("");
+        assert!(n.is_match(""));
+        assert!(!n.is_match("a"));
+    }
+
+    #[test]
+    fn alternation_and_kleene() {
+        let n = nfa("(ab|cd)*");
+        assert!(n.is_match(""));
+        assert!(n.is_match("ab"));
+        assert!(n.is_match("abcdab"));
+        assert!(!n.is_match("abc"));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        let n = nfa("a{2,4}");
+        assert!(!n.is_match("a"));
+        assert!(n.is_match("aa"));
+        assert!(n.is_match("aaa"));
+        assert!(n.is_match("aaaa"));
+        assert!(!n.is_match("aaaaa"));
+
+        let n = nfa("a{0,2}");
+        assert!(n.is_match(""));
+        assert!(n.is_match("aa"));
+        assert!(!n.is_match("aaa"));
+
+        let n = nfa("a{3}");
+        assert!(n.is_match("aaa"));
+        assert!(!n.is_match("aa"));
+        assert!(!n.is_match("aaaa"));
+
+        let n = nfa("a{2,}");
+        assert!(!n.is_match("a"));
+        assert!(n.is_match("aaaaaaa"));
+    }
+
+    #[test]
+    fn zero_max_repeat() {
+        let n = nfa("a{0,0}");
+        assert!(n.is_match(""));
+        assert!(!n.is_match("a"));
+    }
+
+    #[test]
+    fn optional_plus() {
+        let n = nfa("ab?c+");
+        assert!(n.is_match("ac"));
+        assert!(n.is_match("abc"));
+        assert!(n.is_match("abccc"));
+        assert!(!n.is_match("ab"));
+    }
+
+    #[test]
+    fn classes_in_nfa() {
+        let n = nfa(r"[A-Z][a-z]*");
+        assert!(n.is_match("Hello"));
+        assert!(!n.is_match("hello"));
+        assert!(n.is_match("X"));
+    }
+
+    #[test]
+    fn epsilon_closure_reaches_through_chains() {
+        let n = nfa("a*b*");
+        assert!(n.is_match(""));
+        assert!(n.is_match("aaabbb"));
+        assert!(n.is_match("b"));
+        assert!(!n.is_match("ba"));
+    }
+
+    #[test]
+    fn nested_quantified_groups() {
+        let n = nfa("(a{2}b){2}");
+        assert!(n.is_match("aabaab"));
+        assert!(!n.is_match("aab"));
+        assert!(!n.is_match("aabab"));
+    }
+}

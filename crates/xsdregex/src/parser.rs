@@ -1,0 +1,494 @@
+//! Recursive-descent parser for the XSD pattern grammar (XML Schema
+//! Part 2, Appendix F).
+//!
+//! Grammar (simplified to what we support — the full Appendix F minus
+//! `\p{…}` block escapes, which the schema corpus in this reproduction
+//! does not use; they are rejected with a clear error):
+//!
+//! ```text
+//! regExp     ::= branch ( '|' branch )*
+//! branch     ::= piece*
+//! piece      ::= atom quantifier?
+//! quantifier ::= '?' | '*' | '+' | '{' n (',' m?)? '}'
+//! atom       ::= char | charClass | '(' regExp ')'
+//! charClass  ::= charClassEsc | charClassExpr | '.'
+//! charClassExpr ::= '[' '^'? group ('-' '[' … ']')? ']'
+//! ```
+
+use std::fmt;
+
+use crate::ast::Ast;
+use crate::charset::CharSet;
+
+/// Where and why a pattern failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// The failure kind.
+    pub kind: PatternErrorKind,
+    /// Byte offset in the pattern.
+    pub at: usize,
+}
+
+/// The kinds of pattern syntax errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternErrorKind {
+    /// Pattern ended unexpectedly.
+    UnexpectedEnd,
+    /// A character that cannot appear here.
+    Unexpected(char),
+    /// Unknown escape sequence.
+    BadEscape(char),
+    /// `{n,m}` with `n > m` or unparsable numbers.
+    BadQuantifier,
+    /// A quantifier with nothing to repeat (`*` at start, `a**`).
+    NothingToRepeat,
+    /// Character range with `lo > hi`, e.g. `[z-a]`.
+    BadRange(char, char),
+    /// `\p{…}` category escapes are not supported by this profile.
+    UnsupportedCategoryEscape,
+    /// Unmatched `)` or `]` or `}`.
+    Unbalanced(char),
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match &self.kind {
+            PatternErrorKind::UnexpectedEnd => "pattern ended unexpectedly".to_string(),
+            PatternErrorKind::Unexpected(c) => format!("unexpected {c:?}"),
+            PatternErrorKind::BadEscape(c) => format!("unknown escape \\{c}"),
+            PatternErrorKind::BadQuantifier => "malformed {n,m} quantifier".to_string(),
+            PatternErrorKind::NothingToRepeat => "quantifier with nothing to repeat".to_string(),
+            PatternErrorKind::BadRange(lo, hi) => format!("bad character range {lo:?}-{hi:?}"),
+            PatternErrorKind::UnsupportedCategoryEscape => {
+                "\\p{…} category escapes are not supported".to_string()
+            }
+            PatternErrorKind::Unbalanced(c) => format!("unbalanced {c:?}"),
+        };
+        write!(f, "{k} at offset {}", self.at)
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+/// Parses an XSD pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParsePatternError> {
+    let mut p = Parser {
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+    };
+    let ast = p.regexp()?;
+    match p.peek() {
+        None => Ok(ast),
+        Some(c) => Err(p.error(PatternErrorKind::Unbalanced(c))),
+    }
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(i, _)| i)
+            .unwrap_or_else(|| self.chars.last().map(|&(i, c)| i + c.len_utf8()).unwrap_or(0))
+    }
+
+    fn error(&self, kind: PatternErrorKind) -> ParsePatternError {
+        ParsePatternError {
+            kind,
+            at: self.offset(),
+        }
+    }
+
+    fn regexp(&mut self) -> Result<Ast, ParsePatternError> {
+        let mut branches = vec![self.branch()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.branch()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    fn branch(&mut self) -> Result<Ast, ParsePatternError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some('|') | Some(')') => break,
+                Some(q @ ('?' | '*' | '+')) => {
+                    let _ = q;
+                    return Err(self.error(PatternErrorKind::NothingToRepeat));
+                }
+                Some('{') => return Err(self.error(PatternErrorKind::NothingToRepeat)),
+                _ => {
+                    let atom = self.atom()?;
+                    parts.push(self.quantified(atom)?);
+                }
+            }
+        }
+        match parts.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(parts.pop().unwrap()),
+            _ => Ok(Ast::Concat(parts)),
+        }
+    }
+
+    fn quantified(&mut self, atom: Ast) -> Result<Ast, ParsePatternError> {
+        let (min, max) = match self.peek() {
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('{') => {
+                self.bump();
+                self.braced_quantifier()?
+            }
+            _ => return Ok(atom),
+        };
+        // Reject double quantifiers like `a*+` explicitly.
+        if matches!(self.peek(), Some('?' | '*' | '+' | '{')) {
+            return Err(self.error(PatternErrorKind::NothingToRepeat));
+        }
+        Ok(Ast::Repeat {
+            inner: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn braced_quantifier(&mut self) -> Result<(u32, Option<u32>), ParsePatternError> {
+        let min = self.number()?;
+        match self.bump() {
+            Some('}') => Ok((min, Some(min))),
+            Some(',') => match self.peek() {
+                Some('}') => {
+                    self.bump();
+                    Ok((min, None))
+                }
+                _ => {
+                    let max = self.number()?;
+                    if self.bump() != Some('}') {
+                        return Err(self.error(PatternErrorKind::BadQuantifier));
+                    }
+                    if max < min {
+                        return Err(self.error(PatternErrorKind::BadQuantifier));
+                    }
+                    Ok((min, Some(max)))
+                }
+            },
+            _ => Err(self.error(PatternErrorKind::BadQuantifier)),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, ParsePatternError> {
+        let mut digits = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            digits.push(self.bump().unwrap());
+        }
+        digits
+            .parse()
+            .map_err(|_| self.error(PatternErrorKind::BadQuantifier))
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParsePatternError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.regexp()?;
+                if self.bump() != Some(')') {
+                    return Err(self.error(PatternErrorKind::Unbalanced('(')));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                let set = self.char_class_expr()?;
+                Ok(Ast::Class(set))
+            }
+            Some('.') => {
+                self.bump();
+                // XSD '.' is every char except newline and carriage return.
+                Ok(Ast::Class(
+                    CharSet::from_ranges([('\n', '\n'), ('\r', '\r')]).negate(),
+                ))
+            }
+            Some('\\') => {
+                self.bump();
+                let set = self.escape()?;
+                Ok(Ast::Class(set))
+            }
+            Some(c @ (']' | '}')) => Err(self.error(PatternErrorKind::Unbalanced(c))),
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Class(CharSet::single(c)))
+            }
+            None => Err(self.error(PatternErrorKind::UnexpectedEnd)),
+        }
+    }
+
+    /// Single- and multi-character escapes, shared between atoms and
+    /// class expressions.
+    fn escape(&mut self) -> Result<CharSet, ParsePatternError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.error(PatternErrorKind::UnexpectedEnd))?;
+        let set = match c {
+            // single-character escapes
+            'n' => CharSet::single('\n'),
+            'r' => CharSet::single('\r'),
+            't' => CharSet::single('\t'),
+            '\\' | '|' | '.' | '-' | '^' | '?' | '*' | '+' | '{' | '}' | '(' | ')' | '[' | ']' => {
+                CharSet::single(c)
+            }
+            // multi-character escapes
+            'd' => CharSet::digit(),
+            'D' => CharSet::digit().negate(),
+            's' => CharSet::space(),
+            'S' => CharSet::space().negate(),
+            'w' => CharSet::word(),
+            'W' => CharSet::word().negate(),
+            'i' => CharSet::name_start(),
+            'I' => CharSet::name_start().negate(),
+            'c' => CharSet::name_char(),
+            'C' => CharSet::name_char().negate(),
+            'p' | 'P' => return Err(self.error(PatternErrorKind::UnsupportedCategoryEscape)),
+            other => return Err(self.error(PatternErrorKind::BadEscape(other))),
+        };
+        Ok(set)
+    }
+
+    /// Parses the inside of `[...]` after the opening bracket.
+    fn char_class_expr(&mut self) -> Result<CharSet, ParsePatternError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = CharSet::empty();
+        let mut first = true;
+        loop {
+            match self.peek() {
+                Some(']') if !first => {
+                    self.bump();
+                    break;
+                }
+                None => return Err(self.error(PatternErrorKind::UnexpectedEnd)),
+                Some('-') if !first => {
+                    // could be subtraction `-[...]` or a literal trailing '-'
+                    self.bump();
+                    match self.peek() {
+                        Some('[') => {
+                            self.bump();
+                            let sub = self.char_class_expr()?;
+                            if self.bump() != Some(']') {
+                                return Err(self.error(PatternErrorKind::Unbalanced('[')));
+                            }
+                            let base = if negated { set.negate() } else { set };
+                            return Ok(base.subtract(&sub));
+                        }
+                        Some(']') => {
+                            self.bump();
+                            set = set.union(&CharSet::single('-'));
+                            break;
+                        }
+                        _ => return Err(self.error(PatternErrorKind::Unexpected('-'))),
+                    }
+                }
+                _ => {
+                    let lo_set = self.class_member()?;
+                    // range only applies when the member was a single char
+                    if self.peek() == Some('-') && lo_set.len() == 1 {
+                        // peek past '-' to distinguish range from subtraction
+                        let save = self.pos;
+                        self.bump();
+                        match self.peek() {
+                            Some('[') | Some(']') | None => {
+                                self.pos = save; // not a range; loop handles it
+                                set = set.union(&lo_set);
+                            }
+                            _ => {
+                                let hi_set = self.class_member()?;
+                                let lo = lo_set.example().unwrap();
+                                let hi = hi_set.example().ok_or_else(|| {
+                                    self.error(PatternErrorKind::UnexpectedEnd)
+                                })?;
+                                if hi_set.len() != 1 || hi < lo {
+                                    return Err(self.error(PatternErrorKind::BadRange(lo, hi)));
+                                }
+                                set = set.union(&CharSet::range(lo, hi));
+                            }
+                        }
+                    } else {
+                        set = set.union(&lo_set);
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(if negated { set.negate() } else { set })
+    }
+
+    fn class_member(&mut self) -> Result<CharSet, ParsePatternError> {
+        match self.bump() {
+            Some('\\') => self.escape(),
+            Some(c) => Ok(CharSet::single(c)),
+            None => Err(self.error(PatternErrorKind::UnexpectedEnd)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_of(pattern: &str) -> CharSet {
+        match parse(pattern).unwrap() {
+            Ast::Class(set) => set,
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        let ast = parse("abc").unwrap();
+        match ast {
+            Ast::Concat(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_pattern_is_empty_ast() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+        // empty alternation branch
+        match parse("a|").unwrap() {
+            Ast::Alternate(bs) => assert_eq!(bs[1], Ast::Empty),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        for (p, min, max) in [
+            ("a?", 0, Some(1)),
+            ("a*", 0, None),
+            ("a+", 1, None),
+            ("a{3}", 3, Some(3)),
+            ("a{2,}", 2, None),
+            ("a{2,5}", 2, Some(5)),
+        ] {
+            match parse(p).unwrap() {
+                Ast::Repeat { min: m, max: x, .. } => {
+                    assert_eq!((m, x), (min, max), "{p}");
+                }
+                other => panic!("{p}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_quantifiers_rejected() {
+        assert!(parse("a{5,2}").is_err());
+        assert!(parse("a{}").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("a**").is_err());
+        assert!(parse("{2}").is_err());
+    }
+
+    #[test]
+    fn char_classes() {
+        let set = class_of("[a-f0-9]");
+        assert!(set.contains('c') && set.contains('7'));
+        assert!(!set.contains('g'));
+
+        let neg = class_of("[^a-z]");
+        assert!(!neg.contains('m'));
+        assert!(neg.contains('M'));
+
+        let dash = class_of("[a-]");
+        assert!(dash.contains('a') && dash.contains('-'));
+    }
+
+    #[test]
+    fn class_subtraction() {
+        let set = class_of("[a-z-[aeiou]]");
+        assert!(set.contains('b'));
+        assert!(!set.contains('e'));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(class_of(r"\d").contains('5'));
+        assert!(!class_of(r"\D").contains('5'));
+        assert!(class_of(r"\s").contains(' '));
+        assert!(class_of(r"\.").contains('.'));
+        assert!(class_of(r"\\").contains('\\'));
+        assert!(class_of(r"\n").contains('\n'));
+        assert!(parse(r"\q").is_err());
+        assert!(matches!(
+            parse(r"\p{L}").unwrap_err().kind,
+            PatternErrorKind::UnsupportedCategoryEscape
+        ));
+    }
+
+    #[test]
+    fn dot_excludes_newlines() {
+        let set = class_of(".");
+        assert!(set.contains('x'));
+        assert!(!set.contains('\n'));
+        assert!(!set.contains('\r'));
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        let ast = parse("(a|b)c").unwrap();
+        match ast {
+            Ast::Concat(parts) => {
+                assert!(matches!(parts[0], Ast::Alternate(_)));
+                assert!(matches!(parts[1], Ast::Class(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+    }
+
+    #[test]
+    fn bad_range_rejected() {
+        assert!(matches!(
+            parse("[z-a]").unwrap_err().kind,
+            PatternErrorKind::BadRange('z', 'a')
+        ));
+    }
+
+    #[test]
+    fn error_offsets_are_byte_positions() {
+        let err = parse("ab\\q").unwrap_err();
+        assert_eq!(err.at, 4);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: the DFA must agree with the NFA on every input, and
+//! parsing must never panic.
+
+use proptest::prelude::*;
+use xsdregex::Regex;
+
+/// A small generator of syntactically valid XSD patterns.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        "[a-c]".prop_map(|s: String| s),
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("[ab]".to_string()),
+        Just(r"\d".to_string()),
+        Just(".".to_string()),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+            inner.clone().prop_map(|a| format!("({a})*")),
+            inner.clone().prop_map(|a| format!("({a})?")),
+            inner.clone().prop_map(|a| format!("({a})+")),
+            (inner, 0u32..4, 0u32..4)
+                .prop_map(|(a, lo, extra)| format!("({a}){{{lo},{}}}", lo + extra)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn dfa_equals_nfa(pattern in arb_pattern(), input in "[abc0-9]{0,12}") {
+        let re = Regex::parse(&pattern).expect("generated patterns are valid");
+        let dfa = re.dfa();
+        prop_assert_eq!(re.is_match(&input), dfa.is_match(&input),
+            "pattern {} input {}", pattern, input);
+    }
+
+    #[test]
+    fn parse_never_panics(pattern in "\\PC{0,24}") {
+        let _ = Regex::parse(&pattern);
+    }
+
+    #[test]
+    fn literal_patterns_match_themselves(lit in "[a-z]{1,10}") {
+        let re = Regex::parse(&lit).unwrap();
+        prop_assert!(re.is_match(&lit));
+        let extended = format!("{lit}x");
+        prop_assert!(!re.is_match(&extended));
+    }
+
+    #[test]
+    fn charset_union_commutes(
+        a in proptest::char::range('a', 'm'), b in proptest::char::range('a', 'm'), c in proptest::char::range('n', 'z'), d in proptest::char::range('n', 'z')
+    ) {
+        use xsdregex::CharSet;
+        let (a, b) = (a.min(b), a.max(b));
+        let (c, d) = (c.min(d), c.max(d));
+        let x = CharSet::range(a, b);
+        let y = CharSet::range(c, d);
+        prop_assert_eq!(x.union(&y), y.union(&x));
+        prop_assert_eq!(x.union(&y).negate().negate(), x.union(&y));
+    }
+
+    #[test]
+    fn charset_demorgan(a in proptest::char::range('a', 'z'), b in proptest::char::range('a', 'z')) {
+        use xsdregex::CharSet;
+        let (a, b) = (a.min(b), a.max(b));
+        let x = CharSet::range(a, b);
+        let y = CharSet::range('f', 'q');
+        // ¬(x ∪ y) = ¬x ∩ ¬y
+        prop_assert_eq!(x.union(&y).negate(), x.negate().intersect(&y.negate()));
+    }
+}

@@ -1,0 +1,2 @@
+//! Shared nothing: this package exists to host the runnable example
+//! binaries in the repository root's `examples/` directory.

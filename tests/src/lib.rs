@@ -1,0 +1,3 @@
+//! Cross-crate integration tests live in this package's `tests/`
+//! directory; see `tests/tests/figures.rs` for the figure-by-figure
+//! reproduction of the paper's artifacts.

@@ -1,0 +1,313 @@
+//! Figure-by-figure reproduction of the paper's artifacts (experiment
+//! index F1–FA in DESIGN.md). Every figure in the paper is either a
+//! document, a schema, a generated interface, or generated code — each
+//! test regenerates the corresponding artifact and checks its content.
+
+use schema::corpus::*;
+use schema::{BuiltinType, CompiledSchema, TypeRef};
+
+fn po() -> CompiledSchema {
+    CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap()
+}
+
+// ---------------------------------------------------------------- F1 --
+
+#[test]
+fn fig1_purchase_order_document_roundtrips() {
+    let doc = xmlparse::parse_document(PURCHASE_ORDER_XML).unwrap();
+    let root = doc.root_element().unwrap();
+    // the parse is lossless
+    assert_eq!(
+        format!("{}\n", dom::serialize(&doc, root).unwrap()),
+        PURCHASE_ORDER_XML
+    );
+    // structure as in the paper: purchaseOrder with 4 children
+    let children: Vec<_> = doc
+        .child_elements(root)
+        .map(|c| doc.tag_name(c).unwrap().to_string())
+        .collect();
+    assert_eq!(children, ["shipTo", "billTo", "comment", "items"]);
+    // line 21/27: USPrice values
+    let prices: Vec<String> = doc
+        .elements_named(root, "USPrice")
+        .map(|n| doc.text_content(n).unwrap())
+        .collect();
+    assert_eq!(prices, ["148.95", "39.98"]);
+}
+
+#[test]
+fn fig1_document_is_valid_per_fig2_3_schema() {
+    let doc = xmlparse::parse_document(PURCHASE_ORDER_XML).unwrap();
+    assert!(validator::validate_document(&po(), &doc).is_empty());
+}
+
+// ------------------------------------------------------------- F2/F3 --
+
+#[test]
+fn fig2_3_schema_components() {
+    let c = po();
+    let s = c.schema();
+    // elements (lines 8–9)
+    assert_eq!(
+        s.element("purchaseOrder").unwrap().type_ref,
+        TypeRef::Named("PurchaseOrderType".into())
+    );
+    assert_eq!(
+        s.element("comment").unwrap().type_ref,
+        TypeRef::Builtin(BuiltinType::String)
+    );
+    // PurchaseOrderType (10–23): sequence + orderDate attribute
+    let attrs = s.effective_attributes("PurchaseOrderType").unwrap();
+    assert_eq!(attrs[0].name, "orderDate");
+    assert!(matches!(attrs[0].type_ref, TypeRef::Builtin(BuiltinType::Date)));
+    // USAddress (24–33): country fixed US
+    let attrs = s.effective_attributes("USAddress").unwrap();
+    assert_eq!(attrs[0].fixed.as_deref(), Some("US"));
+    // quantity (41–46): anonymous positiveInteger restriction < 100
+    let item_t = s.child_element_type("Items", "item").unwrap();
+    let q = s.child_element_type(item_t.name(), "quantity").unwrap();
+    assert!(s.validate_simple_value(&q, "99").is_ok());
+    assert!(s.validate_simple_value(&q, "100").is_err());
+    // SKU (57–61): pattern \d{3}-[A-Z]{2}
+    let sku = TypeRef::Named("SKU".into());
+    assert!(s.validate_simple_value(&sku, "926-AA").is_ok());
+    assert!(s.validate_simple_value(&sku, "926-aa").is_err());
+}
+
+// ---------------------------------------------------------------- F4 --
+
+#[test]
+fn fig4_dom_representation_uses_generic_element_interface() {
+    let doc = xmlparse::parse_document(
+        "<purchaseOrder orderDate=\"1999-10-20\"><shipTo country=\"US\"><name>Alice Smith</name></shipTo></purchaseOrder>",
+    )
+    .unwrap();
+    let root = doc.root_element().unwrap();
+    let dump = dom::dump_tree(&doc, root).unwrap();
+    // every node is just "Element" — the deficiency V-DOM corrects
+    assert_eq!(
+        dump,
+        "Element \"purchaseOrder\" orderDate=\"1999-10-20\"\n  \
+         Element \"shipTo\" country=\"US\"\n    \
+         Element \"name\"\n      \
+         Text \"Alice Smith\"\n"
+    );
+}
+
+// ---------------------------------------------------------------- F5 --
+
+#[test]
+fn fig5_union_type_interface() {
+    let schema = schema::parse_schema(CHOICE_PO_XSD).unwrap();
+    let model = normalize::build_model(&schema).unwrap();
+    let idl = codegen::render_union_idl(&model);
+    // Fig. 5 lines 2–5: the union typedef with a switch enum
+    assert!(idl.contains("typedef union PurchaseOrderTypeCC1Union"));
+    assert!(idl.contains("switch (enum PurchaseOrderTypeCC1ST(singAddr,twoAddr))"));
+    assert!(idl.contains("case singAddr: singAddrElement singAddr;"));
+    assert!(idl.contains("case twoAddr: twoAddrElement twoAddr;"));
+    // lines 6–8: the three attributes
+    assert!(idl.contains("attribute PurchaseOrderTypeCC1Union PurchaseOrderTypeCC1;"));
+    assert!(idl.contains("attribute commentElement comment;"));
+    assert!(idl.contains("attribute itemsElement items;"));
+}
+
+// ---------------------------------------------------------------- F6 --
+
+#[test]
+fn fig6_inheritance_interface_with_merged_naming() {
+    let schema = schema::parse_schema(CHOICE_PO_XSD).unwrap();
+    let model = normalize::build_model(&schema).unwrap();
+    let idl = codegen::render_idl(&model);
+    // Fig. 6 line 2: the empty super-interface
+    assert!(idl.contains("interface PurchaseOrderTypeCC1Group"));
+    // lines 3–4: alternatives inherit from it
+    assert!(idl.contains("interface singAddrElement: PurchaseOrderTypeCC1Group"));
+    assert!(idl.contains("interface twoAddrElement: PurchaseOrderTypeCC1Group"));
+    // line 6: the choice field is typed by the group interface
+    assert!(idl.contains("attribute PurchaseOrderTypeCC1Group PurchaseOrderTypeCC1;"));
+}
+
+// ---------------------------------------------------------------- F7 --
+
+#[test]
+fn fig7_vdom_representation_shows_generated_interfaces() {
+    let compiled = po();
+    let mut td = vdom::TypedDocument::new(compiled);
+    let root = td.create_root("purchaseOrder").unwrap();
+    td.set_attribute(root, "orderDate", "1999-10-20").unwrap();
+    let ship = td.append_element(root, "shipTo").unwrap();
+    td.set_attribute(ship, "country", "US").unwrap();
+    let name = td.append_element(ship, "name").unwrap();
+    td.append_text(name, "Alice Smith").unwrap();
+    let dump = vdom::dump_typed(&td, root).unwrap();
+    // in contrast to Fig. 4, every node carries its generated interface
+    assert!(dump.contains("purchaseOrderElement : PurchaseOrderTypeType"));
+    assert!(dump.contains("shipToElement : USAddressType"));
+    assert!(dump.contains("nameElement : string"));
+}
+
+// ---------------------------------------------------------------- F8 --
+
+#[test]
+fn fig8_jsp_style_page() {
+    // the Fig. 8 server page: current directory as select/options
+    let archive = webgen::MediaArchive::generate(42, 4, 2);
+    let data = webgen::DirectoryPageData::from_media(&archive.root());
+    let page = webgen::render_string(&data);
+    assert!(page.contains("<select name=\"directories\">"));
+    assert!(page.contains(">..</option>"));
+    for dir in &data.sub_dirs {
+        assert!(page.contains(&format!(">{dir}</option>")));
+    }
+    // nothing checked it — but this one happens to be valid WML
+    let wml = CompiledSchema::parse(WML_XSD).unwrap();
+    let doc = xmlparse::parse_document(&page).unwrap();
+    assert!(validator::validate_document(&wml, &doc).is_empty());
+}
+
+// ---------------------------------------------------------------- F9 --
+
+#[test]
+fn fig9_preprocessor_pipeline() {
+    // P-XML program → (preprocessor) → V-DOM program, statically validated
+    let compiled = po();
+    let template = pxml::Template::parse(
+        "<shipTo country=\"US\">$n$<street>123 Maple Street</street>\
+         <city>Mill Valey</city><state>CA</state><zip>90952</zip></shipTo>",
+    )
+    .unwrap();
+    let env = pxml::TypeEnv::new().element("n", "name");
+    // validation happens without running anything
+    assert!(pxml::check_template(&compiled, &template, &env).is_empty());
+    // and the output is a V-DOM program
+    let code = pxml::emit_rust(&compiled, &template, &env, "build_ship_to").unwrap();
+    assert!(code.contains("create_root_typed(\"shipTo\""));
+    assert!(code.contains("td.set_attribute(e0, \"country\", \"US\")?;"));
+    assert!(code.contains("td.import_element(e0, &n.doc, n.root)?;"));
+    assert!(code.contains("append_text(e1, \"123 Maple Street\")?;"));
+    // a broken constructor never reaches emission
+    let bad = pxml::Template::parse("<shipTo country=\"US\"><zip>1</zip></shipTo>").unwrap();
+    assert!(pxml::emit_rust(&compiled, &bad, &env, "f").is_err());
+}
+
+// --------------------------------------------------------------- F10 --
+
+#[test]
+fn fig10_pxml_wml_page_equals_fig8_page() {
+    let wml = CompiledSchema::parse(WML_XSD).unwrap();
+    let archive = webgen::MediaArchive::generate(42, 4, 2);
+    let data = webgen::DirectoryPageData::from_media(&archive.root());
+    let fig8 = webgen::render_string(&data);
+    let fig10 = webgen::PxmlDirectoryPage::new(&wml)
+        .unwrap()
+        .render(&data)
+        .unwrap();
+    // the paper: Fig. 10 "generates the same pages as … Fig. 8"
+    assert_eq!(fig8, fig10);
+}
+
+// --------------------------------------------------------------- F11 --
+
+#[test]
+fn fig11_generated_vdom_code_for_the_option_template() {
+    let wml = CompiledSchema::parse(WML_XSD).unwrap();
+    let template =
+        pxml::Template::parse("<option value=\"$subDir$\">$label$</option>").unwrap();
+    let env = pxml::TypeEnv::new().text("subDir").text("label");
+    let code = pxml::emit_rust(&wml, &template, &env, "build_option").unwrap();
+    // Fig. 11 lines 18–19: createOption(label) + setValue(subDir)
+    assert!(code.contains("create_root_typed(\"option\""));
+    assert!(code.contains("td.set_attribute(e0, \"value\", sub_dir)?;"));
+    assert!(code.contains("td.append_text(e0, label)?;"));
+}
+
+// ---------------------------------------------------------- Appendix A --
+
+#[test]
+fn appendix_a_generated_interfaces() {
+    let schema = schema::parse_schema(PURCHASE_ORDER_XSD).unwrap();
+    let model = normalize::build_model(&schema).unwrap();
+    let idl = codegen::render_idl(&model);
+    // lines 1–4
+    assert!(idl.contains("interface purchaseOrderElement {"));
+    assert!(idl.contains("attribute PurchaseOrderTypeType content;"));
+    assert!(idl.contains("interface commentElement {"));
+    // lines 5–14: PurchaseOrderTypeType with nested element interfaces
+    assert!(idl.contains("interface PurchaseOrderTypeType {"));
+    assert!(idl.contains("attribute shipToElement shipTo;"));
+    assert!(idl.contains("attribute billToElement billTo;"));
+    assert!(idl.contains("attribute commentElement comment;"));
+    assert!(idl.contains("attribute itemsElement items;"));
+    assert!(idl.contains("attribute Date orderDate;"));
+    // lines 15–27: USAddressType
+    assert!(idl.contains("interface USAddressType {"));
+    assert!(idl.contains("attribute zipElement zip;"));
+    assert!(idl.contains("attribute NMToken country;"));
+    // lines 28–45: itemsType with the item list
+    assert!(idl.contains("attribute list<itemElement> item;"));
+    assert!(idl.contains("attribute SKU partNum;"));
+    // line 46: SKU restriction
+    assert!(idl.contains("interface SKU: string { ... }"));
+}
+
+// ------------------------------------------ Sect. 3 feature walkthrough --
+
+#[test]
+fn sect3_type_extension_example() {
+    // the Address/USAddress pair: inheritance + merged content
+    let c = CompiledSchema::parse(ADDRESS_EXTENSION_XSD).unwrap();
+    let schema = schema::parse_schema(ADDRESS_EXTENSION_XSD).unwrap();
+    let model = normalize::build_model(&schema).unwrap();
+    let idl = codegen::render_idl(&model);
+    assert!(idl.contains("interface USAddressType: AddressType"));
+    // instances of the subtype are allowed where the base is expected —
+    // checked here through the content DFA of the extension
+    let dfa = c.content_dfa("USAddress").unwrap();
+    assert!(dfa.accepts(["name", "street", "city", "state", "zip"]));
+}
+
+#[test]
+fn sect3_substitution_group_example() {
+    let schema = schema::parse_schema(SUBSTITUTION_XSD).unwrap();
+    let model = normalize::build_model(&schema).unwrap();
+    let idl = codegen::render_idl(&model);
+    // "interface shipCommentElement: CommentElement" (modulo case of the
+    // generated element-interface names)
+    assert!(idl.contains("interface shipCommentElement: commentElement"));
+    assert!(idl.contains("interface customerCommentElement: commentElement"));
+    // members usable anywhere the head is
+    let c = CompiledSchema::parse(SUBSTITUTION_XSD).unwrap();
+    let mut td = vdom::TypedDocument::new(c);
+    let root = td.create_root("order").unwrap();
+    let id = td.append_element(root, "id").unwrap();
+    td.append_text(id, "1").unwrap();
+    td.append_element(root, "customerComment").unwrap();
+    td.append_element(root, "comment").unwrap();
+    td.append_element(root, "shipComment").unwrap();
+    assert!(td.is_complete(root).unwrap());
+}
+
+#[test]
+fn sect3_abstract_elements() {
+    let xsd = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+      <xsd:element name="payment" type="xsd:string" abstract="true"/>
+      <xsd:element name="creditCard" type="xsd:string" substitutionGroup="payment"/>
+    </xsd:schema>"#;
+    let schema = schema::parse_schema(xsd).unwrap();
+    let model = normalize::build_model(&schema).unwrap();
+    let iface = model.interface("paymentElement").unwrap();
+    assert!(iface.is_abstract);
+    let idl = codegen::render_idl(&model);
+    assert!(idl.contains("abstract interface paymentElement"));
+}
+
+#[test]
+fn sect3_named_group_example() {
+    // the AddressGroup escape hatch
+    let schema = schema::parse_schema(NAMED_GROUP_XSD).unwrap();
+    let model = normalize::build_model(&schema).unwrap();
+    let idl = codegen::render_idl(&model);
+    assert!(idl.contains("interface AddressGroup"));
+    assert!(idl.contains("interface singAddrElement: AddressGroup"));
+}

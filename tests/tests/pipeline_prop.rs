@@ -1,0 +1,123 @@
+//! Cross-crate property tests: the whole pipeline (generation →
+//! serialization → parsing → validation) holds its invariants on random
+//! workloads, and injected violations never escape the validator.
+
+use proptest::prelude::*;
+use schema::corpus::{PURCHASE_ORDER_XML, PURCHASE_ORDER_XSD, WML_XSD};
+use schema::CompiledSchema;
+
+fn po() -> CompiledSchema {
+    CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated order renders identically through the unchecked
+    /// string back end and the typed V-DOM back end, and the result is
+    /// schema-valid.
+    #[test]
+    fn order_backends_agree_and_validate(seed in 0u64..1000, items in 0usize..20) {
+        let c = po();
+        let order = webgen::generate_order(seed, items);
+        let s = webgen::render_order_string(&order);
+        let v = webgen::render_order_vdom(&c, &order).unwrap();
+        prop_assert_eq!(&s, &v);
+        let doc = xmlparse::parse_document(&v).unwrap();
+        prop_assert!(validator::validate_document(&c, &doc).is_empty());
+    }
+
+    /// Serialize → parse is the identity on generated documents.
+    #[test]
+    fn serialize_parse_roundtrip(seed in 0u64..1000, items in 0usize..12) {
+        let c = po();
+        let order = webgen::generate_order(seed, items);
+        let xml = webgen::render_order_vdom(&c, &order).unwrap();
+        let doc = xmlparse::parse_document(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        prop_assert_eq!(dom::serialize(&doc, root).unwrap(), xml);
+    }
+
+    /// Lifting a valid document into the typed layer succeeds, and the
+    /// sealed result revalidates.
+    #[test]
+    fn typed_import_of_valid_documents(seed in 0u64..500, items in 1usize..10) {
+        let c = po();
+        let order = webgen::generate_order(seed, items);
+        let xml = webgen::render_order_string(&order);
+        let td = vdom::parse_typed(&c, &xml).unwrap();
+        let doc = td.seal().unwrap();
+        prop_assert!(validator::validate_document(&c, &doc).is_empty());
+    }
+
+    /// Every injected structural violation is caught by both the runtime
+    /// validator (on the finished document) and the typed layer (during
+    /// import).
+    #[test]
+    fn injected_violations_never_escape(mutation in 0usize..7) {
+        let c = po();
+        let bad = match mutation {
+            0 => PURCHASE_ORDER_XML.replace("<zip>90952</zip>", "<zip>not a number</zip>"),
+            1 => PURCHASE_ORDER_XML.replace("partNum=\"872-AA\"", "partNum=\"oops\""),
+            2 => PURCHASE_ORDER_XML.replace("<quantity>1</quantity>", "<quantity>900</quantity>"),
+            3 => PURCHASE_ORDER_XML.replace("country=\"US\"", "country=\"DE\""),
+            4 => PURCHASE_ORDER_XML.replace("orderDate=\"1999-10-20\"", "orderDate=\"soon\""),
+            5 => PURCHASE_ORDER_XML.replacen("<state>CA</state>", "", 1),
+            6 => PURCHASE_ORDER_XML.replace(
+                "<city>Mill Valley</city>",
+                "<town>Mill Valley</town>",
+            ),
+            _ => unreachable!(),
+        };
+        let doc = xmlparse::parse_document(&bad).unwrap();
+        let errors = validator::validate_document(&c, &doc);
+        prop_assert!(!errors.is_empty(), "mutation {} escaped the validator", mutation);
+        // the typed layer refuses it during import or at seal
+        let typed = vdom::parse_typed(&c, &bad).and_then(|td| td.seal());
+        prop_assert!(typed.is_err(), "mutation {} escaped the typed layer", mutation);
+    }
+
+    /// Random directory data renders the same page through all four
+    /// back ends, for arbitrary (even markup-hostile) directory names.
+    #[test]
+    fn directory_page_backends_agree(
+        dirs in prop::collection::vec("[a-zA-Z0-9 <>&\"']{1,12}", 0..8),
+        current in "/[a-z/]{0,20}",
+    ) {
+        let wml = CompiledSchema::parse(WML_XSD).unwrap();
+        let data = webgen::DirectoryPageData {
+            sub_dirs: dirs,
+            current_dir: current,
+            parent_dir: "/workspace".into(),
+        };
+        let s = webgen::render_string(&data);
+        let d = webgen::render_dom(&wml, &data).unwrap();
+        let v = webgen::render_vdom(&wml, &data).unwrap();
+        prop_assert_eq!(&s, &d);
+        prop_assert_eq!(&d, &v);
+        let doc = xmlparse::parse_document(&v).unwrap();
+        prop_assert!(validator::validate_document(&wml, &doc).is_empty());
+    }
+
+    /// The P-XML option template instantiates validly for arbitrary
+    /// labels, and its output embeds them escaped.
+    #[test]
+    fn pxml_template_instantiation_is_safe(label in "[^\\x00-\\x08\\x0b\\x0c\\x0e-\\x1f]{1,24}") {
+        // exclude only chars that are not legal XML at all
+        let wml = CompiledSchema::parse(WML_XSD).unwrap();
+        let t = pxml::Template::parse("<option value=\"v\">$label$</option>").unwrap();
+        let frag = pxml::instantiate(
+            &wml,
+            &t,
+            &pxml::Bindings::new().text("label", label.clone()),
+        ).unwrap();
+        let xml = frag.to_xml();
+        let doc = xmlparse::parse_document(&xml).unwrap();
+        let root = doc.root_element().unwrap();
+        let roundtripped = doc.text_content(root).unwrap();
+        // whitespace-only labels are dropped as formatting; others roundtrip
+        if !label.trim().is_empty() {
+            prop_assert_eq!(roundtripped, label);
+        }
+    }
+}
