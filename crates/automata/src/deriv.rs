@@ -29,10 +29,7 @@ impl DerivMatcher {
     }
 
     /// Validates a complete child sequence in one call.
-    pub fn accepts<'a>(
-        expr: &ContentExpr,
-        children: impl IntoIterator<Item = &'a str>,
-    ) -> bool {
+    pub fn accepts<'a>(expr: &ContentExpr, children: impl IntoIterator<Item = &'a str>) -> bool {
         let mut m = DerivMatcher::new(expr);
         for c in children {
             if m.step(c).is_err() {
@@ -242,6 +239,9 @@ mod tests {
         );
         assert!(DerivMatcher::accepts(&model, ["a", "b", "a", "c"]));
         assert!(!DerivMatcher::accepts(&model, ["a", "b"]));
-        assert!(!DerivMatcher::accepts(&model, ["a", "b", "a", "c", "a", "b"]));
+        assert!(!DerivMatcher::accepts(
+            &model,
+            ["a", "b", "a", "c", "a", "b"]
+        ));
     }
 }

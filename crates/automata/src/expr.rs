@@ -259,16 +259,15 @@ mod tests {
         assert!(ContentExpr::optional(ContentExpr::leaf("a")).nullable());
         assert!(ContentExpr::star(ContentExpr::leaf("a")).nullable());
         assert!(!po_model().nullable());
-        assert!(ContentExpr::choice(vec![
-            ContentExpr::leaf("a"),
-            ContentExpr::Empty
-        ])
-        .nullable());
+        assert!(ContentExpr::choice(vec![ContentExpr::leaf("a"), ContentExpr::Empty]).nullable());
     }
 
     #[test]
     fn symbols_in_order() {
-        assert_eq!(po_model().symbols(), ["shipTo", "billTo", "comment", "items"]);
+        assert_eq!(
+            po_model().symbols(),
+            ["shipTo", "billTo", "comment", "items"]
+        );
     }
 
     #[test]
@@ -309,10 +308,7 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(
-            po_model().to_string(),
-            "(shipTo, billTo, comment?, items)"
-        );
+        assert_eq!(po_model().to_string(), "(shipTo, billTo, comment?, items)");
         let c = ContentExpr::choice(vec![ContentExpr::leaf("a"), ContentExpr::leaf("b")]);
         assert_eq!(c.to_string(), "(a | b)");
         assert_eq!(

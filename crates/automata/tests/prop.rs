@@ -17,15 +17,21 @@ fn arb_expr() -> impl Strategy<Value = ContentExpr> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(ContentExpr::sequence),
             prop::collection::vec(inner.clone(), 1..4).prop_map(ContentExpr::choice),
-            (inner.clone(), 0u32..3, 0u32..3)
-                .prop_map(|(e, min, extra)| ContentExpr::occur(e, min, Some(min + extra))),
+            (inner.clone(), 0u32..3, 0u32..3).prop_map(|(e, min, extra)| ContentExpr::occur(
+                e,
+                min,
+                Some(min + extra)
+            )),
             (inner, 0u32..2).prop_map(|(e, min)| ContentExpr::occur(e, min, None)),
         ]
     })
 }
 
 fn arb_input() -> impl Strategy<Value = Vec<&'static str>> {
-    prop::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], 0..10)
+    prop::collection::vec(
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")],
+        0..10,
+    )
 }
 
 proptest! {

@@ -25,7 +25,9 @@ fn wide_sequence(n: usize) -> ContentExpr {
 /// `(a1 | a2 | … | an)*` — a starred wide choice (the WML `p` shape).
 fn starred_choice(n: usize) -> ContentExpr {
     ContentExpr::star(ContentExpr::choice(
-        (0..n).map(|i| ContentExpr::leaf(format!("el{i}"))).collect(),
+        (0..n)
+            .map(|i| ContentExpr::leaf(format!("el{i}")))
+            .collect(),
     ))
 }
 
@@ -33,7 +35,10 @@ fn construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("B5-dfa-construction");
     group.sample_size(20);
     for &n in &[2usize, 8, 32, 128] {
-        for (shape, expr) in [("sequence", wide_sequence(n)), ("choice*", starred_choice(n))] {
+        for (shape, expr) in [
+            ("sequence", wide_sequence(n)),
+            ("choice*", starred_choice(n)),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("glushkov/{shape}"), n),
                 &expr,
@@ -73,19 +78,15 @@ fn occurrence_ablation(c: &mut Criterion) {
         // matching cost at the bound
         let input: Vec<&str> = std::iter::repeat_n("item", bound as usize).collect();
         let dfa = ContentDfa::compile(&expr).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("dfa-match", bound),
-            &input,
-            |b, input| {
-                b.iter(|| {
-                    let mut m = dfa.start();
-                    for s in input {
-                        m.step(s).unwrap();
-                    }
-                    black_box(m.is_accepting())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("dfa-match", bound), &input, |b, input| {
+            b.iter(|| {
+                let mut m = dfa.start();
+                for s in input {
+                    m.step(s).unwrap();
+                }
+                black_box(m.is_accepting())
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("derivative-match", bound),
             &input,

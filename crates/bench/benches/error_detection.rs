@@ -114,7 +114,11 @@ fn main() {
             "{:<44} {:>8} {:>12} {:>12}",
             case.label,
             if case.valid {
-                if static_verdict { "FALSE-POS" } else { "ok" }
+                if static_verdict {
+                    "FALSE-POS"
+                } else {
+                    "ok"
+                }
             } else if static_verdict {
                 "STATIC"
             } else {
@@ -141,8 +145,10 @@ fn main() {
         }
     }
     let per_check = start.elapsed() / (iters * templates.len() as u32);
-    println!("static check latency: {per_check:?} per constructor (mean over {} checks)",
-        iters as usize * templates.len());
+    println!(
+        "static check latency: {per_check:?} per constructor (mean over {} checks)",
+        iters as usize * templates.len()
+    );
     // compare with a full runtime validation of the paper's document
     let doc = xmlparse::parse_document(schema::corpus::PURCHASE_ORDER_XML).unwrap();
     let start = Instant::now();

@@ -17,7 +17,10 @@ use normalize::naming::synthesized_choice_name;
 
 /// The evolution steps of the Sect. 3 walkthrough.
 const STEPS: &[(&str, &str)] = &[
-    ("baseline (singAddr | twoAddr)", schema::corpus::CHOICE_PO_XSD),
+    (
+        "baseline (singAddr | twoAddr)",
+        schema::corpus::CHOICE_PO_XSD,
+    ),
     (
         "+ multAddr alternative",
         schema::corpus::CHOICE_PO_EVOLVED_XSD,
@@ -27,11 +30,7 @@ const STEPS: &[(&str, &str)] = &[
 fn interface_names(xsd: &str) -> BTreeSet<String> {
     let schema = schema::parse_schema(xsd).unwrap();
     let model = normalize::build_model(&schema).unwrap();
-    model
-        .interfaces
-        .iter()
-        .map(|i| i.name.clone())
-        .collect()
+    model.interfaces.iter().map(|i| i.name.clone()).collect()
 }
 
 fn field_signatures(xsd: &str) -> BTreeSet<String> {
@@ -88,11 +87,7 @@ fn main() {
 
     // the rejected design, for contrast: the synthesized choice name
     let before = synthesized_choice_name(&["singAddr".into(), "twoAddr".into()]);
-    let after = synthesized_choice_name(&[
-        "singAddr".into(),
-        "twoAddr".into(),
-        "multAddr".into(),
-    ]);
+    let after = synthesized_choice_name(&["singAddr".into(), "twoAddr".into(), "multAddr".into()]);
     println!("\nrejected synthesized/union design:");
     println!("  choice type renames: {before} → {after}");
     println!("  every client mention of {before} (field type, union switch) breaks.");

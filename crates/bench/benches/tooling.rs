@@ -13,9 +13,7 @@ use pxml::{Template, TypeEnv};
 /// Builds a synthetic schema with `n` complex types to sweep generator
 /// scaling.
 fn synthetic_schema(n: usize) -> String {
-    let mut out = String::from(
-        "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">\n",
-    );
+    let mut out = String::from("<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">\n");
     for i in 0..n {
         out.push_str(&format!(
             "<xsd:element name=\"record{i}\" type=\"Record{i}\"/>\n\

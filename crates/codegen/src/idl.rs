@@ -111,14 +111,12 @@ fn render_interface(
     for field in &iface.fields {
         // in union mode the choice field's type is the union typedef
         let ty = match (&field.ty, union_mode) {
-            (FieldType::Interface(n), true) => {
-                match model.interface(n) {
-                    Some(g) if !g.choice_alternatives.is_empty() => {
-                        format!("{}Union", g.name.trim_end_matches("Group"))
-                    }
-                    _ => field.ty.idl(),
+            (FieldType::Interface(n), true) => match model.interface(n) {
+                Some(g) if !g.choice_alternatives.is_empty() => {
+                    format!("{}Union", g.name.trim_end_matches("Group"))
                 }
-            }
+                _ => field.ty.idl(),
+            },
             _ => field.ty.idl(),
         };
         indent(out, depth + 1);
@@ -129,12 +127,7 @@ fn render_interface(
 }
 
 /// The Fig. 5 union rendering of a choice group.
-fn render_union_typedef(
-    model: &InterfaceModel,
-    group: &Interface,
-    depth: usize,
-    out: &mut String,
-) {
+fn render_union_typedef(model: &InterfaceModel, group: &Interface, depth: usize, out: &mut String) {
     let base = group.name.trim_end_matches("Group");
     let alts: Vec<(String, String)> = group
         .choice_alternatives

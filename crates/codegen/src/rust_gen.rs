@@ -39,7 +39,9 @@ impl Repr {
     fn rust_type(&self) -> String {
         match self {
             Repr::PrimText(b) => normalize::model::rust_primitive(*b).to_string(),
-            Repr::SimpleNewtype(n) | Repr::Complex(n) | Repr::ChoiceEnum(n)
+            Repr::SimpleNewtype(n)
+            | Repr::Complex(n)
+            | Repr::ChoiceEnum(n)
             | Repr::GroupStruct(n) => rust_type_name(n),
         }
     }
@@ -263,7 +265,11 @@ impl<'a> Generator<'a> {
         let _ = writeln!(
             out,
             "/// Generated from {} `{}`.",
-            if is_group { "model group" } else { "complex type" },
+            if is_group {
+                "model group"
+            } else {
+                "complex type"
+            },
             iface.xml_name
         );
         let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq)]");
@@ -351,14 +357,16 @@ impl<'a> Generator<'a> {
                 if f.char_content {
                     // character content: raw escaped text, no tags
                     return match &repr {
-                        Repr::SimpleNewtype(_) => format!(
-                            "{sink_name}.push_str(&escape_text(&{var}.0));"
-                        ),
+                        Repr::SimpleNewtype(_) => {
+                            format!("{sink_name}.push_str(&escape_text(&{var}.0));")
+                        }
                         Repr::PrimText(b) => format!(
                             "{sink_name}.push_str(&escape_text(&{}));",
                             prim_to_str(*b, var)
                         ),
-                        _ => format!("{sink_name}.push_str(&escape_text(&String::new())); let _ = {var};"),
+                        _ => format!(
+                            "{sink_name}.push_str(&escape_text(&String::new())); let _ = {var};"
+                        ),
                     };
                 }
                 match &repr {
@@ -376,11 +384,7 @@ impl<'a> Generator<'a> {
                 }
             };
             if matches!(f.ty, FieldType::List(_)) {
-                let _ = writeln!(
-                    out,
-                    "        for v in &self.{id} {{ {} }}",
-                    write_one("v")
-                );
+                let _ = writeln!(out, "        for v in &self.{id} {{ {} }}", write_one("v"));
             } else if f.optional {
                 let _ = writeln!(
                     out,
@@ -468,15 +472,14 @@ impl<'a> Generator<'a> {
             }
             Some(Repr::PrimText(b)) => {
                 // take &str rather than &String for string-typed roots
-                let (param_ty, value_expr) =
-                    if normalize::model::rust_primitive(b) == "String" {
-                        ("str".to_string(), "value".to_string())
-                    } else {
-                        (
-                            normalize::model::rust_primitive(b).to_string(),
-                            format!("&{}", prim_to_str(b, "value")),
-                        )
-                    };
+                let (param_ty, value_expr) = if normalize::model::rust_primitive(b) == "String" {
+                    ("str".to_string(), "value".to_string())
+                } else {
+                    (
+                        normalize::model::rust_primitive(b).to_string(),
+                        format!("&{}", prim_to_str(b, "value")),
+                    )
+                };
                 let _ = writeln!(
                     out,
                     "/// Serializes a complete `<{tag}>` document.\n\

@@ -27,7 +27,13 @@ fn us_address(name: &str, street: &str, city: &str, state: &str, zip: &str) -> U
 
 fn sample_po() -> PurchaseOrderTypeType {
     PurchaseOrderTypeType {
-        ship_to: us_address("Alice Smith", "123 Maple Street", "Mill Valley", "CA", "90952"),
+        ship_to: us_address(
+            "Alice Smith",
+            "123 Maple Street",
+            "Mill Valley",
+            "CA",
+            "90952",
+        ),
         bill_to: us_address("Robert Smith", "8 Oak Avenue", "Old Town", "PA", "95819"),
         comment: Some("Hurry, my lawn is going wild".to_string()),
         items: ItemsType {
@@ -60,7 +66,10 @@ fn generated_types_serialize_to_valid_document() {
     let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
     let doc = xmlparse::parse_document(&xml).unwrap();
     let errors = validator::validate_document(&compiled, &doc);
-    assert!(errors.is_empty(), "generated output invalid: {errors:#?}\n{xml}");
+    assert!(
+        errors.is_empty(),
+        "generated output invalid: {errors:#?}\n{xml}"
+    );
 }
 
 #[test]

@@ -85,5 +85,9 @@ fn wml_golden_matches_generator() {
             schema_label: "crates/codegen/testdata/wml.xsd".to_string(),
         },
     );
-    assert_eq!(fresh, include_str!("golden/generated_wml.rs"), "regenerate with vdomgen");
+    assert_eq!(
+        fresh,
+        include_str!("golden/generated_wml.rs"),
+        "regenerate with vdomgen"
+    );
 }

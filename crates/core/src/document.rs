@@ -100,42 +100,43 @@ impl TypedDocument {
     /// Initializes typed state for an element of `type_ref`.
     fn init_state(&self, name: &str, type_ref: &TypeRef) -> Result<ElementState, VdomError> {
         let schema = self.compiled.schema();
-        let (matcher, text_allowed, simple_content) = match type_ref {
-            TypeRef::Builtin(_) => (None, true, Some(type_ref.clone())),
-            TypeRef::Named(n) | TypeRef::Anonymous(n) => match schema.type_def(n) {
-                Some(TypeDef::Simple(_)) => (None, true, Some(type_ref.clone())),
-                Some(TypeDef::Complex(ct)) => {
-                    if ct.is_abstract {
-                        return Err(VdomError::Abstract(name.to_string()));
-                    }
-                    match &ct.content {
-                        ContentModel::Simple(inner) => (None, true, Some(inner.clone())),
-                        ContentModel::Empty => (None, false, None),
-                        ContentModel::ElementOnly(_) => {
-                            let dfa = self.compiled.content_dfa(n).map_err(|e| {
-                                VdomError::Simple {
-                                    element: name.to_string(),
-                                    attribute: None,
-                                    error: e,
-                                }
-                            })?;
-                            (Some(dfa.start()), false, None)
+        let (matcher, text_allowed, simple_content) =
+            match type_ref {
+                TypeRef::Builtin(_) => (None, true, Some(type_ref.clone())),
+                TypeRef::Named(n) | TypeRef::Anonymous(n) => match schema.type_def(n) {
+                    Some(TypeDef::Simple(_)) => (None, true, Some(type_ref.clone())),
+                    Some(TypeDef::Complex(ct)) => {
+                        if ct.is_abstract {
+                            return Err(VdomError::Abstract(name.to_string()));
                         }
-                        ContentModel::Mixed(_) => {
-                            let dfa = self.compiled.content_dfa(n).map_err(|e| {
-                                VdomError::Simple {
-                                    element: name.to_string(),
-                                    attribute: None,
-                                    error: e,
-                                }
-                            })?;
-                            (Some(dfa.start()), true, None)
+                        match &ct.content {
+                            ContentModel::Simple(inner) => (None, true, Some(inner.clone())),
+                            ContentModel::Empty => (None, false, None),
+                            ContentModel::ElementOnly(_) => {
+                                let dfa = self.compiled.content_dfa(n).map_err(|e| {
+                                    VdomError::Simple {
+                                        element: name.to_string(),
+                                        attribute: None,
+                                        error: e,
+                                    }
+                                })?;
+                                (Some(dfa.start()), false, None)
+                            }
+                            ContentModel::Mixed(_) => {
+                                let dfa = self.compiled.content_dfa(n).map_err(|e| {
+                                    VdomError::Simple {
+                                        element: name.to_string(),
+                                        attribute: None,
+                                        error: e,
+                                    }
+                                })?;
+                                (Some(dfa.start()), true, None)
+                            }
                         }
                     }
-                }
-                None => return Err(VdomError::NotDeclared(n.clone())),
-            },
-        };
+                    None => return Err(VdomError::NotDeclared(n.clone())),
+                },
+            };
         Ok(ElementState {
             type_ref: type_ref.clone(),
             matcher,
@@ -627,7 +628,13 @@ mod tests {
         let zip = td.append_element(ship, "zip").unwrap();
         td.append_text(zip, "not a decimal").unwrap();
         let err = td.finish(zip).unwrap_err();
-        assert!(matches!(err, VdomError::Simple { attribute: None, .. }));
+        assert!(matches!(
+            err,
+            VdomError::Simple {
+                attribute: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -638,10 +645,7 @@ mod tests {
         </xsd:schema>"#;
         let c = CompiledSchema::parse(xsd).unwrap();
         let mut td = TypedDocument::new(c);
-        assert!(matches!(
-            td.create_root("msg"),
-            Err(VdomError::Abstract(_))
-        ));
+        assert!(matches!(td.create_root("msg"), Err(VdomError::Abstract(_))));
         td.create_root("textMsg").unwrap();
     }
 
@@ -691,9 +695,6 @@ mod tests {
         let mut td = TypedDocument::new(po());
         let root = td.create_root("purchaseOrder").unwrap();
         td.set_attribute(root, "orderDate", "1999-10-20").unwrap();
-        assert_eq!(
-            td.serialize(),
-            "<purchaseOrder orderDate=\"1999-10-20\"/>"
-        );
+        assert_eq!(td.serialize(), "<purchaseOrder orderDate=\"1999-10-20\"/>");
     }
 }

@@ -24,12 +24,10 @@ pub fn dump_typed(td: &TypedDocument, element: TypedElement) -> Result<String, V
 fn interface_of_type(td: &TypedDocument, type_ref: &TypeRef) -> String {
     match type_ref {
         TypeRef::Builtin(b) => b.name().to_string(),
-        TypeRef::Named(n) | TypeRef::Anonymous(n) => {
-            match td.compiled().schema().type_def(n) {
-                Some(TypeDef::Complex(_)) => format!("{n}Type"),
-                _ => n.clone(),
-            }
-        }
+        TypeRef::Named(n) | TypeRef::Anonymous(n) => match td.compiled().schema().type_def(n) {
+            Some(TypeDef::Complex(_)) => format!("{n}Type"),
+            _ => n.clone(),
+        },
     }
 }
 

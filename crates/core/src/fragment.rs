@@ -14,7 +14,11 @@ use crate::error::VdomError;
 impl TypedDocument {
     /// Imports the element subtree at `src_node` of `src` as the typed
     /// document's root element.
-    pub fn import_root(&mut self, src: &Document, src_node: NodeId) -> Result<TypedElement, VdomError> {
+    pub fn import_root(
+        &mut self,
+        src: &Document,
+        src_node: NodeId,
+    ) -> Result<TypedElement, VdomError> {
         let name = src
             .tag_name(src_node)
             .map_err(|e| VdomError::Dom(e.to_string()))?
@@ -57,7 +61,10 @@ impl TypedDocument {
             }
             self.set_attribute(dst, &attr.name, attr.value)?;
         }
-        for child in src.child_vec(src_node).map_err(|e| VdomError::Dom(e.to_string()))? {
+        for child in src
+            .child_vec(src_node)
+            .map_err(|e| VdomError::Dom(e.to_string()))?
+        {
             match src.kind(child).map_err(|e| VdomError::Dom(e.to_string()))? {
                 NodeKind::Element { .. } => {
                     self.import_element(dst, src, child)?;
@@ -81,12 +88,8 @@ impl TypedDocument {
 /// Parses `source` as a document and lifts it into a typed document,
 /// validating every construction step. Returns the typed document (not
 /// yet sealed, so callers can keep building).
-pub fn parse_typed(
-    compiled: &CompiledSchema,
-    source: &str,
-) -> Result<TypedDocument, VdomError> {
-    let doc = xmlparse::parse_document(source)
-        .map_err(|e| VdomError::Dom(e.to_string()))?;
+pub fn parse_typed(compiled: &CompiledSchema, source: &str) -> Result<TypedDocument, VdomError> {
+    let doc = xmlparse::parse_document(source).map_err(|e| VdomError::Dom(e.to_string()))?;
     let root = doc.root_element().ok_or(VdomError::Dom("no root".into()))?;
     let mut td = TypedDocument::new(compiled.clone());
     td.import_root(&doc, root)?;

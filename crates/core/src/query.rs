@@ -134,9 +134,10 @@ impl TypedDocument {
                     }
                     Step::AnyChild => next.extend(doc.child_elements(node)),
                     Step::Descendant(name) => {
-                        next.extend(doc.descendants(node).filter(|&d| {
-                            doc.tag_name(d).map(|t| t == name).unwrap_or(false)
-                        }));
+                        next.extend(
+                            doc.descendants(node)
+                                .filter(|&d| doc.tag_name(d).map(|t| t == name).unwrap_or(false)),
+                        );
                     }
                 }
             }

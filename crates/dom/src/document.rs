@@ -373,10 +373,7 @@ impl Document {
             });
         }
         // Only one root element under the document node.
-        if parent.index == 0
-            && child_data.kind.is_element()
-            && self.root_element().is_some()
-        {
+        if parent.index == 0 && child_data.kind.is_element() && self.root_element().is_some() {
             return Err(DomError::SecondRootElement);
         }
         self.get_mut(child)?.parent = Some(parent);
@@ -473,14 +470,20 @@ mod tests {
         d.set_attribute(root, "country", "DE").unwrap();
         assert_eq!(d.attribute(root, "country").unwrap(), Some("DE"));
         assert_eq!(d.attributes(root).unwrap().len(), 1);
-        assert_eq!(d.remove_attribute(root, "country").unwrap(), Some("DE".into()));
+        assert_eq!(
+            d.remove_attribute(root, "country").unwrap(),
+            Some("DE".into())
+        );
         assert_eq!(d.attribute(root, "country").unwrap(), None);
     }
 
     #[test]
     fn bad_names_rejected() {
         let mut d = Document::new();
-        assert!(matches!(d.create_element("1bad"), Err(DomError::BadName(_))));
+        assert!(matches!(
+            d.create_element("1bad"),
+            Err(DomError::BadName(_))
+        ));
         let (mut d, root) = doc_with_root("ok");
         assert!(matches!(
             d.set_attribute(root, "a b", "v"),

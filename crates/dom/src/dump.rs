@@ -19,12 +19,7 @@ pub fn dump_tree(doc: &Document, node: NodeId) -> Result<String, DomError> {
     Ok(out)
 }
 
-fn dump_into(
-    doc: &Document,
-    node: NodeId,
-    depth: usize,
-    out: &mut String,
-) -> Result<(), DomError> {
+fn dump_into(doc: &Document, node: NodeId, depth: usize, out: &mut String) -> Result<(), DomError> {
     for _ in 0..depth {
         out.push_str("  ");
     }

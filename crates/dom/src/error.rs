@@ -43,7 +43,10 @@ impl fmt::Display for DomError {
             DomError::NotAnElement(id) => write!(f, "node {id:?} is not an element"),
             DomError::NotAContainer(id) => write!(f, "node {id:?} cannot hold children"),
             DomError::WouldCreateCycle { node, parent } => {
-                write!(f, "inserting {node:?} under {parent:?} would create a cycle")
+                write!(
+                    f,
+                    "inserting {node:?} under {parent:?} would create a cycle"
+                )
             }
             DomError::StillAttached(id) => {
                 write!(f, "node {id:?} is attached; detach it first")

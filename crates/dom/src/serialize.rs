@@ -218,6 +218,9 @@ mod tests {
         d.append_child(p, b).unwrap();
         let bt = d.create_text("world");
         d.append_child(b, bt).unwrap();
-        assert_eq!(serialize_pretty(&d, p).unwrap(), "<p>hello <b>world</b></p>");
+        assert_eq!(
+            serialize_pretty(&d, p).unwrap(),
+            "<p>hello <b>world</b></p>"
+        );
     }
 }

@@ -176,7 +176,10 @@ mod tests {
             d.namespace_of_prefix(child, None),
             Some("urn:default".to_string())
         );
-        assert_eq!(d.namespace_of_prefix(child, Some("x")), Some("urn:x".into()));
+        assert_eq!(
+            d.namespace_of_prefix(child, Some("x")),
+            Some("urn:x".into())
+        );
         assert_eq!(d.namespace_of_prefix(child, Some("y")), None);
         assert_eq!(
             d.namespace_of_prefix(child, Some("xml")),

@@ -3,14 +3,10 @@
 //! (inherited names for choice groups, synthesized names for sequences
 //! and lists).
 
-use schema::{
-    ContentModel, Occurs, Particle, Schema, Term, TypeDef, TypeRef,
-};
+use schema::{ContentModel, Occurs, Particle, Schema, Term, TypeDef, TypeRef};
 
 use crate::model::{Field, FieldType, Interface, InterfaceKind, InterfaceModel};
-use crate::naming::{
-    synthesized_list_name, synthesized_sequence_name, NamePath,
-};
+use crate::naming::{synthesized_list_name, synthesized_sequence_name, NamePath};
 
 /// An error while building the interface model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,9 +76,10 @@ impl<'a> Builder<'a> {
             if let Some(head) = &decl.substitution_group {
                 iface.extends.push(element_interface_name(head));
             }
-            iface
-                .fields
-                .push(Field::element("content", self.field_type_of(&decl.type_ref)?));
+            iface.fields.push(Field::element(
+                "content",
+                self.field_type_of(&decl.type_ref)?,
+            ));
             self.model.interfaces.push(iface);
         }
 
@@ -274,7 +271,10 @@ impl<'a> Builder<'a> {
                 if !self.schema.elements.contains_key(name) {
                     return Err(BuildError::Unresolved(name.clone()));
                 }
-                Ok((name.clone(), FieldType::Interface(element_interface_name(name))))
+                Ok((
+                    name.clone(),
+                    FieldType::Interface(element_interface_name(name)),
+                ))
             }
             Term::Choice(alternatives) => {
                 // Rule 6 with inherited naming.
@@ -297,8 +297,11 @@ impl<'a> Builder<'a> {
                 };
                 let iface_name = group_interface_name(&group_name, true);
                 if self.model.interface(&iface_name).is_none() {
-                    let mut iface =
-                        Interface::new(iface_name.clone(), InterfaceKind::Group, group_name.clone());
+                    let mut iface = Interface::new(
+                        iface_name.clone(),
+                        InterfaceKind::Group,
+                        group_name.clone(),
+                    );
                     iface.owner = Some(owner.to_string());
                     let mut inner_fields = Vec::new();
                     for (i, child) in children.iter().enumerate() {
@@ -370,8 +373,7 @@ impl<'a> Builder<'a> {
                 Term::ElementRef(name) => {
                     // the global interface gains the group as supertype
                     let global = element_interface_name(name);
-                    if let Some(iface) =
-                        self.model.interfaces.iter_mut().find(|i| i.name == global)
+                    if let Some(iface) = self.model.interfaces.iter_mut().find(|i| i.name == global)
                     {
                         if !iface.extends.contains(&iface_name) {
                             iface.extends.push(iface_name.clone());
@@ -386,8 +388,7 @@ impl<'a> Builder<'a> {
                     // inherited interface extending the choice group
                     let (_, ty) = self.component_field(alt, &alt_path, owner, false)?;
                     if let FieldType::Interface(n) = ty {
-                        if let Some(iface) =
-                            self.model.interfaces.iter_mut().find(|i| i.name == n)
+                        if let Some(iface) = self.model.interfaces.iter_mut().find(|i| i.name == n)
                         {
                             if !iface.extends.contains(&iface_name) {
                                 iface.extends.push(iface_name.clone());
@@ -426,11 +427,8 @@ impl<'a> Builder<'a> {
                 Ok(())
             }
             _ => {
-                let mut iface = Interface::new(
-                    iface_name.clone(),
-                    InterfaceKind::Group,
-                    iface_name.clone(),
-                );
+                let mut iface =
+                    Interface::new(iface_name.clone(), InterfaceKind::Group, iface_name.clone());
                 iface.owner = owner.map(str::to_string);
                 let mut fields = Vec::new();
                 self.fields_of_particle(particle, &path, &iface_name, &mut fields)?;

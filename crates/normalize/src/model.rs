@@ -59,8 +59,9 @@ pub fn idl_primitive(b: BuiltinType) -> &'static str {
         Boolean => "boolean",
         Decimal => "decimal",
         Integer | NonPositiveInteger | NegativeInteger | NonNegativeInteger | PositiveInteger
-        | Long | Int | Short | Byte | UnsignedLong | UnsignedInt | UnsignedShort
-        | UnsignedByte => b.name(),
+        | Long | Int | Short | Byte | UnsignedLong | UnsignedInt | UnsignedShort | UnsignedByte => {
+            b.name()
+        }
         Float => "float",
         Double => "double",
         Date => "Date",

@@ -126,11 +126,7 @@ mod tests {
             "singAddrORtwoAddr"
         );
         assert_eq!(
-            synthesized_choice_name(&[
-                "singAddr".into(),
-                "twoAddr".into(),
-                "multAddr".into()
-            ]),
+            synthesized_choice_name(&["singAddr".into(), "twoAddr".into(), "multAddr".into()]),
             "singAddrORtwoAddrORmultAddr"
         );
     }
@@ -138,8 +134,7 @@ mod tests {
     #[test]
     fn synthesized_sequence_changes_when_content_changes() {
         let before = synthesized_sequence_name(&["comment".into(), "items".into()]);
-        let after =
-            synthesized_sequence_name(&["comment".into(), "note".into(), "items".into()]);
+        let after = synthesized_sequence_name(&["comment".into(), "note".into(), "items".into()]);
         assert_ne!(before, after);
     }
 

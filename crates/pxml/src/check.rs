@@ -72,12 +72,7 @@ impl<'a> Checker<'a> {
             .unwrap_or_default()
     }
 
-    fn check_element(
-        &self,
-        node: dom::NodeId,
-        type_ref: &TypeRef,
-        errors: &mut Vec<PxmlError>,
-    ) {
+    fn check_element(&self, node: dom::NodeId, type_ref: &TypeRef, errors: &mut Vec<PxmlError>) {
         let doc = &self.template.doc;
         let schema = self.compiled.schema();
         let element = doc.tag_name(node).unwrap_or_default().to_string();
@@ -132,9 +127,7 @@ impl<'a> Checker<'a> {
                     }
                     if !has_hole {
                         // literal value: fully checkable now
-                        if let Err(e) =
-                            schema.validate_simple_value(&decl.type_ref, &attr.value)
-                        {
+                        if let Err(e) = schema.validate_simple_value(&decl.type_ref, &attr.value) {
                             errors.push(PxmlError::at(
                                 PxmlErrorKind::BadAttributeValue {
                                     element: element.clone(),
@@ -158,10 +151,7 @@ impl<'a> Checker<'a> {
                         }
                     }
                 }
-                Err(e) => errors.push(PxmlError::at(
-                    PxmlErrorKind::HoleSyntax(e.message),
-                    pos,
-                )),
+                Err(e) => errors.push(PxmlError::at(PxmlErrorKind::HoleSyntax(e.message), pos)),
             }
         }
         for decl in &declared {
@@ -191,17 +181,15 @@ impl<'a> Checker<'a> {
     fn classify(&self, type_ref: &TypeRef) -> (Option<String>, bool, Option<TypeRef>) {
         match type_ref {
             TypeRef::Builtin(_) => (None, false, Some(type_ref.clone())),
-            TypeRef::Named(n) | TypeRef::Anonymous(n) => {
-                match self.compiled.schema().type_def(n) {
-                    Some(TypeDef::Simple(_)) => (None, false, Some(type_ref.clone())),
-                    Some(TypeDef::Complex(ct)) => match &ct.content {
-                        ContentModel::Simple(inner) => (None, false, Some(inner.clone())),
-                        ContentModel::Mixed(_) => (Some(n.clone()), true, None),
-                        _ => (Some(n.clone()), false, None),
-                    },
-                    None => (None, false, None),
-                }
-            }
+            TypeRef::Named(n) | TypeRef::Anonymous(n) => match self.compiled.schema().type_def(n) {
+                Some(TypeDef::Simple(_)) => (None, false, Some(type_ref.clone())),
+                Some(TypeDef::Complex(ct)) => match &ct.content {
+                    ContentModel::Simple(inner) => (None, false, Some(inner.clone())),
+                    ContentModel::Mixed(_) => (Some(n.clone()), true, None),
+                    _ => (Some(n.clone()), false, None),
+                },
+                None => (None, false, None),
+            },
         }
     }
 
@@ -378,10 +366,7 @@ impl<'a> Checker<'a> {
                 }
                 if !has_hole {
                     if let Some(simple) = simple {
-                        if let Err(e) = self
-                            .compiled
-                            .schema()
-                            .validate_simple_value(simple, &text)
+                        if let Err(e) = self.compiled.schema().validate_simple_value(simple, &text)
                         {
                             errors.push(PxmlError::at(
                                 PxmlErrorKind::BadSimpleValue {

@@ -139,8 +139,7 @@ fn fill(
         if attr.name == "xmlns" || attr.name.starts_with("xmlns:") {
             continue;
         }
-        let parts = split_holes(&attr.value)
-            .map_err(|e| InstantiateError::Binding(e.message))?;
+        let parts = split_holes(&attr.value).map_err(|e| InstantiateError::Binding(e.message))?;
         let mut value = String::new();
         for part in parts {
             match part {
@@ -165,15 +164,17 @@ fn fill(
     }
     // children
     for child in doc.child_vec(src).unwrap_or_default() {
-        match doc.kind(child).map_err(|e| InstantiateError::Binding(e.to_string()))? {
+        match doc
+            .kind(child)
+            .map_err(|e| InstantiateError::Binding(e.to_string()))?
+        {
             NodeKind::Element { .. } => {
                 let name = doc.tag_name(child).unwrap_or_default().to_string();
                 let new_el = td.append_element(dst, &name)?;
                 fill(td, new_el, template, child, bindings)?;
             }
             NodeKind::Text(t) => {
-                let parts =
-                    split_holes(t).map_err(|e| InstantiateError::Binding(e.message))?;
+                let parts = split_holes(t).map_err(|e| InstantiateError::Binding(e.message))?;
                 for part in parts {
                     match part {
                         Part::Text(text) => {

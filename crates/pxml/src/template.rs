@@ -23,9 +23,8 @@ pub struct Template {
 impl Template {
     /// Parses a constructor fragment.
     pub fn parse(source: &str) -> Result<Template, PxmlError> {
-        let (doc, root) = xmlparse::parse_fragment(source).map_err(|e| {
-            PxmlError::at(PxmlErrorKind::Parse(e.kind.to_string()), e.position)
-        })?;
+        let (doc, root) = xmlparse::parse_fragment(source)
+            .map_err(|e| PxmlError::at(PxmlErrorKind::Parse(e.kind.to_string()), e.position))?;
         Ok(Template {
             source: source.to_string(),
             doc,

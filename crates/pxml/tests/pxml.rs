@@ -2,9 +2,7 @@
 //! runtime instantiation, and the emitted V-DOM code (Fig. 11),
 //! including the paper's Sect. 1 "wrong server page" scenario.
 
-use pxml::{
-    check_template, emit_rust, instantiate, Bindings, PxmlErrorKind, Template, TypeEnv,
-};
+use pxml::{check_template, emit_rust, instantiate, Bindings, PxmlErrorKind, Template, TypeEnv};
 use schema::corpus::{PURCHASE_ORDER_XSD, WML_XSD};
 use schema::CompiledSchema;
 
@@ -207,7 +205,9 @@ fn wml_fig10_page_assembled_from_templates() {
     let parent = instantiate(
         &c,
         &option_t,
-        &Bindings::new().text("subDir", "/workspace").text("label", ".."),
+        &Bindings::new()
+            .text("subDir", "/workspace")
+            .text("label", ".."),
     )
     .unwrap();
     td.import_element(select, &parent.doc, parent.root).unwrap();
@@ -247,16 +247,21 @@ fn emitted_code_compiles_and_runs() {
 
 #[test]
 fn emitted_code_matches_golden() {
-    let t = Template::parse(&std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/testdata/ship_to.pxml"
-    ))
-    .unwrap())
+    let t = Template::parse(
+        &std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/testdata/ship_to.pxml"
+        ))
+        .unwrap(),
+    )
     .unwrap();
     let env = TypeEnv::new().element("n", "name");
     let fresh = emit_rust(&po(), &t, &env, "build_ship_to").unwrap();
     let golden = include_str!("golden/emitted_ship_to.rs");
-    assert_eq!(fresh, golden, "preprocessor output drifted; regenerate with pxmlgen");
+    assert_eq!(
+        fresh, golden,
+        "preprocessor output drifted; regenerate with pxmlgen"
+    );
 }
 
 #[test]

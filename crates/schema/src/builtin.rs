@@ -228,13 +228,16 @@ impl BuiltinType {
                     .map(|_| ())
                     .ok_or("floating-point number")
             }
-            Date => crate::value::Date::parse(value).map(|_| ()).map_err(|_| "date"),
+            Date => crate::value::Date::parse(value)
+                .map(|_| ())
+                .map_err(|_| "date"),
             DateTime => {
                 let (date_part, time_part) =
                     value.split_once('T').ok_or("dateTime (date 'T' time)")?;
-                crate::value::Date::parse(date_part)
-                    .map_err(|_| "dateTime (bad date part)")?;
-                validate_time(time_part).then_some(()).ok_or("dateTime (bad time part)")
+                crate::value::Date::parse(date_part).map_err(|_| "dateTime (bad date part)")?;
+                validate_time(time_part)
+                    .then_some(())
+                    .ok_or("dateTime (bad time part)")
             }
             Time => validate_time(value).then_some(()).ok_or("time (hh:mm:ss)"),
             GYear => {
@@ -304,7 +307,9 @@ impl BuiltinType {
         }
         match self {
             Float | Double => value.parse::<f64>().ok().map(OrderedValue::Double),
-            Date => crate::value::Date::parse(value).ok().map(OrderedValue::Date),
+            Date => crate::value::Date::parse(value)
+                .ok()
+                .map(OrderedValue::Date),
             _ => None,
         }
     }

@@ -10,6 +10,10 @@ use crate::components::{AttributeUse, ContentModel, Schema, TypeDef, TypeRef};
 use crate::error::SchemaError;
 use crate::resolve::SimpleTypeError;
 
+/// Cache of `(type name, child name) → child element type`, `None` when
+/// the child is undeclared within the type.
+type ChildTypeCache = Arc<RwLock<HashMap<(String, String), Option<TypeRef>>>>;
+
 /// A checked schema plus lazily populated caches (content DFAs, effective
 /// attribute lists, child-element types), cheap to clone and share across
 /// threads. The caches are what make V-DOM's per-mutation checks O(1)
@@ -19,7 +23,7 @@ pub struct CompiledSchema {
     schema: Arc<Schema>,
     dfas: Arc<RwLock<HashMap<String, ContentDfa>>>,
     attrs: Arc<RwLock<HashMap<String, Arc<[AttributeUse]>>>>,
-    child_types: Arc<RwLock<HashMap<(String, String), Option<TypeRef>>>>,
+    child_types: ChildTypeCache,
 }
 
 impl CompiledSchema {
@@ -74,10 +78,9 @@ impl CompiledSchema {
             TypeRef::Builtin(_) => true,
             TypeRef::Named(n) | TypeRef::Anonymous(n) => match self.schema.types.get(n) {
                 Some(TypeDef::Simple(_)) => true,
-                Some(TypeDef::Complex(c)) => matches!(
-                    c.content,
-                    ContentModel::Mixed(_) | ContentModel::Simple(_)
-                ),
+                Some(TypeDef::Complex(c)) => {
+                    matches!(c.content, ContentModel::Mixed(_) | ContentModel::Simple(_))
+                }
                 None => false,
             },
         }
@@ -91,8 +94,7 @@ impl CompiledSchema {
         if let Some(a) = self.attrs.read().expect("attr cache lock").get(type_name) {
             return Ok(a.clone());
         }
-        let computed: Arc<[AttributeUse]> =
-            self.schema.effective_attributes(type_name)?.into();
+        let computed: Arc<[AttributeUse]> = self.schema.effective_attributes(type_name)?.into();
         self.attrs
             .write()
             .expect("attr cache lock")

@@ -192,7 +192,9 @@ mod tests {
         assert!(Facet::MinLength(2).check("ab", BuiltinType::String).is_ok());
         assert!(Facet::MinLength(2).check("a", BuiltinType::String).is_err());
         assert!(Facet::MaxLength(2).check("ab", BuiltinType::String).is_ok());
-        assert!(Facet::MaxLength(2).check("abc", BuiltinType::String).is_err());
+        assert!(Facet::MaxLength(2)
+            .check("abc", BuiltinType::String)
+            .is_err());
     }
 
     #[test]
@@ -239,10 +241,18 @@ mod tests {
 
     #[test]
     fn digit_facets() {
-        assert!(Facet::TotalDigits(5).check("123.45", BuiltinType::Decimal).is_ok());
-        assert!(Facet::TotalDigits(4).check("123.45", BuiltinType::Decimal).is_err());
-        assert!(Facet::FractionDigits(2).check("1.23", BuiltinType::Decimal).is_ok());
-        assert!(Facet::FractionDigits(1).check("1.23", BuiltinType::Decimal).is_err());
+        assert!(Facet::TotalDigits(5)
+            .check("123.45", BuiltinType::Decimal)
+            .is_ok());
+        assert!(Facet::TotalDigits(4)
+            .check("123.45", BuiltinType::Decimal)
+            .is_err());
+        assert!(Facet::FractionDigits(2)
+            .check("1.23", BuiltinType::Decimal)
+            .is_ok());
+        assert!(Facet::FractionDigits(1)
+            .check("1.23", BuiltinType::Decimal)
+            .is_err());
     }
 
     #[test]

@@ -188,7 +188,10 @@ impl<'a> SchemaReader<'a> {
                     let particle = self.read_group_body(child)?;
                     if self.schema.groups.contains_key(&name) {
                         return Err(SchemaError::at(
-                            SchemaErrorKind::Duplicate { kind: "group", name },
+                            SchemaErrorKind::Duplicate {
+                                kind: "group",
+                                name,
+                            },
                             self.span(child),
                         ));
                     }
@@ -199,10 +202,9 @@ impl<'a> SchemaReader<'a> {
                 "attributeGroup" => {
                     let name = self.require_attr(child, "name")?;
                     let attributes = self.read_attribute_uses(child)?;
-                    self.schema.attribute_groups.insert(
-                        name.clone(),
-                        AttributeGroupDef { name, attributes },
-                    );
+                    self.schema
+                        .attribute_groups
+                        .insert(name.clone(), AttributeGroupDef { name, attributes });
                 }
                 "import" | "include" | "redefine" | "notation" => {
                     return Err(SchemaError::at(
@@ -514,9 +516,9 @@ impl<'a> SchemaReader<'a> {
                                             Ok(b) => {
                                                 return Err(SchemaError::at(
                                                     SchemaErrorKind::BadDerivation(format!(
-                                                        "complexContent base cannot be built-in xsd:{}",
-                                                        b.name()
-                                                    )),
+                                                    "complexContent base cannot be built-in xsd:{}",
+                                                    b.name()
+                                                )),
                                                     self.span(inner),
                                                 ))
                                             }
@@ -670,8 +672,7 @@ impl<'a> SchemaReader<'a> {
                     self.span(child),
                 )
             };
-            let parse_u64 =
-                |v: &str| v.parse::<u64>().map_err(|e| bad(format!("{v:?}: {e}")));
+            let parse_u64 = |v: &str| v.parse::<u64>().map_err(|e| bad(format!("{v:?}: {e}")));
             match local.as_str() {
                 "length" => facets.push(Facet::Length(parse_u64(&value)?)),
                 "minLength" => facets.push(Facet::MinLength(parse_u64(&value)?)),

@@ -148,13 +148,16 @@ impl Schema {
         if let ContentModel::ElementOnly(p) | ContentModel::Mixed(p) = &c.content {
             self.check_particle(p)?;
         }
-        for a in self.effective_attributes(&c.name).map_err(simple_to_schema)? {
+        for a in self
+            .effective_attributes(&c.name)
+            .map_err(simple_to_schema)?
+        {
             self.check_type_ref(&a.type_ref)?;
         }
         // UPA over the fully merged content model
-        let expr = self.content_expr(&c.name).map_err(|e| {
-            SchemaError::nowhere(SchemaErrorKind::BadDerivation(e.to_string()))
-        })?;
+        let expr = self
+            .content_expr(&c.name)
+            .map_err(|e| SchemaError::nowhere(SchemaErrorKind::BadDerivation(e.to_string())))?;
         let expanded = expr.expand_occurrences().map_err(|bound| {
             SchemaError::nowhere(SchemaErrorKind::BadOccurs(format!(
                 "maxOccurs={bound} too large for DFA construction"
@@ -426,11 +429,7 @@ impl Schema {
     /// Validates a raw lexical value against a simple type: whitespace
     /// normalization, built-in lexical check, then every facet layer from
     /// most derived to base. Returns the normalized value.
-    pub fn validate_simple_value(
-        &self,
-        r: &TypeRef,
-        raw: &str,
-    ) -> Result<String, SimpleTypeError> {
+    pub fn validate_simple_value(&self, r: &TypeRef, raw: &str) -> Result<String, SimpleTypeError> {
         let view = self.simple_view(r)?;
         // effective whitespace: the most derived explicit facet, else the
         // built-in's own mode

@@ -4,8 +4,7 @@
 use automata::Matcher;
 use schema::corpus::*;
 use schema::{
-    BuiltinType, CompiledSchema, DerivationMethod, Facet, SimpleTypeError, TypeDef,
-    TypeRef,
+    BuiltinType, CompiledSchema, DerivationMethod, Facet, SimpleTypeError, TypeDef, TypeRef,
 };
 
 fn po() -> CompiledSchema {
@@ -52,7 +51,10 @@ fn anonymous_item_type_lifted_with_generated_name() {
     let q = s.child_element_type(item_type.name(), "quantity").unwrap();
     match s.type_def(q.name()).unwrap() {
         TypeDef::Simple(st) => {
-            assert!(matches!(st.base, TypeRef::Builtin(BuiltinType::PositiveInteger)));
+            assert!(matches!(
+                st.base,
+                TypeRef::Builtin(BuiltinType::PositiveInteger)
+            ));
             assert!(matches!(st.facets[0], Facet::MaxExclusive(_)));
         }
         other => panic!("{other:?}"),
@@ -97,7 +99,10 @@ fn item_content_model_with_optionals() {
 fn sku_pattern_enforced() {
     let c = po();
     let sku = TypeRef::Named("SKU".into());
-    assert_eq!(c.schema().validate_simple_value(&sku, "926-AA").unwrap(), "926-AA");
+    assert_eq!(
+        c.schema().validate_simple_value(&sku, "926-AA").unwrap(),
+        "926-AA"
+    );
     assert!(matches!(
         c.schema().validate_simple_value(&sku, "926-aa"),
         Err(SimpleTypeError::Facet(_))
@@ -108,7 +113,10 @@ fn sku_pattern_enforced() {
 fn quantity_range_enforced_through_anonymous_type() {
     let c = po();
     let item_type = c.schema().child_element_type("Items", "item").unwrap();
-    let q = c.schema().child_element_type(item_type.name(), "quantity").unwrap();
+    let q = c
+        .schema()
+        .child_element_type(item_type.name(), "quantity")
+        .unwrap();
     assert!(c.schema().validate_simple_value(&q, "1").is_ok());
     assert!(c.schema().validate_simple_value(&q, " 99 ").is_ok()); // collapse
     assert!(c.schema().validate_simple_value(&q, "100").is_err());
@@ -123,7 +131,10 @@ fn effective_attributes_of_us_address() {
     assert_eq!(attrs.len(), 1);
     assert_eq!(attrs[0].name, "country");
     assert_eq!(attrs[0].fixed.as_deref(), Some("US"));
-    assert!(matches!(attrs[0].type_ref, TypeRef::Builtin(BuiltinType::NmToken)));
+    assert!(matches!(
+        attrs[0].type_ref,
+        TypeRef::Builtin(BuiltinType::NmToken)
+    ));
 }
 
 #[test]
@@ -157,7 +168,10 @@ fn substitution_group_expands_in_content() {
     assert!(dfa.accepts(["id", "shipComment", "customerComment", "comment"]));
     assert!(!dfa.accepts(["id", "unrelated"]));
     // member types resolve through the head's reference
-    let t = c.schema().child_element_type("OrderType", "shipComment").unwrap();
+    let t = c
+        .schema()
+        .child_element_type("OrderType", "shipComment")
+        .unwrap();
     assert!(matches!(t, TypeRef::Builtin(BuiltinType::String)));
 }
 

@@ -9,21 +9,26 @@ use xmlchars::Span;
 pub struct ValidationError {
     /// What is wrong.
     pub kind: ValidationErrorKind,
-    /// Where (from the parser's recorded spans; default when the tree was
-    /// built programmatically).
-    pub span: Span,
+    /// Where, from the parser's recorded spans. `None` when the violating
+    /// node has no source position — trees built programmatically, or
+    /// whole-document conditions like a missing root.
+    pub span: Option<Span>,
 }
 
 impl ValidationError {
     pub(crate) fn at(kind: ValidationErrorKind, span: Span) -> Self {
+        ValidationError {
+            kind,
+            span: Some(span),
+        }
+    }
+
+    pub(crate) fn at_opt(kind: ValidationErrorKind, span: Option<Span>) -> Self {
         ValidationError { kind, span }
     }
 
     pub(crate) fn nowhere(kind: ValidationErrorKind) -> Self {
-        ValidationError {
-            kind,
-            span: Span::default(),
-        }
+        ValidationError { kind, span: None }
     }
 }
 
@@ -102,11 +107,17 @@ pub enum ValidationErrorKind {
         /// Attribute name.
         attribute: String,
     },
+    /// The input could not be parsed at all (streaming entry points,
+    /// which take raw text rather than an already-parsed tree).
+    NotWellFormed(String),
 }
 
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at {}", self.kind, self.span)
+        match &self.span {
+            Some(span) => write!(f, "{} at {}", self.kind, span),
+            None => write!(f, "{} (no source position)", self.kind),
+        }
     }
 }
 
@@ -167,6 +178,9 @@ impl fmt::Display for ValidationErrorKind {
             }
             ValidationErrorKind::UndeclaredAttribute { element, attribute } => {
                 write!(f, "attribute {attribute} is not declared for <{element}>")
+            }
+            ValidationErrorKind::NotWellFormed(message) => {
+                write!(f, "document is not well-formed: {message}")
             }
         }
     }

@@ -23,12 +23,24 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod stream;
 
 use automata::Matcher;
 use dom::{Document, NodeId, NodeKind};
-use schema::{CompiledSchema, ContentModel, TypeDef, TypeRef};
+use schema::{AttributeUse, CompiledSchema, ContentModel, TypeDef, TypeRef};
+use xmlchars::Span;
 
 pub use error::{ValidationError, ValidationErrorKind};
+pub use stream::{validate_str_streaming, StreamingValidator};
+
+/// The parser-recorded span of `node`, if there is one.
+///
+/// Programmatically built nodes carry the sentinel default span; those are
+/// reported as position-free (`None`) instead of pretending the violation
+/// sits at line 1, column 1.
+fn node_span(doc: &Document, node: NodeId) -> Option<Span> {
+    doc.span(node).ok().filter(|s| *s != Span::default())
+}
 
 /// Validates a whole document: the root element must be declared at the
 /// schema's top level. Returns all violations found (empty = valid).
@@ -37,9 +49,7 @@ pub fn validate_document(compiled: &CompiledSchema, doc: &Document) -> Vec<Valid
     let root = match doc.root_element() {
         Some(r) => r,
         None => {
-            errors.push(ValidationError::nowhere(
-                ValidationErrorKind::NoRootElement,
-            ));
+            errors.push(ValidationError::nowhere(ValidationErrorKind::NoRootElement));
             return errors;
         }
     };
@@ -47,18 +57,18 @@ pub fn validate_document(compiled: &CompiledSchema, doc: &Document) -> Vec<Valid
     match compiled.schema().element(&root_name) {
         Some(decl) => {
             if decl.is_abstract {
-                errors.push(ValidationError::at(
+                errors.push(ValidationError::at_opt(
                     ValidationErrorKind::AbstractElement(root_name),
-                    doc.span(root).unwrap_or_default(),
+                    node_span(doc, root),
                 ));
             } else {
                 let type_ref = decl.type_ref.clone();
                 validate_element(compiled, doc, root, &type_ref, &mut errors);
             }
         }
-        None => errors.push(ValidationError::at(
+        None => errors.push(ValidationError::at_opt(
             ValidationErrorKind::UndeclaredRoot(root_name),
-            doc.span(root).unwrap_or_default(),
+            node_span(doc, root),
         )),
     }
     errors
@@ -78,7 +88,7 @@ pub fn validate_element(
     type_ref: &TypeRef,
     errors: &mut Vec<ValidationError>,
 ) {
-    let span = doc.span(node).unwrap_or_default();
+    let span = node_span(doc, node);
     let schema = compiled.schema();
     match type_ref {
         // Element of a built-in simple type: text-only content.
@@ -93,7 +103,7 @@ pub fn validate_element(
             }
             Some(TypeDef::Complex(ct)) => {
                 if ct.is_abstract {
-                    errors.push(ValidationError::at(
+                    errors.push(ValidationError::at_opt(
                         ValidationErrorKind::AbstractType(name.clone()),
                         span,
                     ));
@@ -112,7 +122,7 @@ pub fn validate_element(
                     }
                 }
             }
-            None => errors.push(ValidationError::at(
+            None => errors.push(ValidationError::at_opt(
                 ValidationErrorKind::UnknownType(name.clone()),
                 span,
             )),
@@ -127,21 +137,21 @@ fn validate_simple_element(
     type_ref: &TypeRef,
     errors: &mut Vec<ValidationError>,
 ) {
-    let span = doc.span(node).unwrap_or_default();
+    let span = node_span(doc, node);
     // no element children allowed
     for child in doc.child_elements(node) {
-        errors.push(ValidationError::at(
+        errors.push(ValidationError::at_opt(
             ValidationErrorKind::UnexpectedChild {
                 parent: doc.tag_name(node).unwrap_or_default().to_string(),
                 child: doc.tag_name(child).unwrap_or_default().to_string(),
                 expected: Vec::new(),
             },
-            doc.span(child).unwrap_or_default(),
+            node_span(doc, child),
         ));
     }
     let text = doc.text_content(node).unwrap_or_default();
     if let Err(e) = compiled.schema().validate_simple_value(type_ref, &text) {
-        errors.push(ValidationError::at(
+        errors.push(ValidationError::at_opt(
             ValidationErrorKind::SimpleType {
                 element: doc.tag_name(node).unwrap_or_default().to_string(),
                 message: e.to_string(),
@@ -159,17 +169,16 @@ fn validate_complex_content(
     mixed: bool,
     errors: &mut Vec<ValidationError>,
 ) {
-    let schema = compiled.schema();
     let parent_name = doc.tag_name(node).unwrap_or_default().to_string();
     let dfa = match compiled.content_dfa(type_name) {
         Ok(d) => d,
         Err(e) => {
-            errors.push(ValidationError::at(
+            errors.push(ValidationError::at_opt(
                 ValidationErrorKind::SimpleType {
                     element: parent_name,
                     message: e.to_string(),
                 },
-                doc.span(node).unwrap_or_default(),
+                node_span(doc, node),
             ));
             return;
         }
@@ -182,29 +191,29 @@ fn validate_complex_content(
                 let name = name.clone();
                 if content_ok {
                     if let Err(e) = matcher.step(&name) {
-                        errors.push(ValidationError::at(
+                        errors.push(ValidationError::at_opt(
                             ValidationErrorKind::UnexpectedChild {
                                 parent: parent_name.clone(),
                                 child: name.clone(),
                                 expected: e.expected,
                             },
-                            doc.span(child).unwrap_or_default(),
+                            node_span(doc, child),
                         ));
                         content_ok = false;
                     }
                 }
                 // recurse regardless, so nested errors surface too
-                if let Some(child_type) = schema.child_element_type(type_name, &name) {
+                if let Some(child_type) = compiled.child_element_type(type_name, &name) {
                     validate_element(compiled, doc, child, &child_type, errors)
                 }
                 // undeclared children were already reported by the DFA step
             }
             Ok(NodeKind::Text(t)) if !mixed && !t.trim().is_empty() => {
-                errors.push(ValidationError::at(
+                errors.push(ValidationError::at_opt(
                     ValidationErrorKind::TextNotAllowed {
                         element: parent_name.clone(),
                     },
-                    doc.span(child).unwrap_or_default(),
+                    node_span(doc, child),
                 ));
             }
             // comments and PIs are always permitted
@@ -212,12 +221,12 @@ fn validate_complex_content(
         }
     }
     if content_ok && !matcher.is_accepting() {
-        errors.push(ValidationError::at(
+        errors.push(ValidationError::at_opt(
             ValidationErrorKind::IncompleteContent {
                 element: parent_name,
                 expected: matcher.expected(),
             },
-            doc.span(node).unwrap_or_default(),
+            node_span(doc, node),
         ));
     }
 }
@@ -229,61 +238,93 @@ fn validate_attributes(
     complex_type: Option<&str>,
     errors: &mut Vec<ValidationError>,
 ) {
-    let span = doc.span(node).unwrap_or_default();
-    let element = doc.tag_name(node).unwrap_or_default().to_string();
-    let declared = complex_type
-        .and_then(|t| compiled.schema().effective_attributes(t).ok())
-        .unwrap_or_default();
-    let present = doc.attributes(node).unwrap_or(&[]).to_vec();
+    let element = doc.tag_name(node).unwrap_or_default();
+    let present: Vec<(&str, &str)> = doc
+        .attributes(node)
+        .unwrap_or(&[])
+        .iter()
+        .map(|a| (a.name.as_str(), a.value.as_str()))
+        .collect();
+    check_attributes(
+        compiled,
+        element,
+        &present,
+        complex_type,
+        node_span(doc, node),
+        errors,
+    );
+}
 
-    for attr in &present {
-        if attr.name == "xmlns" || attr.name.starts_with("xmlns:") || attr.name.starts_with("xml:")
+/// The attribute checks shared by the tree and streaming validators:
+/// declared values validate against their simple types, `fixed` values
+/// must match, required attributes must be present, undeclared attributes
+/// are rejected.
+///
+/// Namespace declarations (`xmlns`, `xmlns:*`) are never schema-validated.
+/// `xml:*` attributes (`xml:lang`, `xml:space`, …) are validated when the
+/// type declares them and exempt only when it does not.
+fn check_attributes(
+    compiled: &CompiledSchema,
+    element: &str,
+    present: &[(&str, &str)],
+    complex_type: Option<&str>,
+    span: Option<Span>,
+    errors: &mut Vec<ValidationError>,
+) {
+    let declared = complex_type.and_then(|t| compiled.effective_attributes(t).ok());
+    let declared: &[AttributeUse] = declared.as_deref().unwrap_or(&[]);
+
+    for &(name, value) in present {
+        let decl = declared.iter().find(|d| d.name == name);
+        if name == "xmlns"
+            || name.starts_with("xmlns:")
+            || (name.starts_with("xml:") && decl.is_none())
         {
             continue;
         }
-        match declared.iter().find(|d| d.name == attr.name) {
+        match decl {
             Some(decl) => {
                 if let Err(e) = compiled
                     .schema()
-                    .validate_simple_value(&decl.type_ref, &attr.value)
+                    .validate_simple_value(&decl.type_ref, value)
                 {
-                    errors.push(ValidationError::at(
+                    errors.push(ValidationError::at_opt(
                         ValidationErrorKind::AttributeValue {
-                            element: element.clone(),
-                            attribute: attr.name.clone(),
+                            element: element.to_string(),
+                            attribute: name.to_string(),
                             message: e.to_string(),
                         },
                         span,
                     ));
                 }
                 if let Some(fixed) = &decl.fixed {
-                    if &attr.value != fixed {
-                        errors.push(ValidationError::at(
+                    if value != fixed {
+                        errors.push(ValidationError::at_opt(
                             ValidationErrorKind::FixedAttribute {
-                                element: element.clone(),
-                                attribute: attr.name.clone(),
+                                element: element.to_string(),
+                                attribute: name.to_string(),
                                 fixed: fixed.clone(),
-                                actual: attr.value.clone(),
+                                actual: value.to_string(),
                             },
                             span,
                         ));
                     }
                 }
             }
-            None => errors.push(ValidationError::at(
+            None => errors.push(ValidationError::at_opt(
                 ValidationErrorKind::UndeclaredAttribute {
-                    element: element.clone(),
-                    attribute: attr.name.clone(),
+                    element: element.to_string(),
+                    attribute: name.to_string(),
                 },
                 span,
             )),
         }
     }
-    for decl in &declared {
-        if decl.required && !present.iter().any(|a| a.name == decl.name) {
-            errors.push(ValidationError::at(
+    for decl in declared {
+        if decl.required && !present.iter().any(|&(n, _)| n == decl.name) {
+            errors.push(ValidationError::at_opt(
                 ValidationErrorKind::MissingAttribute {
-                    element: element.clone(),
+                    element: element.to_string(),
                     attribute: decl.name.clone(),
                 },
                 span,
@@ -334,10 +375,10 @@ mod tests {
         let items = doc.child_element_named(root, "items").unwrap();
         doc.remove(items).unwrap();
         let errors = validate_document(&c, &doc);
-        assert!(errors
-            .iter()
-            .any(|e| matches!(&e.kind, ValidationErrorKind::IncompleteContent { expected, .. }
-                if expected.contains(&"items".to_string()))));
+        assert!(errors.iter().any(
+            |e| matches!(&e.kind, ValidationErrorKind::IncompleteContent { expected, .. }
+                if expected.contains(&"items".to_string()))
+        ));
     }
 
     #[test]
@@ -351,8 +392,81 @@ mod tests {
         doc.set_text(text, "not-a-number").unwrap();
         let errors = validate_document(&c, &doc);
         assert_eq!(errors.len(), 1, "{errors:#?}");
-        assert!(matches!(errors[0].kind, ValidationErrorKind::SimpleType { .. }));
-        assert!(errors[0].span.start.line > 1);
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::SimpleType { .. }
+        ));
+        assert!(errors[0].span.expect("parsed nodes carry spans").start.line > 1);
+    }
+
+    #[test]
+    fn programmatic_nodes_report_no_position() {
+        let c = compiled();
+        let mut doc = Document::new();
+        let root = doc.create_element("unknownRoot").unwrap();
+        let dn = doc.document_node();
+        doc.append_child(dn, root).unwrap();
+        let errors = validate_document(&c, &doc);
+        assert_eq!(errors[0].span, None);
+        let shown = errors[0].to_string();
+        assert!(shown.contains("(no source position)"), "{shown}");
+        assert!(!shown.contains("1:1"), "{shown}");
+    }
+
+    #[test]
+    fn parsed_nodes_display_their_position() {
+        let c = compiled();
+        let doc = xmlparse::parse_document("<purchaseOrder orderDate=\"bad\"/>").unwrap();
+        let errors = validate_document(&c, &doc);
+        let attr_err = errors
+            .iter()
+            .find(|e| matches!(e.kind, ValidationErrorKind::AttributeValue { .. }))
+            .unwrap();
+        assert!(attr_err.to_string().contains("at 1:1"), "{attr_err}");
+    }
+
+    #[test]
+    fn undeclared_xml_prefixed_attribute_is_exempt() {
+        // xml:lang is not declared on purchaseOrder: tolerated, like xmlns
+        let c = compiled();
+        let mut doc = po_doc();
+        let root = doc.root_element().unwrap();
+        doc.set_attribute(root, "xml:lang", "en").unwrap();
+        doc.set_attribute(root, "xmlns:po", "urn:example:po")
+            .unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn declared_xml_prefixed_attribute_is_validated() {
+        // a type that *declares* xml:lang as an integer must reject "en"
+        let xsd = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+          <xsd:element name="note" type="noteType"/>
+          <xsd:complexType name="noteType">
+            <xsd:attribute name="xml:lang" type="xsd:integer" use="required"/>
+          </xsd:complexType>
+        </xsd:schema>"#;
+        let c = CompiledSchema::parse(xsd).unwrap();
+        let doc = xmlparse::parse_document("<note xml:lang=\"en\"/>").unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(
+            errors.iter().any(|e| matches!(
+                &e.kind,
+                ValidationErrorKind::AttributeValue { attribute, .. } if attribute == "xml:lang"
+            )),
+            "{errors:#?}"
+        );
+        // absent declared-required xml:lang is a missing-attribute error
+        let doc = xmlparse::parse_document("<note/>").unwrap();
+        let errors = validate_document(&c, &doc);
+        assert!(
+            errors.iter().any(|e| matches!(
+                &e.kind,
+                ValidationErrorKind::MissingAttribute { attribute, .. } if attribute == "xml:lang"
+            )),
+            "{errors:#?}"
+        );
     }
 
     #[test]
@@ -430,7 +544,10 @@ mod tests {
         let dn = doc.document_node();
         doc.append_child(dn, root).unwrap();
         let errors = validate_document(&c, &doc);
-        assert!(matches!(errors[0].kind, ValidationErrorKind::UndeclaredRoot(_)));
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::UndeclaredRoot(_)
+        ));
     }
 
     #[test]

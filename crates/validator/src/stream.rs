@@ -1,0 +1,583 @@
+//! Streaming validation over the pull parser's events — the same checks
+//! as the tree validator, without ever materializing a [`dom::Document`].
+//!
+//! [`StreamingValidator`] consumes [`xmlparse::Event`]s and keeps only a
+//! stack of open-element frames: element name, start-tag span, and either
+//! a content-model DFA matcher (complex content) or a text buffer plus
+//! simple-type reference (simple content). Memory is O(depth + deepest
+//! buffered leaf text), so arbitrarily long documents validate in
+//! constant space — the server-page use case, where a rendered page is
+//! checked on its way out rather than parsed into a tree first (bench
+//! B2b measures the difference).
+//!
+//! The checks and their order are identical to
+//! [`validate_document`](crate::validate_document) — attribute checks at
+//! element open, DFA steps per child, text-placement per text run, and
+//! buffered simple-value checks at element close — so both validators
+//! produce the same error list (kinds *and* spans) for any well-formed
+//! input; `tests/tests/streaming_prop.rs` asserts this differentially.
+
+use automata::{DfaMatcher, Matcher};
+use schema::{CompiledSchema, ContentModel, TypeDef, TypeRef};
+use xmlchars::Span;
+use xmlparse::{AttributeEvent, Event, Reader};
+
+use crate::check_attributes;
+use crate::error::{ValidationError, ValidationErrorKind};
+
+/// What an open frame is checking, mirroring the tree validator's three
+/// regimes for an element's content.
+enum FrameKind {
+    /// Complex element-only or mixed content: child names step a DFA.
+    Complex {
+        /// Name of the complex type (for child-type lookups).
+        type_name: String,
+        matcher: DfaMatcher,
+        mixed: bool,
+        /// Cleared by the first failed DFA step; suppresses the
+        /// close-time completeness check, exactly like the tree walk.
+        content_ok: bool,
+    },
+    /// Simple-typed content: text buffers until the close tag, then
+    /// validates (whitespace → built-in → facets) in one shot.
+    Simple { type_ref: TypeRef, text: String },
+    /// A subtree that cannot be validated — undeclared child, unknown or
+    /// abstract root, uncompilable content model. The error (if any) was
+    /// reported when the frame opened; the subtree is consumed silently,
+    /// as the tree validator does by not recursing.
+    Skip,
+}
+
+struct Frame {
+    name: String,
+    span: Span,
+    kind: FrameKind,
+}
+
+/// Decided at element open: how to frame the element being entered.
+enum OpenAs {
+    Typed(TypeRef),
+    Skip,
+}
+
+/// An incremental validator over [`xmlparse::Event`]s.
+///
+/// Feed events in document order via [`feed`](Self::feed); collect the
+/// violations with [`finish`](Self::finish) (or inspect them mid-stream
+/// with [`errors`](Self::errors)). The event source is typically
+/// [`xmlparse::Reader`]; [`validate_str_streaming`] wires the two
+/// together.
+pub struct StreamingValidator<'a> {
+    compiled: &'a CompiledSchema,
+    stack: Vec<Frame>,
+    errors: Vec<ValidationError>,
+    saw_root: bool,
+}
+
+impl<'a> StreamingValidator<'a> {
+    /// A validator with an empty stack, ready for a document's events.
+    pub fn new(compiled: &'a CompiledSchema) -> StreamingValidator<'a> {
+        StreamingValidator {
+            compiled,
+            stack: Vec::new(),
+            errors: Vec::new(),
+            saw_root: false,
+        }
+    }
+
+    /// Consumes one event. Events must arrive in the order the reader
+    /// produced them; `Eof` is accepted and ignored.
+    pub fn feed(&mut self, event: &Event) {
+        match event {
+            Event::StartElement {
+                name,
+                attributes,
+                span,
+                ..
+            } => self.on_start(name, attributes, *span),
+            Event::EndElement { .. } => self.on_end(),
+            Event::Text { text, span } => self.on_text(text, *span),
+            // comments and PIs are always permitted
+            Event::Comment { .. } | Event::ProcessingInstruction { .. } | Event::Eof => {}
+        }
+    }
+
+    /// The violations found so far.
+    pub fn errors(&self) -> &[ValidationError] {
+        &self.errors
+    }
+
+    /// Number of currently open element frames — the validator's entire
+    /// per-document state (besides leaf text buffers).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Finishes the document and returns all violations. Reports
+    /// [`ValidationErrorKind::NoRootElement`] if no element was ever fed,
+    /// mirroring the tree validator on an empty document.
+    pub fn finish(mut self) -> Vec<ValidationError> {
+        if !self.saw_root {
+            self.errors
+                .push(ValidationError::nowhere(ValidationErrorKind::NoRootElement));
+        }
+        self.errors
+    }
+
+    /// Abandons the stream, keeping the violations found so far.
+    pub fn into_errors(self) -> Vec<ValidationError> {
+        self.errors
+    }
+
+    fn on_start(&mut self, name: &str, attributes: &[AttributeEvent], span: Span) {
+        let open_as = if let Some(parent) = self.stack.last_mut() {
+            match &mut parent.kind {
+                FrameKind::Complex {
+                    type_name,
+                    matcher,
+                    content_ok,
+                    ..
+                } => {
+                    if *content_ok {
+                        if let Err(e) = matcher.step(name) {
+                            *content_ok = false;
+                            self.errors.push(ValidationError::at(
+                                ValidationErrorKind::UnexpectedChild {
+                                    parent: parent.name.clone(),
+                                    child: name.to_string(),
+                                    expected: e.expected,
+                                },
+                                span,
+                            ));
+                        }
+                    }
+                    // enter declared children regardless, so nested errors
+                    // surface too; undeclared ones were just reported
+                    match self.compiled.child_element_type(type_name, name) {
+                        Some(t) => OpenAs::Typed(t),
+                        None => OpenAs::Skip,
+                    }
+                }
+                FrameKind::Simple { .. } => {
+                    self.errors.push(ValidationError::at(
+                        ValidationErrorKind::UnexpectedChild {
+                            parent: parent.name.clone(),
+                            child: name.to_string(),
+                            expected: Vec::new(),
+                        },
+                        span,
+                    ));
+                    OpenAs::Skip
+                }
+                FrameKind::Skip => OpenAs::Skip,
+            }
+        } else {
+            self.saw_root = true;
+            match self.compiled.schema().element(name) {
+                Some(decl) if decl.is_abstract => {
+                    self.errors.push(ValidationError::at(
+                        ValidationErrorKind::AbstractElement(name.to_string()),
+                        span,
+                    ));
+                    OpenAs::Skip
+                }
+                Some(decl) => OpenAs::Typed(decl.type_ref.clone()),
+                None => {
+                    self.errors.push(ValidationError::at(
+                        ValidationErrorKind::UndeclaredRoot(name.to_string()),
+                        span,
+                    ));
+                    OpenAs::Skip
+                }
+            }
+        };
+        let kind = match open_as {
+            OpenAs::Typed(type_ref) => self.open_typed(name, &type_ref, attributes, span),
+            OpenAs::Skip => FrameKind::Skip,
+        };
+        self.stack.push(Frame {
+            name: name.to_string(),
+            span,
+            kind,
+        });
+    }
+
+    /// Runs the element-open checks (abstract type, attributes) and picks
+    /// the frame regime for a declared element — the streaming twin of
+    /// `validate_element`'s dispatch on the type reference.
+    fn open_typed(
+        &mut self,
+        name: &str,
+        type_ref: &TypeRef,
+        attributes: &[AttributeEvent],
+        span: Span,
+    ) -> FrameKind {
+        let compiled = self.compiled;
+        let attrs: Vec<(&str, &str)> = attributes
+            .iter()
+            .map(|a| (a.name.as_str(), a.value.as_str()))
+            .collect();
+        let simple = |type_ref: &TypeRef| FrameKind::Simple {
+            type_ref: type_ref.clone(),
+            text: String::new(),
+        };
+        match type_ref {
+            TypeRef::Builtin(_) => {
+                check_attributes(compiled, name, &attrs, None, Some(span), &mut self.errors);
+                simple(type_ref)
+            }
+            TypeRef::Named(tn) | TypeRef::Anonymous(tn) => match compiled.schema().type_def(tn) {
+                Some(TypeDef::Simple(_)) => {
+                    check_attributes(compiled, name, &attrs, None, Some(span), &mut self.errors);
+                    simple(type_ref)
+                }
+                Some(TypeDef::Complex(ct)) => {
+                    if ct.is_abstract {
+                        self.errors.push(ValidationError::at(
+                            ValidationErrorKind::AbstractType(tn.clone()),
+                            span,
+                        ));
+                    }
+                    check_attributes(
+                        compiled,
+                        name,
+                        &attrs,
+                        Some(tn),
+                        Some(span),
+                        &mut self.errors,
+                    );
+                    match &ct.content {
+                        ContentModel::Simple(simple_ref) => simple(simple_ref),
+                        ContentModel::Empty | ContentModel::ElementOnly(_) => {
+                            self.complex_frame(name, tn, false, span)
+                        }
+                        ContentModel::Mixed(_) => self.complex_frame(name, tn, true, span),
+                    }
+                }
+                None => {
+                    self.errors.push(ValidationError::at(
+                        ValidationErrorKind::UnknownType(tn.clone()),
+                        span,
+                    ));
+                    FrameKind::Skip
+                }
+            },
+        }
+    }
+
+    fn complex_frame(&mut self, name: &str, type_name: &str, mixed: bool, span: Span) -> FrameKind {
+        match self.compiled.content_dfa(type_name) {
+            Ok(dfa) => FrameKind::Complex {
+                type_name: type_name.to_string(),
+                matcher: dfa.start(),
+                mixed,
+                content_ok: true,
+            },
+            Err(e) => {
+                self.errors.push(ValidationError::at(
+                    ValidationErrorKind::SimpleType {
+                        element: name.to_string(),
+                        message: e.to_string(),
+                    },
+                    span,
+                ));
+                FrameKind::Skip
+            }
+        }
+    }
+
+    fn on_text(&mut self, text: &str, span: Span) {
+        // Walk inward-out: the nearest frame decides. A Skip frame defers
+        // to its enclosing frames only for simple-content buffering (the
+        // tree's `text_content` concatenates *descendant* text), never for
+        // text-placement errors (the tree walk does not descend into
+        // undeclared subtrees).
+        let top = match self.stack.len().checked_sub(1) {
+            Some(top) => top,
+            // text with no open element (prolog/epilog whitespace)
+            None => return,
+        };
+        for i in (0..=top).rev() {
+            let frame = &mut self.stack[i];
+            match &mut frame.kind {
+                FrameKind::Skip => continue,
+                FrameKind::Simple { text: buffer, .. } => buffer.push_str(text),
+                FrameKind::Complex { mixed, .. } => {
+                    if i == top && !*mixed && !text.trim().is_empty() {
+                        let element = frame.name.clone();
+                        self.errors.push(ValidationError::at(
+                            ValidationErrorKind::TextNotAllowed { element },
+                            span,
+                        ));
+                    }
+                }
+            }
+            return;
+        }
+    }
+
+    fn on_end(&mut self) {
+        let frame = match self.stack.pop() {
+            Some(f) => f,
+            // unmatched end tag: the reader rejects this before we see it
+            None => return,
+        };
+        match frame.kind {
+            FrameKind::Simple { type_ref, text } => {
+                if let Err(e) = self
+                    .compiled
+                    .schema()
+                    .validate_simple_value(&type_ref, &text)
+                {
+                    self.errors.push(ValidationError::at(
+                        ValidationErrorKind::SimpleType {
+                            element: frame.name,
+                            message: e.to_string(),
+                        },
+                        frame.span,
+                    ));
+                }
+            }
+            FrameKind::Complex {
+                matcher,
+                content_ok,
+                ..
+            } => {
+                if content_ok && !matcher.is_accepting() {
+                    self.errors.push(ValidationError::at(
+                        ValidationErrorKind::IncompleteContent {
+                            element: frame.name,
+                            expected: matcher.expected(),
+                        },
+                        frame.span,
+                    ));
+                }
+            }
+            FrameKind::Skip => {}
+        }
+    }
+}
+
+/// Parses and validates `src` in one streaming pass, without building a
+/// tree. Parse failures surface as a trailing
+/// [`ValidationErrorKind::NotWellFormed`] after whatever violations the
+/// valid prefix already produced.
+pub fn validate_str_streaming(compiled: &CompiledSchema, src: &str) -> Vec<ValidationError> {
+    let mut reader = Reader::new(src);
+    let mut validator = StreamingValidator::new(compiled);
+    loop {
+        match reader.next_event() {
+            Ok(Event::Eof) => return validator.finish(),
+            Ok(event) => validator.feed(&event),
+            Err(e) => {
+                let mut errors = validator.into_errors();
+                errors.push(ValidationError::at(
+                    ValidationErrorKind::NotWellFormed(e.kind.to_string()),
+                    Span {
+                        start: e.position,
+                        end: e.position,
+                    },
+                ));
+                return errors;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_document;
+    use schema::corpus::{PURCHASE_ORDER_XML, PURCHASE_ORDER_XSD, WML_XSD};
+
+    fn po() -> CompiledSchema {
+        CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap()
+    }
+
+    fn wml() -> CompiledSchema {
+        CompiledSchema::parse(WML_XSD).unwrap()
+    }
+
+    /// Both validators on the same source; asserts full agreement
+    /// (kinds *and* spans) and returns the streaming list.
+    fn both(compiled: &CompiledSchema, src: &str) -> Vec<ValidationError> {
+        let streamed = validate_str_streaming(compiled, src);
+        let doc = xmlparse::parse_document(src).expect("well-formed test input");
+        let treed = validate_document(compiled, &doc);
+        assert_eq!(streamed, treed, "validators disagree on:\n{src}");
+        streamed
+    }
+
+    #[test]
+    fn paper_document_is_valid() {
+        assert!(both(&po(), PURCHASE_ORDER_XML).is_empty());
+    }
+
+    #[test]
+    fn mixed_content_allows_text() {
+        let errors = both(
+            &wml(),
+            "<wml><card id=\"c\"><p>hello <b>bold</b> world<br/></p></card></wml>",
+        );
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn wrong_child_order_detected() {
+        let src = PURCHASE_ORDER_XML
+            .replacen("<shipTo", "<billTo", 1)
+            .replacen("</shipTo>", "</billTo>", 1);
+        let errors = validate_str_streaming(&po(), &src);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::UnexpectedChild { .. })));
+    }
+
+    #[test]
+    fn bad_simple_value_detected_with_position() {
+        let src = PURCHASE_ORDER_XML.replace("<zip>90952</zip>", "<zip>not a number</zip>");
+        let errors = both(&po(), &src);
+        assert_eq!(errors.len(), 1, "{errors:#?}");
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::SimpleType { .. }
+        ));
+        assert!(errors[0].span.unwrap().start.line > 1);
+    }
+
+    #[test]
+    fn attribute_violations_detected() {
+        let src = PURCHASE_ORDER_XML
+            .replace("orderDate=\"1999-10-20\"", "orderDate=\"soon\" bogus=\"x\"")
+            .replace("country=\"US\"", "country=\"DE\"")
+            .replace(" partNum=\"872-AA\"", "");
+        let errors = both(&po(), &src);
+        for expect in [
+            |k: &ValidationErrorKind| matches!(k, ValidationErrorKind::AttributeValue { .. }),
+            |k: &ValidationErrorKind| matches!(k, ValidationErrorKind::UndeclaredAttribute { .. }),
+            |k: &ValidationErrorKind| matches!(k, ValidationErrorKind::FixedAttribute { .. }),
+            |k: &ValidationErrorKind| matches!(k, ValidationErrorKind::MissingAttribute { .. }),
+        ] {
+            assert!(errors.iter().any(|e| expect(&e.kind)), "{errors:#?}");
+        }
+    }
+
+    #[test]
+    fn incomplete_content_detected() {
+        let src = PURCHASE_ORDER_XML.replacen("<zip>90952</zip>", "", 1);
+        let errors = both(&po(), &src);
+        assert!(errors.iter().any(|e| matches!(
+            &e.kind,
+            ValidationErrorKind::IncompleteContent { expected, .. }
+                if expected.contains(&"zip".to_string())
+        )));
+    }
+
+    #[test]
+    fn text_in_element_only_content_detected() {
+        let errors = both(&wml(), "<wml>stray<card id=\"c\"><p>fine</p></card></wml>");
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::TextNotAllowed { .. })));
+    }
+
+    #[test]
+    fn undeclared_root_detected() {
+        let errors = both(&po(), "<unknownRoot/>");
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::UndeclaredRoot(_)
+        ));
+    }
+
+    #[test]
+    fn undeclared_subtree_consumed_without_validation() {
+        // the bogus subtree is reported once at its open tag; its inner
+        // garbage is not separately validated (same as the tree walk)
+        let src = PURCHASE_ORDER_XML.replace(
+            "<comment>Hurry, my lawn is going wild</comment>",
+            "<bogus><zip>still not checked</zip></bogus>",
+        );
+        let errors = both(&po(), &src);
+        assert_eq!(errors.len(), 1, "{errors:#?}");
+        assert!(matches!(
+            &errors[0].kind,
+            ValidationErrorKind::UnexpectedChild { child, .. } if child == "bogus"
+        ));
+    }
+
+    #[test]
+    fn malformed_input_reported_not_well_formed() {
+        let errors = validate_str_streaming(&po(), "<purchaseOrder><shipTo></purchaseOrder>");
+        assert!(matches!(
+            errors.last().unwrap().kind,
+            ValidationErrorKind::NotWellFormed(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected_before_validation() {
+        // duplicates are a well-formedness violation caught by the parser
+        // (reader::DuplicateAttribute), so neither validator ever sees
+        // them; the streaming entry point reports the rejection honestly
+        let errors = validate_str_streaming(
+            &po(),
+            "<purchaseOrder orderDate=\"1999-10-20\" orderDate=\"1999-10-21\"/>",
+        );
+        assert!(matches!(
+            &errors.last().unwrap().kind,
+            ValidationErrorKind::NotWellFormed(m) if m.contains("duplicate attribute")
+        ));
+    }
+
+    #[test]
+    fn empty_input_reports_missing_root() {
+        let errors = validate_str_streaming(&po(), "");
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn memory_is_bounded_by_depth_not_length() {
+        // feed a long flat document event by event; the stack never grows
+        // beyond the element depth
+        let compiled = wml();
+        let mut page = String::from("<wml><card id=\"c\"><p><select name=\"d\">");
+        for i in 0..2000 {
+            page.push_str(&format!("<option value=\"{i}\">o{i}</option>"));
+        }
+        page.push_str("</select></p></card></wml>");
+        let mut reader = Reader::new(&page);
+        let mut v = StreamingValidator::new(&compiled);
+        let mut max_depth = 0;
+        loop {
+            match reader.next_event().unwrap() {
+                Event::Eof => break,
+                event => {
+                    v.feed(&event);
+                    max_depth = max_depth.max(v.depth());
+                }
+            }
+        }
+        assert!(max_depth <= 5, "depth grew to {max_depth}");
+        assert!(v.finish().is_empty());
+    }
+
+    #[test]
+    fn feed_and_errors_are_incremental() {
+        let compiled = po();
+        let mut v = StreamingValidator::new(&compiled);
+        let mut reader = Reader::new("<purchaseOrder><junk/></purchaseOrder>");
+        loop {
+            match reader.next_event().unwrap() {
+                Event::Eof => break,
+                event => v.feed(&event),
+            }
+        }
+        // <junk> rejected mid-stream, before finish()
+        assert!(v
+            .errors()
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::UnexpectedChild { .. })));
+        v.finish();
+    }
+}

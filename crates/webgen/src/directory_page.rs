@@ -190,8 +190,7 @@ impl PxmlDirectoryPage {
     /// Parses and statically checks the page's templates.
     pub fn new(compiled: &CompiledSchema) -> Result<PxmlDirectoryPage, Vec<pxml::PxmlError>> {
         let option_template =
-            Template::parse("<option value=\"$subDir$\">$label$</option>")
-                .map_err(|e| vec![e])?;
+            Template::parse("<option value=\"$subDir$\">$label$</option>").map_err(|e| vec![e])?;
         let env = TypeEnv::new().text("subDir").text("label");
         let errors = pxml::check_template(compiled, &option_template, &env);
         if !errors.is_empty() {

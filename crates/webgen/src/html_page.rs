@@ -42,10 +42,8 @@ pub fn check_server_pages(compiled: &CompiledSchema) -> (Vec<PxmlError>, Vec<Pxm
     // the "wrong" page: a structural typo — title under body's h1 slot
     // (a well-formed template that is *invalid* against the schema, the
     // analogue of the paper's wrong-output example at the template level)
-    let wrong = Template::parse(
-        "<html><head></head><body><title>$title$</title></body></html>",
-    )
-    .expect("well-formed template");
+    let wrong = Template::parse("<html><head></head><body><title>$title$</title></body></html>")
+        .expect("well-formed template");
     let wrong_errors = check_template(compiled, &wrong, &env);
     (good_errors, wrong_errors)
 }

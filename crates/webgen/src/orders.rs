@@ -92,7 +92,11 @@ pub fn generate_order(seed: u64, item_count: usize) -> Order {
             ),
             product_name: PRODUCTS[rng.random_range(0..PRODUCTS.len())].to_string(),
             quantity: rng.random_range(1..100),
-            us_price: format!("{}.{:02}", rng.random_range(1..500), rng.random_range(0..100)),
+            us_price: format!(
+                "{}.{:02}",
+                rng.random_range(1..500),
+                rng.random_range(0..100)
+            ),
             comment: if rng.random_bool(0.3) {
                 Some("Ship with care".to_string())
             } else {
@@ -246,10 +250,7 @@ pub fn build_order_dom(doc: &mut dom::Document, order: &Order) {
 }
 
 /// Typed V-DOM rendering: incremental checking, no separate validation.
-pub fn render_order_vdom(
-    compiled: &CompiledSchema,
-    order: &Order,
-) -> Result<String, VdomError> {
+pub fn render_order_vdom(compiled: &CompiledSchema, order: &Order) -> Result<String, VdomError> {
     let mut td = TypedDocument::new(compiled.clone());
     let root = td.create_root("purchaseOrder")?;
     td.set_attribute(root, "orderDate", order.order_date.clone())?;

@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use parking_lot::RwLock;
 use schema::{CompiledSchema, SchemaError};
+use validator::ValidationError;
 
 /// A named registry of compiled schemas.
 #[derive(Default)]
@@ -52,6 +53,37 @@ impl SchemaRegistry {
     pub fn is_empty(&self) -> bool {
         self.schemas.read().is_empty()
     }
+
+    /// Streaming-validates one rendered page against the schema
+    /// registered under `schema_name`, without building a DOM; `None`
+    /// when no such schema is registered. An empty error list means the
+    /// page is valid.
+    pub fn validate_streaming(
+        &self,
+        schema_name: &str,
+        document: &str,
+    ) -> Option<Vec<ValidationError>> {
+        let compiled = self.get(schema_name)?;
+        Some(validator::validate_str_streaming(&compiled, document))
+    }
+
+    /// Batch form of [`validate_streaming`](Self::validate_streaming) for
+    /// page handlers that flush several rendered documents at once: one
+    /// error list per document, in order. The schema handle is fetched
+    /// once for the whole batch.
+    pub fn validate_batch_streaming(
+        &self,
+        schema_name: &str,
+        documents: &[&str],
+    ) -> Option<Vec<Vec<ValidationError>>> {
+        let compiled = self.get(schema_name)?;
+        Some(
+            documents
+                .iter()
+                .map(|doc| validator::validate_str_streaming(&compiled, doc))
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +106,26 @@ mod tests {
         reg.register("wml", schema::corpus::WML_XSD).unwrap();
         reg.register("wml", schema::corpus::WML_XSD).unwrap();
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn streaming_validation_through_registry() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let data = crate::DirectoryPageData {
+            sub_dirs: vec!["music".into(), "video".into()],
+            current_dir: "/media".into(),
+            parent_dir: "/".into(),
+        };
+        let good = crate::render_string(&data);
+        let bad = crate::render_string_buggy(&data);
+        let results = reg
+            .validate_batch_streaming("wml", &[good.as_str(), bad.as_str()])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_empty(), "{:#?}", results[0]);
+        assert!(!results[1].is_empty());
+        assert!(reg.validate_streaming("wml", &good).unwrap().is_empty());
+        assert!(reg.validate_batch_streaming("nope", &[]).is_none());
     }
 
     #[test]

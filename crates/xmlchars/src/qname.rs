@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn qname_splits_prefix() {
-        assert_eq!(validate_qname("xsd:string").unwrap(), (Some("xsd"), "string"));
+        assert_eq!(
+            validate_qname("xsd:string").unwrap(),
+            (Some("xsd"), "string")
+        );
         assert_eq!(validate_qname("comment").unwrap(), (None, "comment"));
         assert!(validate_qname("a:b:c").is_err());
         assert!(validate_qname(":b").is_err());

@@ -38,7 +38,13 @@ pub fn replace(value: &str) -> Cow<'_, str> {
     Cow::Owned(
         value
             .chars()
-            .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
+            .map(|c| {
+                if matches!(c, '\t' | '\n' | '\r') {
+                    ' '
+                } else {
+                    c
+                }
+            })
             .collect(),
     )
 }

@@ -85,7 +85,11 @@ impl fmt::Display for ParseErrorKind {
             }
             ParseErrorKind::UnmatchedEndTag(n) => write!(f, "end tag </{n}> with no open element"),
             ParseErrorKind::UnclosedElements(names) => {
-                write!(f, "input ended with unclosed elements: {}", names.join(", "))
+                write!(
+                    f,
+                    "input ended with unclosed elements: {}",
+                    names.join(", ")
+                )
             }
             ParseErrorKind::DuplicateAttribute(n) => write!(f, "duplicate attribute {n:?}"),
             ParseErrorKind::Reference(e) => write!(f, "{e}"),
@@ -93,7 +97,10 @@ impl fmt::Display for ParseErrorKind {
             ParseErrorKind::NoRootElement => write!(f, "document has no root element"),
             ParseErrorKind::IllegalSequence(s) => write!(f, "illegal sequence {s:?}"),
             ParseErrorKind::DoctypeUnsupported => {
-                write!(f, "DOCTYPE declarations are not supported (schema-based pipeline)")
+                write!(
+                    f,
+                    "DOCTYPE declarations are not supported (schema-based pipeline)"
+                )
             }
         }
     }

@@ -292,9 +292,7 @@ impl<'a> Reader<'a> {
                         found: '<',
                     }))
                 }
-                Some(c) if !is_xml_char(c) => {
-                    return Err(self.err(ParseErrorKind::IllegalChar(c)))
-                }
+                Some(c) if !is_xml_char(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
                 Some(_) => {
                     self.bump();
                 }
@@ -307,11 +305,17 @@ impl<'a> Reader<'a> {
         }
         let raw = &self.src[start..self.pos.offset];
         self.bump(); // closing quote
-        // Attribute-value normalization: tabs and newlines become spaces
-        // (XML 1.0 §3.3.3), then references are resolved.
+                     // Attribute-value normalization: tabs and newlines become spaces
+                     // (XML 1.0 §3.3.3), then references are resolved.
         let normalized: String = raw
             .chars()
-            .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
+            .map(|c| {
+                if matches!(c, '\t' | '\n' | '\r') {
+                    ' '
+                } else {
+                    c
+                }
+            })
             .collect();
         let value = unescape(&normalized)
             .map_err(|e| self.err(ParseErrorKind::Reference(e)))?
@@ -384,9 +388,7 @@ impl<'a> Reader<'a> {
                     self.bump();
                 }
                 Some(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
-                None => {
-                    return Err(self.err(ParseErrorKind::UnexpectedEof { context: "comment" }))
-                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof { context: "comment" })),
             }
         }
         let text = self.src[begin..self.pos.offset].to_string();

@@ -56,24 +56,27 @@ fn build(mut reader: Reader<'_>) -> Result<Document, ParseError> {
             Event::EndElement { .. } => {
                 stack.pop();
             }
-            Event::Text { text, .. } => {
+            Event::Text { text, span } => {
                 // Only keep text inside the root element; the reader already
                 // rejects non-whitespace text outside it.
                 if stack.len() > 1 {
                     let t = doc.create_text(text);
+                    doc.set_span(t, span).expect("fresh node");
                     let parent = *stack.last().unwrap();
                     doc.append_child(parent, t).expect("text under element");
                 }
             }
-            Event::Comment { text, .. } => {
+            Event::Comment { text, span } => {
                 let c = doc.create_comment(text);
+                doc.set_span(c, span).expect("fresh node");
                 let parent = *stack.last().unwrap();
                 doc.append_child(parent, c).expect("comment");
             }
-            Event::ProcessingInstruction { target, data, .. } => {
+            Event::ProcessingInstruction { target, data, span } => {
                 let pi = doc
                     .create_pi(target, data)
                     .expect("reader validated PI target");
+                doc.set_span(pi, span).expect("fresh node");
                 let parent = *stack.last().unwrap();
                 doc.append_child(parent, pi).expect("pi");
             }
@@ -106,7 +109,8 @@ mod tests {
 
     #[test]
     fn fragment_returns_root() {
-        let (doc, root) = parse_fragment("  <shipTo country=\"US\"><name>A</name></shipTo>\n").unwrap();
+        let (doc, root) =
+            parse_fragment("  <shipTo country=\"US\"><name>A</name></shipTo>\n").unwrap();
         assert_eq!(doc.tag_name(root).unwrap(), "shipTo");
         assert_eq!(doc.attribute(root, "country").unwrap(), Some("US"));
     }
@@ -139,5 +143,17 @@ mod tests {
         let root = doc.root_element().unwrap();
         let b = doc.child_element_named(root, "b").unwrap();
         assert_eq!(doc.span(b).unwrap().start.line, 2);
+    }
+
+    #[test]
+    fn spans_recorded_on_text_nodes() {
+        let doc = parse_document("<a>\n<b/>hi</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let children = doc.child_vec(root).unwrap();
+        // [text "\n", <b/>, text "hi"] — the trailing text starts on line 2
+        let hi = children[2];
+        let span = doc.span(hi).unwrap();
+        assert_eq!(span.start.line, 2);
+        assert!(span.end.offset > span.start.offset);
     }
 }

@@ -264,7 +264,8 @@ mod tests {
     #[test]
     fn intersect_and_subtract() {
         let az = CharSet::range('a', 'z');
-        let vowels = CharSet::from_ranges([('a', 'a'), ('e', 'e'), ('i', 'i'), ('o', 'o'), ('u', 'u')]);
+        let vowels =
+            CharSet::from_ranges([('a', 'a'), ('e', 'e'), ('i', 'i'), ('o', 'o'), ('u', 'u')]);
         let consonants = az.subtract(&vowels);
         assert!(consonants.contains('b'));
         assert!(!consonants.contains('e'));

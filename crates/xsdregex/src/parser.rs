@@ -103,7 +103,12 @@ impl Parser {
         self.chars
             .get(self.pos)
             .map(|&(i, _)| i)
-            .unwrap_or_else(|| self.chars.last().map(|&(i, c)| i + c.len_utf8()).unwrap_or(0))
+            .unwrap_or_else(|| {
+                self.chars
+                    .last()
+                    .map(|&(i, c)| i + c.len_utf8())
+                    .unwrap_or(0)
+            })
     }
 
     fn error(&self, kind: PatternErrorKind) -> ParsePatternError {
@@ -334,9 +339,9 @@ impl Parser {
                             _ => {
                                 let hi_set = self.class_member()?;
                                 let lo = lo_set.example().unwrap();
-                                let hi = hi_set.example().ok_or_else(|| {
-                                    self.error(PatternErrorKind::UnexpectedEnd)
-                                })?;
+                                let hi = hi_set
+                                    .example()
+                                    .ok_or_else(|| self.error(PatternErrorKind::UnexpectedEnd))?;
                                 if hi_set.len() != 1 || hi < lo {
                                     return Err(self.error(PatternErrorKind::BadRange(lo, hi)));
                                 }

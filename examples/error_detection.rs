@@ -63,7 +63,11 @@ fn main() {
         // DOM + validator: caught, but only when validation runs
         let doc = xmlparse::parse_document(case.template).expect("well-formed test input");
         let dom_errors = validator::validate_document(&compiled, &doc);
-        let dom_catches = if dom_errors.is_empty() { "MISSED" } else { "runtime" };
+        let dom_catches = if dom_errors.is_empty() {
+            "MISSED"
+        } else {
+            "runtime"
+        };
         // P-XML: caught before the program runs
         let template = Template::parse(case.template).unwrap();
         let pxml_errors = check_template(&compiled, &template, &env);

@@ -50,9 +50,9 @@ fn main() {
     // the Sect. 1 failure mode: the buggy JSP-style page
     let buggy = webgen::render_string_buggy(&data);
     match xmlparse::parse_document(&buggy) {
-        Err(e) => println!(
-            "buggy string generator produced broken markup, noticed only downstream: {e}"
-        ),
+        Err(e) => {
+            println!("buggy string generator produced broken markup, noticed only downstream: {e}")
+        }
         Ok(_) => println!("buggy generator got lucky this time"),
     }
 

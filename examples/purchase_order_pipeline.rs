@@ -50,6 +50,8 @@ fn main() {
     let typed_root = td.dom().root_element().unwrap();
     let typed_ship = td.dom().child_element_named(typed_root, "shipTo").unwrap();
     println!("=== Fig. 7: the same fragment in V-DOM (typed interfaces) ===\n");
-    let handle = td.typed_handle(typed_ship).expect("imported element is typed");
+    let handle = td
+        .typed_handle(typed_ship)
+        .expect("imported element is typed");
     println!("{}", vdom::dump_typed(&td, handle).unwrap());
 }

@@ -11,8 +11,8 @@ use vdom::TypedDocument;
 
 fn main() {
     // 1. Compile the paper's purchase-order schema (Figs. 2–3).
-    let compiled = CompiledSchema::parse(corpus::PURCHASE_ORDER_XSD)
-        .expect("the bundled schema is valid");
+    let compiled =
+        CompiledSchema::parse(corpus::PURCHASE_ORDER_XSD).expect("the bundled schema is valid");
     println!(
         "schema compiled: {} components",
         compiled.schema().component_count()
@@ -67,4 +67,17 @@ fn main() {
     let errors = validator::validate_document(&compiled, &doc);
     assert!(errors.is_empty());
     println!("\nindependent validator agrees: document is valid");
+
+    // 5. The same check without ever building a tree: stream the
+    //    serialized text through the event-based validator. This is the
+    //    shape server pages use to check rendered output on its way out.
+    let page = dom::serialize(&doc, root).unwrap();
+    let errors = validator::validate_str_streaming(&compiled, &page);
+    assert!(errors.is_empty());
+    println!("streaming validator agrees: document is valid");
+
+    let broken = page.replace("148.95", "a lot");
+    for e in validator::validate_str_streaming(&compiled, &broken) {
+        println!("streaming validator caught: {e}");
+    }
 }

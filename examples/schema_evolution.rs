@@ -52,7 +52,9 @@ fn main() {
     println!("every client mention of `{old}` would need rewriting.");
 
     // and the inherited name, for contrast
-    let inherited = NamePath::root("PurchaseOrderType").child(1).inherited_name();
+    let inherited = NamePath::root("PurchaseOrderType")
+        .child(1)
+        .inherited_name();
     println!("inherited naming keeps: {inherited} (unchanged)");
 
     // union mode (Fig. 5) vs inheritance mode (Fig. 6) rendering
@@ -60,7 +62,10 @@ fn main() {
     let model = normalize::build_model(&schema).unwrap();
     println!("\n=== Fig. 5: the rejected union-type interface ===\n");
     let union_idl = codegen::render_union_idl(&model);
-    for line in union_idl.lines().filter(|l| l.contains("Union") || l.contains("case ")) {
+    for line in union_idl
+        .lines()
+        .filter(|l| l.contains("Union") || l.contains("case "))
+    {
         println!("{line}");
     }
     println!("\n=== Fig. 6: the inheritance interface the paper settles on ===\n");

@@ -59,7 +59,10 @@ fn fig2_3_schema_components() {
     // PurchaseOrderType (10–23): sequence + orderDate attribute
     let attrs = s.effective_attributes("PurchaseOrderType").unwrap();
     assert_eq!(attrs[0].name, "orderDate");
-    assert!(matches!(attrs[0].type_ref, TypeRef::Builtin(BuiltinType::Date)));
+    assert!(matches!(
+        attrs[0].type_ref,
+        TypeRef::Builtin(BuiltinType::Date)
+    ));
     // USAddress (24–33): country fixed US
     let attrs = s.effective_attributes("USAddress").unwrap();
     assert_eq!(attrs[0].fixed.as_deref(), Some("US"));
@@ -212,8 +215,7 @@ fn fig10_pxml_wml_page_equals_fig8_page() {
 #[test]
 fn fig11_generated_vdom_code_for_the_option_template() {
     let wml = CompiledSchema::parse(WML_XSD).unwrap();
-    let template =
-        pxml::Template::parse("<option value=\"$subDir$\">$label$</option>").unwrap();
+    let template = pxml::Template::parse("<option value=\"$subDir$\">$label$</option>").unwrap();
     let env = pxml::TypeEnv::new().text("subDir").text("label");
     let code = pxml::emit_rust(&wml, &template, &env, "build_option").unwrap();
     // Fig. 11 lines 18–19: createOption(label) + setValue(subDir)

@@ -1,0 +1,468 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the external APIs its tests rely on. This implementation keeps
+//! the *shape* of proptest — `Strategy`, `prop_map`, `prop_recursive`,
+//! `prop_oneof!`, `prop::collection::vec`, regex-like string strategies,
+//! and the `proptest!` test macro — over a much simpler engine: each test
+//! runs `ProptestConfig::cases` deterministic pseudo-random cases seeded
+//! from the test name. There is no shrinking; a failing case reports its
+//! case number and seed so it can be replayed by rerunning the test.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+mod pattern;
+pub mod test_runner;
+
+pub use test_runner::{ProptestConfig, TestRng};
+
+// ---------------------------------------------------------------------------
+// Strategy and adapters
+// ---------------------------------------------------------------------------
+
+/// A generator of pseudo-random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive values: `self` generates leaves, and `grow` turns a
+    /// strategy for depth-`n` values into one for depth-`n+1` values. The
+    /// `_desired_size` and `_expected_branch` hints are accepted for
+    /// proptest compatibility but unused.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        grow: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            grow: Rc::new(move |inner| grow(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Picks uniformly among alternatives (the engine behind [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    #[allow(clippy::type_complexity)]
+    grow: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            grow: self.grow.clone(),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let levels = rng.below(u64::from(self.depth) + 1) as u32;
+        let mut strategy = self.base.clone();
+        for _ in 0..levels {
+            strategy = (self.grow)(strategy);
+        }
+        strategy.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: integer ranges, chars, strings from patterns, tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as i128 - start as i128) as u64;
+                (start as i128 + rng.below_inclusive(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Character strategies, mirroring `proptest::char`.
+pub mod char {
+    use super::{Strategy, TestRng};
+
+    /// Uniform characters in `[start, end]`, skipping surrogate codepoints.
+    pub fn range(start: char, end: char) -> CharRange {
+        assert!(start <= end, "cannot sample empty char range");
+        CharRange { start, end }
+    }
+
+    /// The strategy returned by [`range`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        start: char,
+        end: char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            let (lo, hi) = (self.start as u32, self.end as u32);
+            loop {
+                let code = lo + rng.below_inclusive(u64::from(hi - lo)) as u32;
+                if let Some(c) = std::char::from_u32(code) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// String-valued strategy from a regex-like pattern (see [`pattern`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let parsed = pattern::Pattern::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported proptest string pattern {self:?}: {e}"));
+        parsed.generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `size` (half-open) and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "cannot sample empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(width) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniformly picks one of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run_proptest(&config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+/// Common imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    fn max_leaf(t: &Tree) -> u8 {
+        match t {
+            Tree::Leaf(n) => *n,
+            Tree::Node(children) => children.iter().map(max_leaf).max().unwrap_or(0),
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 0u8..16, b in 3usize..9) {
+            prop_assert!(a < 16);
+            prop_assert!((3..9).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(matches!(x, 1 | 2 | 5 | 6));
+        }
+
+        #[test]
+        fn recursive_depth_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 3);
+            prop_assert!(max_leaf(&t) < 10);
+        }
+
+        #[test]
+        fn char_range_bounds(c in crate::char::range('a', 'm')) {
+            prop_assert!(('a'..='m').contains(&c));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u8..4, "[x-z]{2,3}")) {
+            let (n, s) = pair;
+            prop_assert!(n < 4);
+            prop_assert!((2..=3).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| ('x'..='z').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("fixed");
+        let mut b = TestRng::from_name("fixed");
+        let strat = prop::collection::vec(0u64..1000, 0..10);
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run_with_failure();
+    }
+
+    fn run_with_failure() {
+        crate::test_runner::run_proptest(&ProptestConfig::with_cases(5), "always_fails", |_rng| {
+            panic!("boom")
+        });
+    }
+}

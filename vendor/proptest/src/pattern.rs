@@ -1,0 +1,378 @@
+//! A regex-like string generator covering the pattern dialect the
+//! workspace's property tests use: literals, character classes (with
+//! ranges, negation, and `\xHH` escapes), `\d`, `\PC` (any non-control
+//! character), `.`, and the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`.
+//!
+//! Unsupported syntax (groups, alternation, anchors…) is rejected with an
+//! error naming the offending construct, so a new test using a fancier
+//! pattern fails loudly instead of generating wrong data.
+
+use std::iter::Peekable;
+use std::str::Chars;
+
+use crate::test_runner::TestRng;
+
+/// Characters drawn for `\PC`, `.`, and as candidates for negated
+/// classes: printable ASCII plus a few multi-byte characters so Unicode
+/// handling gets exercised too.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..=0x7E).map(char::from).collect();
+    pool.extend(['¡', 'é', 'ß', 'λ', '中', '€', '🙂']);
+    pool
+}
+
+/// Upper repetition bound substituted for the unbounded `*` and `+`.
+const UNBOUNDED_MAX: u32 = 8;
+
+/// A parsed pattern: a sequence of repeated character classes.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    parts: Vec<Part>,
+}
+
+#[derive(Debug, Clone)]
+struct Part {
+    class: CharClass,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    Literal(char),
+    Ranges(Vec<(char, char)>),
+    Negated(Vec<(char, char)>),
+    /// `\PC` — any character outside Unicode category C (controls).
+    NonControl,
+    /// `.` — any character except newline.
+    Dot,
+}
+
+impl Pattern {
+    /// Parses `src`, rejecting unsupported regex syntax.
+    pub fn parse(src: &str) -> Result<Pattern, String> {
+        let mut chars = src.chars().peekable();
+        let mut parts = Vec::new();
+        while let Some(c) = chars.next() {
+            let class = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => parse_escape(&mut chars)?,
+                '.' => CharClass::Dot,
+                '(' | ')' | '|' | '^' | '$' | '*' | '+' | '?' | '{' | '}' | ']' => {
+                    return Err(format!("unsupported pattern syntax {c:?}"));
+                }
+                other => CharClass::Literal(other),
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            parts.push(Part { class, min, max });
+        }
+        Ok(Pattern { parts })
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for part in &self.parts {
+            let n = part.min + rng.below_inclusive(u64::from(part.max - part.min)) as u32;
+            for _ in 0..n {
+                out.push(part.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Literal(c) => *c,
+            CharClass::Ranges(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1)
+                    .sum();
+                let mut idx = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let size = u64::from(hi as u32 - lo as u32) + 1;
+                    if idx < size {
+                        // ranges in this dialect never straddle surrogates
+                        return std::char::from_u32(lo as u32 + idx as u32)
+                            .expect("class range stays within valid scalar values");
+                    }
+                    idx -= size;
+                }
+                unreachable!("index within total size")
+            }
+            CharClass::Negated(excluded) => {
+                let pool = {
+                    let mut p = printable_pool();
+                    p.extend(['\t', '\n', '\r']);
+                    p
+                };
+                let allowed = |c: char| !excluded.iter().any(|&(lo, hi)| (lo..=hi).contains(&c));
+                for _ in 0..100 {
+                    let c = pool[rng.below(pool.len() as u64) as usize];
+                    if allowed(c) {
+                        return c;
+                    }
+                }
+                pool.into_iter()
+                    .find(|&c| allowed(c))
+                    .expect("negated class excludes the entire candidate pool")
+            }
+            CharClass::NonControl => {
+                let pool = printable_pool();
+                pool[rng.below(pool.len() as u64) as usize]
+            }
+            CharClass::Dot => loop {
+                let pool = printable_pool();
+                let c = pool[rng.below(pool.len() as u64) as usize];
+                if c != '\n' {
+                    return c;
+                }
+            },
+        }
+    }
+}
+
+enum ClassAtom {
+    Char(char),
+    Set(Vec<(char, char)>),
+}
+
+fn parse_escape(chars: &mut Peekable<Chars<'_>>) -> Result<CharClass, String> {
+    match chars.next().ok_or("dangling backslash")? {
+        'P' => match chars.next() {
+            Some('C') => Ok(CharClass::NonControl),
+            other => Err(format!("unsupported \\P category {other:?}")),
+        },
+        'd' => Ok(CharClass::Ranges(vec![('0', '9')])),
+        'x' => Ok(CharClass::Literal(parse_hex_escape(chars)?)),
+        't' => Ok(CharClass::Literal('\t')),
+        'n' => Ok(CharClass::Literal('\n')),
+        'r' => Ok(CharClass::Literal('\r')),
+        c @ ('\\' | '.' | '-' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?' | '|' | '^'
+        | '$' | '\'' | '"' | '/') => Ok(CharClass::Literal(c)),
+        other => Err(format!("unsupported escape \\{other}")),
+    }
+}
+
+fn parse_class_escape(chars: &mut Peekable<Chars<'_>>) -> Result<ClassAtom, String> {
+    match chars.next().ok_or("dangling backslash in class")? {
+        'd' => Ok(ClassAtom::Set(vec![('0', '9')])),
+        'x' => Ok(ClassAtom::Char(parse_hex_escape(chars)?)),
+        't' => Ok(ClassAtom::Char('\t')),
+        'n' => Ok(ClassAtom::Char('\n')),
+        'r' => Ok(ClassAtom::Char('\r')),
+        other => Ok(ClassAtom::Char(other)),
+    }
+}
+
+fn parse_hex_escape(chars: &mut Peekable<Chars<'_>>) -> Result<char, String> {
+    let mut value = 0u32;
+    for _ in 0..2 {
+        let d = chars.next().ok_or("truncated \\x escape")?;
+        value = value * 16
+            + d.to_digit(16)
+                .ok_or_else(|| format!("bad hex digit {d:?}"))?;
+    }
+    std::char::from_u32(value).ok_or_else(|| format!("\\x{value:02x} is not a scalar value"))
+}
+
+fn parse_class(chars: &mut Peekable<Chars<'_>>) -> Result<CharClass, String> {
+    let negated = chars.peek() == Some(&'^') && {
+        chars.next();
+        true
+    };
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = chars.next().ok_or("unterminated character class")?;
+        if c == ']' {
+            if ranges.is_empty() {
+                return Err("empty character class".into());
+            }
+            break;
+        }
+        let atom = if c == '\\' {
+            parse_class_escape(chars)?
+        } else {
+            ClassAtom::Char(c)
+        };
+        match atom {
+            ClassAtom::Set(set) => ranges.extend(set),
+            ClassAtom::Char(start) => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.peek() {
+                        Some(']') | None => {
+                            // trailing '-' is a literal
+                            ranges.push((start, start));
+                            ranges.push(('-', '-'));
+                        }
+                        Some('\\') => {
+                            chars.next();
+                            match parse_class_escape(chars)? {
+                                ClassAtom::Char(end) if start <= end => ranges.push((start, end)),
+                                ClassAtom::Char(end) => {
+                                    return Err(format!("inverted range {start:?}-{end:?}"))
+                                }
+                                ClassAtom::Set(_) => {
+                                    return Err("class set as range endpoint".into())
+                                }
+                            }
+                        }
+                        Some(&end) => {
+                            chars.next();
+                            if start > end {
+                                return Err(format!("inverted range {start:?}-{end:?}"));
+                            }
+                            ranges.push((start, end));
+                        }
+                    }
+                } else {
+                    ranges.push((start, start));
+                }
+            }
+        }
+    }
+    Ok(if negated {
+        CharClass::Negated(ranges)
+    } else {
+        CharClass::Ranges(ranges)
+    })
+}
+
+fn parse_quantifier(chars: &mut Peekable<Chars<'_>>) -> Result<(u32, u32), String> {
+    let (min, max) = match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let min = parse_number(chars)?;
+            let max = match chars.peek() {
+                Some(',') => {
+                    chars.next();
+                    parse_number(chars)?
+                }
+                _ => min,
+            };
+            match chars.next() {
+                Some('}') => (min, max),
+                other => return Err(format!("expected '}}' in quantifier, got {other:?}")),
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_MAX)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    };
+    if min > max {
+        return Err(format!("quantifier {{{min},{max}}} is inverted"));
+    }
+    Ok((min, max))
+}
+
+fn parse_number(chars: &mut Peekable<Chars<'_>>) -> Result<u32, String> {
+    let mut digits = String::new();
+    while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+        digits.push(chars.next().expect("peeked"));
+    }
+    digits
+        .parse()
+        .map_err(|_| format!("expected number in quantifier, got {digits:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        Pattern::parse(pattern)
+            .unwrap()
+            .generate(&mut TestRng::from_seed(seed))
+    }
+
+    fn check_all(pattern: &str, len_bounds: (usize, usize), allowed: impl Fn(char) -> bool) {
+        for seed in 0..200 {
+            let s = gen(pattern, seed);
+            let n = s.chars().count();
+            assert!(
+                (len_bounds.0..=len_bounds.1).contains(&n),
+                "{pattern}: length {n} outside {len_bounds:?} in {s:?}"
+            );
+            for c in s.chars() {
+                assert!(allowed(c), "{pattern}: produced {c:?} in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simple_classes() {
+        check_all("[a-z]{1,6}", (1, 6), |c| c.is_ascii_lowercase());
+        check_all("[a-z ]{0,8}", (0, 8), |c| {
+            c.is_ascii_lowercase() || c == ' '
+        });
+        check_all("[abc0-9]{0,12}", (0, 12), |c| {
+            matches!(c, 'a' | 'b' | 'c' | '0'..='9')
+        });
+        check_all("[a-c]", (1, 1), |c| ('a'..='c').contains(&c));
+    }
+
+    #[test]
+    fn escaped_metacharacters_in_class() {
+        check_all("[<>/a-z\"'= &;!?\\-\\[\\]]{0,100}", (0, 100), |c| {
+            c.is_ascii_lowercase() || "<>/\"'= &;!?-[]".contains(c)
+        });
+    }
+
+    #[test]
+    fn negated_class_excludes_controls() {
+        check_all("[^\\x00-\\x08\\x0b\\x0c\\x0e-\\x1f]{0,40}", (0, 40), |c| {
+            !(('\x00'..='\x08').contains(&c)
+                || c == '\x0b'
+                || c == '\x0c'
+                || ('\x0e'..='\x1f').contains(&c))
+        });
+    }
+
+    #[test]
+    fn non_control_category() {
+        check_all("\\PC{0,200}", (0, 200), |c| !c.is_control());
+    }
+
+    #[test]
+    fn literal_prefix() {
+        for seed in 0..50 {
+            let s = gen("/[a-z/]{0,20}", seed);
+            assert!(s.starts_with('/'), "missing prefix in {s:?}");
+            assert!(s
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_lowercase() || c == '/'));
+        }
+    }
+
+    #[test]
+    fn star_plus_question() {
+        check_all("a*", (0, 8), |c| c == 'a');
+        check_all("b+", (1, 8), |c| c == 'b');
+        check_all("c?", (0, 1), |c| c == 'c');
+        check_all("\\d{2}", (2, 2), |c| c.is_ascii_digit());
+    }
+
+    #[test]
+    fn unsupported_syntax_rejected() {
+        assert!(Pattern::parse("(ab)").is_err());
+        assert!(Pattern::parse("a|b").is_err());
+        assert!(Pattern::parse("[a-z").is_err());
+        assert!(Pattern::parse("a{2,").is_err());
+        assert!(Pattern::parse("\\pL").is_err());
+    }
+}

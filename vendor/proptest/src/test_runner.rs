@@ -1,0 +1,89 @@
+//! The case runner and RNG behind the [`proptest!`](crate::proptest) macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Deterministic pseudo-random generator (SplitMix64) used by strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from a raw value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// An RNG deterministically seeded from a test name, so every run of a
+    /// test explores the same cases.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, n]`.
+    pub fn below_inclusive(&mut self, n: u64) -> u64 {
+        if n == u64::MAX {
+            self.next_u64()
+        } else {
+            self.next_u64() % (n + 1)
+        }
+    }
+}
+
+/// Runs `body` for each case, reporting the case number and seed on
+/// failure so the run can be reproduced (seeds derive only from `name`).
+pub fn run_proptest<F: FnMut(&mut TestRng)>(config: &ProptestConfig, name: &str, mut body: F) {
+    let mut seeder = TestRng::from_name(name);
+    for case in 0..config.cases {
+        let seed = seeder.next_u64();
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+            eprintln!(
+                "proptest {name}: case {case}/{} (seed {seed:#018x}) failed",
+                config.cases
+            );
+            resume_unwind(payload);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API used by this
+//! workspace: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! methods `random_range` / `random_bool`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of external APIs it needs (see `vendor/`). The
+//! generator is SplitMix64 — deterministic, seedable, and statistically
+//! solid for test-data generation (it is not, and does not need to be,
+//! cryptographic).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// The sampling interface, mirroring the `rand::Rng` methods in use.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 random bits → uniform f64 in [0, 1)
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// A range that can be sampled uniformly for values of type `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % width;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % width;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(1..=5usize);
+            assert!((1..=5).contains(&y));
+            let z = rng.random_range(-4..5i32);
+            assert!((-4..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+        let hits = (0..1000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((150..450).contains(&hits), "p=0.3 gave {hits}/1000");
+    }
+}
