@@ -162,6 +162,11 @@ impl ContentDfa {
         self.inner.transitions.len()
     }
 
+    /// Total number of transitions across all states (bench metric).
+    pub fn transition_count(&self) -> usize {
+        self.inner.transitions.iter().map(HashMap::len).sum()
+    }
+
     /// A fresh matcher positioned at the start state.
     pub fn start(&self) -> DfaMatcher {
         DfaMatcher {

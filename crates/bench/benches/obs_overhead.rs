@@ -1,0 +1,61 @@
+//! **B8 — observability overhead.** The `obs` layer's contract is that
+//! an uninstrumented process pays a single relaxed atomic load per probe
+//! site: instrumented code asks `obs::enabled()` once and skips every
+//! field rendering, clock read, and registry lookup when no sink is
+//! installed. This bench puts a number on that claim by running the
+//! B2b streaming-validation workload (purchase-order and WML corpora)
+//! two ways:
+//!
+//! * `disabled`  — no sink installed, the shipping default;
+//! * `collector` — the in-process `CollectingSink` plus live metrics,
+//!   the xmlstat configuration;
+//!
+//! Expected shape: `disabled` within noise (<3%) of the pre-obs B2b
+//! baselines recorded in EXPERIMENTS.md; `collector` a few percent
+//! behind, dominated by the terminal-flush counter updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bench::{po_schema, wml_schema};
+
+fn obs_overhead(c: &mut Criterion) {
+    let po = po_schema();
+    let wml = wml_schema();
+    let order = webgen::generate_order(17, 1000);
+    let po_xml = webgen::render_order_string(&order);
+    let data = webgen::DirectoryPageData {
+        sub_dirs: (0..512).map(|i| format!("dir{i:04}")).collect(),
+        current_dir: "/media/archive".into(),
+        parent_dir: "/media".into(),
+    };
+    let wml_xml = webgen::render_string(&data);
+
+    let mut group = c.benchmark_group("B8-obs-overhead");
+    group.sample_size(20);
+    for (mode, install) in [("disabled", false), ("collector", true)] {
+        if install {
+            obs::install_collector();
+        } else {
+            obs::shutdown();
+        }
+        assert_eq!(obs::enabled(), install);
+        group.throughput(Throughput::Bytes(po_xml.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("po-streaming-{mode}"), 1000),
+            &po_xml,
+            |b, xml| b.iter(|| black_box(validator::validate_str_streaming(&po, xml).len())),
+        );
+        group.throughput(Throughput::Bytes(wml_xml.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("wml-streaming-{mode}"), 512),
+            &wml_xml,
+            |b, xml| b.iter(|| black_box(validator::validate_str_streaming(&wml, xml).len())),
+        );
+    }
+    obs::shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -1,0 +1,625 @@
+//! Counters, gauges, fixed-bucket histograms, and the registry that
+//! renders them as a text report or in Prometheus text format.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn inc_by(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram with Prometheus semantics: a bucket counts
+/// observations `v <= bound` (non-cumulative internally, rendered
+/// cumulatively), plus a running sum and count.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending, finite upper bounds; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One slot per bound plus the `+Inf` slot.
+    buckets: Vec<AtomicU64>,
+    /// Sum of observations, stored as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|bound| v <= *bound)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative bucket counts as `(upper bound, count of v <= bound)`;
+    /// the final entry is `(f64::INFINITY, total count)`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut running = 0;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, slot) in self.buckets.iter().enumerate() {
+            running += slot.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, running));
+        }
+        out
+    }
+}
+
+/// Canonical label key: pairs sorted by label name.
+type LabelSet = Vec<(String, String)>;
+
+fn canonical(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+enum FamilyKind {
+    Counter(BTreeMap<LabelSet, Arc<Counter>>),
+    Gauge(BTreeMap<LabelSet, Arc<Gauge>>),
+    Histogram {
+        bounds: Vec<f64>,
+        series: BTreeMap<LabelSet, Arc<Histogram>>,
+    },
+}
+
+impl FamilyKind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            FamilyKind::Counter(_) => "counter",
+            FamilyKind::Gauge(_) => "gauge",
+            FamilyKind::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+struct Family {
+    help: &'static str,
+    kind: FamilyKind,
+}
+
+/// A metric registry: families keyed by metric name, each holding one
+/// series per label set. [`crate::metrics()`] is the process-global
+/// instance the pipeline records into; tests may build private ones.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter `name` with no labels, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// The counter `name` with the given labels, registering on first
+    /// use. Label order does not matter; `help` is kept from the first
+    /// registration.
+    pub fn counter_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let mut families = self.families.lock().expect("metric registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help,
+            kind: FamilyKind::Counter(BTreeMap::new()),
+        });
+        match &mut family.kind {
+            FamilyKind::Counter(series) => series.entry(canonical(labels)).or_default().clone(),
+            other => panic!(
+                "metric {name} already registered as a {}, not a counter",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// The gauge `name` with no labels, registering it on first use.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// The gauge `name` with the given labels, registering on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        let mut families = self.families.lock().expect("metric registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help,
+            kind: FamilyKind::Gauge(BTreeMap::new()),
+        });
+        match &mut family.kind {
+            FamilyKind::Gauge(series) => series.entry(canonical(labels)).or_default().clone(),
+            other => panic!(
+                "metric {name} already registered as a {}, not a gauge",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// The histogram `name` with no labels, registering it on first use
+    /// with `bounds` (ascending, finite; `+Inf` is implicit). Later
+    /// callers share the first registration's bounds.
+    pub fn histogram(&self, name: &str, help: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// The histogram `name` with the given labels, registering on first
+    /// use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let mut families = self.families.lock().expect("metric registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help,
+            kind: FamilyKind::Histogram {
+                bounds: bounds.to_vec(),
+                series: BTreeMap::new(),
+            },
+        });
+        match &mut family.kind {
+            FamilyKind::Histogram { bounds, series } => series
+                .entry(canonical(labels))
+                .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+                .clone(),
+            other => panic!(
+                "metric {name} already registered as a {}, not a histogram",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Drops every registered family. Existing handles keep working but
+    /// are no longer rendered — meant for tests and repeated reports.
+    pub fn reset(&self) {
+        self.families.lock().expect("metric registry lock").clear();
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, cumulative `_bucket`/`_sum`/`_count`
+    /// series for histograms), suitable for a `/metrics` page.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("metric registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.type_name());
+            match &family.kind {
+                FamilyKind::Counter(series) => {
+                    for (labels, counter) in series {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels), counter.get());
+                    }
+                }
+                FamilyKind::Gauge(series) => {
+                    for (labels, gauge) in series {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels), gauge.get());
+                    }
+                }
+                FamilyKind::Histogram { series, .. } => {
+                    for (labels, histogram) in series {
+                        for (bound, cumulative) in histogram.cumulative_buckets() {
+                            let le = if bound.is_infinite() {
+                                "+Inf".to_string()
+                            } else {
+                                format_f64(bound)
+                            };
+                            let mut with_le = labels.clone();
+                            with_le.push(("le".to_string(), le));
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                render_labels(&with_le)
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(labels),
+                            format_f64(histogram.sum())
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            render_labels(labels),
+                            histogram.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a human-readable report: one aligned line per series,
+    /// histograms summarized as count/sum/mean. Durations (metrics named
+    /// `*_seconds`) are scaled to ns/µs/ms for reading.
+    pub fn render_text(&self) -> String {
+        let families = self.families.lock().expect("metric registry lock");
+        let mut out = String::from("== metrics ==\n");
+        if families.is_empty() {
+            out.push_str("(none recorded)\n");
+            return out;
+        }
+        for (name, family) in families.iter() {
+            match &family.kind {
+                FamilyKind::Counter(series) => {
+                    for (labels, counter) in series {
+                        let _ = writeln!(
+                            out,
+                            "counter   {name}{} = {}",
+                            render_labels(labels),
+                            counter.get()
+                        );
+                    }
+                }
+                FamilyKind::Gauge(series) => {
+                    for (labels, gauge) in series {
+                        let _ = writeln!(
+                            out,
+                            "gauge     {name}{} = {}",
+                            render_labels(labels),
+                            gauge.get()
+                        );
+                    }
+                }
+                FamilyKind::Histogram { series, .. } => {
+                    let seconds = name.ends_with("_seconds");
+                    for (labels, histogram) in series {
+                        let count = histogram.count();
+                        let sum = histogram.sum();
+                        let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+                        let (sum, mean) = if seconds {
+                            (fmt_seconds(sum), fmt_seconds(mean))
+                        } else {
+                            (format_f64(sum), format_f64(mean))
+                        };
+                        let _ = writeln!(
+                            out,
+                            "histogram {name}{} count={count} sum={sum} mean={mean}",
+                            render_labels(labels),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{k="v",…}` with Prometheus label-value escaping; empty for no labels.
+fn render_labels(labels: &LabelSet) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Prometheus HELP escaping: backslash and newline (quotes are fine).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// `f64` in the shortest round-trippable decimal form Rust offers —
+/// Prometheus parsers accept plain decimal and scientific notation.
+fn format_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Scales a duration in seconds to ns / µs / ms / s for human output.
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds == 0.0 {
+        "0s".to_string()
+    } else if seconds < 1e-6 {
+        format!("{:.0}ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.0}µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics_and_labels() {
+        let reg = Registry::new();
+        let plain = reg.counter("hits_total", "Hits.");
+        plain.inc();
+        plain.inc_by(4);
+        assert_eq!(plain.get(), 5);
+        // same name + same labels (any order) → the same series
+        let a = reg.counter_with("by_kind_total", "By kind.", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter_with("by_kind_total", "By kind.", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // different labels → a different series
+        let c = reg.counter_with("by_kind_total", "By kind.", &[("a", "other")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_multiple_threads() {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let counter = reg.counter("racy_total", "Contended counter.");
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            reg.counter("racy_total", "Contended counter.").get(),
+            80_000
+        );
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", "Depth.");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        // Prometheus semantics: a bucket counts v <= bound.
+        let reg = Registry::new();
+        let h = reg.histogram("h", "Edges.", &[1.0, 2.0, 4.0]);
+        h.observe(1.0); // exactly on a bound → that bucket
+        h.observe(1.0000001); // just over → next bucket
+        h.observe(4.0); // top finite bound
+        h.observe(99.0); // overflow → +Inf only
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 105.0000001).abs() < 1e-6);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!((buckets[0].0, buckets[0].1), (1.0, 1));
+        assert_eq!((buckets[1].0, buckets[1].1), (2.0, 2));
+        assert_eq!((buckets[2].0, buckets[2].1), (4.0, 3));
+        assert!(buckets[3].0.is_infinite());
+        assert_eq!(buckets[3].1, 4, "+Inf bucket equals total count");
+    }
+
+    #[test]
+    fn concurrent_histogram_observations() {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let h = reg.histogram("conc", "Concurrent.", &[10.0]);
+                    for _ in 0..5_000 {
+                        h.observe(t as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let h = reg.histogram("conc", "Concurrent.", &[10.0]);
+        assert_eq!(h.count(), 20_000);
+        // sum = 5000 * (0 + 1 + 2 + 3); f64 CAS additions of small
+        // integers are exact
+        assert_eq!(h.sum(), 30_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("twice", "First as counter.");
+        reg.gauge("twice", "Then as gauge.");
+    }
+
+    #[test]
+    fn prometheus_output_escaping() {
+        let reg = Registry::new();
+        reg.counter_with(
+            "esc_total",
+            "Help with \\ and\nnewline.",
+            &[("path", "a\"b\\c\nd")],
+        )
+        .inc();
+        let out = reg.render_prometheus();
+        assert!(
+            out.contains(r#"esc_total{path="a\"b\\c\nd"} 1"#),
+            "label value must escape quote, backslash, newline:\n{out}"
+        );
+        assert!(
+            out.contains("# HELP esc_total Help with \\\\ and\\nnewline."),
+            "help must escape backslash and newline:\n{out}"
+        );
+        assert!(out.contains("# TYPE esc_total counter"), "{out}");
+    }
+
+    #[test]
+    fn prometheus_histogram_rendering() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("lat_seconds", "Latency.", &[("op", "get")], &[0.5, 1.0]);
+        h.observe(0.25);
+        h.observe(0.75);
+        h.observe(2.0);
+        let out = reg.render_prometheus();
+        for line in [
+            "# TYPE lat_seconds histogram",
+            r#"lat_seconds_bucket{op="get",le="0.5"} 1"#,
+            r#"lat_seconds_bucket{op="get",le="1"} 2"#,
+            r#"lat_seconds_bucket{op="get",le="+Inf"} 3"#,
+            r#"lat_seconds_sum{op="get"} 3"#,
+            r#"lat_seconds_count{op="get"} 3"#,
+        ] {
+            assert!(out.contains(line), "missing {line:?} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn text_report_renders_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("c_total", "C.").inc_by(3);
+        reg.gauge_with("g", "G.", &[("x", "y")]).set(-4);
+        reg.histogram("t_seconds", "T.", crate::DURATION_BUCKETS)
+            .observe(0.002);
+        let out = reg.render_text();
+        assert!(out.contains("counter   c_total = 3"), "{out}");
+        assert!(out.contains(r#"gauge     g{x="y"} = -4"#), "{out}");
+        assert!(out.contains("histogram t_seconds count=1"), "{out}");
+        assert!(out.contains("mean=2.00ms"), "{out}");
+        reg.reset();
+        assert!(reg.render_text().contains("(none recorded)"));
+    }
+
+    #[test]
+    fn fmt_seconds_scales() {
+        assert_eq!(fmt_seconds(0.0), "0s");
+        assert_eq!(fmt_seconds(2.5e-7), "250ns");
+        assert_eq!(fmt_seconds(1.5e-5), "15µs");
+        assert_eq!(fmt_seconds(0.0035), "3.50ms");
+        assert_eq!(fmt_seconds(2.0), "2.000s");
+    }
+}

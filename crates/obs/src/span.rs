@@ -1,0 +1,167 @@
+//! Span records, the sink trait, and the default collecting sink.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One finished span: a named, timed scope plus its structured fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span name, e.g. `"validate.stream"`.
+    pub name: &'static str,
+    /// Structured fields captured at span open, in declaration order.
+    pub fields: Vec<(&'static str, String)>,
+    /// Monotonic wall time between span open and close.
+    pub duration: Duration,
+}
+
+/// Receives finished spans. Implementations must be thread-safe: spans
+/// close on whatever thread ran the instrumented scope.
+pub trait SpanSink: Send + Sync {
+    /// Delivers one finished span.
+    fn record(&self, span: SpanRecord);
+}
+
+/// The batteries-included sink: buffers every span in memory and renders
+/// an aggregated per-name report.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl CollectingSink {
+    /// An empty sink.
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+
+    /// A copy of every span recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("span buffer lock").clone()
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("span buffer lock").len()
+    }
+
+    /// Whether no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all buffered spans.
+    pub fn clear(&self) {
+        self.spans.lock().expect("span buffer lock").clear();
+    }
+
+    /// Total recorded duration of all spans named `name`.
+    pub fn total(&self, name: &str) -> Duration {
+        self.spans
+            .lock()
+            .expect("span buffer lock")
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Number of spans named `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.spans
+            .lock()
+            .expect("span buffer lock")
+            .iter()
+            .filter(|s| s.name == name)
+            .count()
+    }
+
+    /// A human-readable per-span-name summary: count, total, mean, max.
+    pub fn report(&self) -> String {
+        let spans = self.spans.lock().expect("span buffer lock");
+        let mut by_name: BTreeMap<&'static str, (usize, Duration, Duration)> = BTreeMap::new();
+        for span in spans.iter() {
+            let entry = by_name
+                .entry(span.name)
+                .or_insert((0, Duration::ZERO, Duration::ZERO));
+            entry.0 += 1;
+            entry.1 += span.duration;
+            entry.2 = entry.2.max(span.duration);
+        }
+        let mut out = String::from("== spans ==\n");
+        if by_name.is_empty() {
+            out.push_str("(none recorded)\n");
+            return out;
+        }
+        let width = by_name.keys().map(|n| n.len()).max().unwrap_or(0);
+        for (name, (count, total, max)) in by_name {
+            let mean = total / count as u32;
+            let _ = writeln!(
+                out,
+                "{name:width$}  count={count:<6} total={:<10} mean={:<10} max={}",
+                crate::metrics::fmt_seconds(total.as_secs_f64()),
+                crate::metrics::fmt_seconds(mean.as_secs_f64()),
+                crate::metrics::fmt_seconds(max.as_secs_f64()),
+            );
+        }
+        out
+    }
+}
+
+impl SpanSink for CollectingSink {
+    fn record(&self, span: SpanRecord) {
+        self.spans.lock().expect("span buffer lock").push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &'static str, micros: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            fields: Vec::new(),
+            duration: Duration::from_micros(micros),
+        }
+    }
+
+    #[test]
+    fn collects_and_aggregates() {
+        let sink = CollectingSink::new();
+        assert!(sink.is_empty());
+        sink.record(record("parse", 100));
+        sink.record(record("parse", 300));
+        sink.record(record("validate", 50));
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.count("parse"), 2);
+        assert_eq!(sink.total("parse"), Duration::from_micros(400));
+        let report = sink.report();
+        assert!(report.contains("parse"), "{report}");
+        assert!(report.contains("count=2"), "{report}");
+        assert!(report.contains("mean=200µs"), "{report}");
+        sink.clear();
+        assert!(sink.is_empty());
+        assert!(sink.report().contains("(none recorded)"));
+    }
+
+    #[test]
+    fn sink_is_shareable_across_threads() {
+        let sink = std::sync::Arc::new(CollectingSink::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        sink.record(record("t", 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.count("t"), 400);
+    }
+}

@@ -19,6 +19,29 @@ use crate::error::{PxmlError, PxmlErrorKind};
 use crate::holes::{split_holes, Part};
 use crate::template::{resolve_element_type, Template, TypeEnv, VarType};
 
+/// Counts one template check and, when it produced diagnostics, one
+/// reject. Called once per top-level check entry point.
+fn record_check(errors: &[PxmlError]) {
+    if !obs::enabled() {
+        return;
+    }
+    let metrics = obs::metrics();
+    metrics
+        .counter(
+            "pxml_templates_checked_total",
+            "Templates run through the static checker.",
+        )
+        .inc();
+    if !errors.is_empty() {
+        metrics
+            .counter(
+                "pxml_templates_rejected_total",
+                "Templates the static checker rejected.",
+            )
+            .inc();
+    }
+}
+
 /// Statically checks `template` against the schema in `compiled`,
 /// inferring the root's type from its tag. Returns all diagnostics.
 pub fn check_template(
@@ -28,15 +51,20 @@ pub fn check_template(
 ) -> Vec<PxmlError> {
     let tag = template.root_tag().to_string();
     match resolve_element_type(compiled.schema(), &tag) {
+        // check_template_as records the check
         Some(type_ref) => check_template_as(compiled, template, env, &type_ref),
-        None => vec![PxmlError::at(
-            PxmlErrorKind::UnknownRootElement(tag),
-            template
-                .doc
-                .span(template.root)
-                .map(|s| s.start)
-                .unwrap_or_default(),
-        )],
+        None => {
+            let errors = vec![PxmlError::at(
+                PxmlErrorKind::UnknownRootElement(tag),
+                template
+                    .doc
+                    .span(template.root)
+                    .map(|s| s.start)
+                    .unwrap_or_default(),
+            )];
+            record_check(&errors);
+            errors
+        }
     }
 }
 
@@ -47,6 +75,7 @@ pub fn check_template_as(
     env: &TypeEnv,
     root_type: &TypeRef,
 ) -> Vec<PxmlError> {
+    let _span = obs::span!("pxml.check");
     let mut errors = Vec::new();
     let checker = Checker {
         compiled,
@@ -54,6 +83,7 @@ pub fn check_template_as(
         env,
     };
     checker.check_element(template.root, root_type, &mut errors);
+    record_check(&errors);
     errors
 }
 

@@ -109,13 +109,42 @@ pub fn instantiate(
     template: &Template,
     bindings: &Bindings,
 ) -> Result<Fragment, InstantiateError> {
+    let _span = obs::span!("pxml.instantiate");
+    let mut holes = 0u64;
+    let result = instantiate_inner(compiled, template, bindings, &mut holes);
+    if obs::enabled() {
+        let metrics = obs::metrics();
+        metrics
+            .counter(
+                "pxml_holes_instantiated_total",
+                "Template holes filled with runtime bindings.",
+            )
+            .inc_by(holes);
+        if result.is_err() {
+            metrics
+                .counter(
+                    "pxml_instantiate_rejects_total",
+                    "Instantiations rejected at runtime (bad binding or typed-layer refusal).",
+                )
+                .inc();
+        }
+    }
+    result
+}
+
+fn instantiate_inner(
+    compiled: &CompiledSchema,
+    template: &Template,
+    bindings: &Bindings,
+    holes: &mut u64,
+) -> Result<Fragment, InstantiateError> {
     let tag = template.root_tag().to_string();
     let type_ref = resolve_element_type(compiled.schema(), &tag).ok_or_else(|| {
         InstantiateError::Binding(format!("root element <{tag}> is not declared"))
     })?;
     let mut td = TypedDocument::new(compiled.clone());
     let root = td.create_root_typed(&tag, &type_ref)?;
-    fill(&mut td, root, template, template.root, bindings)?;
+    fill(&mut td, root, template, template.root, bindings, holes)?;
     let doc = td.seal()?;
     let root = doc.root_element().expect("sealed fragment has a root");
     Ok(Fragment {
@@ -132,6 +161,7 @@ fn fill(
     template: &Template,
     src: NodeId,
     bindings: &Bindings,
+    holes: &mut u64,
 ) -> Result<(), InstantiateError> {
     let doc = &template.doc;
     // attributes, with text holes substituted
@@ -145,7 +175,10 @@ fn fill(
             match part {
                 Part::Text(t) => value.push_str(&t),
                 Part::Hole(name) => match bindings.get(&name) {
-                    Some(Value::Text(t)) => value.push_str(t),
+                    Some(Value::Text(t)) => {
+                        *holes += 1;
+                        value.push_str(t);
+                    }
                     Some(Value::Fragment(_)) => {
                         return Err(InstantiateError::Binding(format!(
                             "element variable ${name}$ used in attribute {}",
@@ -171,7 +204,7 @@ fn fill(
             NodeKind::Element { .. } => {
                 let name = doc.tag_name(child).unwrap_or_default().to_string();
                 let new_el = td.append_element(dst, &name)?;
-                fill(td, new_el, template, child, bindings)?;
+                fill(td, new_el, template, child, bindings, holes)?;
             }
             NodeKind::Text(t) => {
                 let parts = split_holes(t).map_err(|e| InstantiateError::Binding(e.message))?;
@@ -185,9 +218,11 @@ fn fill(
                         }
                         Part::Hole(name) => match bindings.get(&name) {
                             Some(Value::Text(text)) => {
+                                *holes += 1;
                                 td.append_text(dst, text.clone())?;
                             }
                             Some(Value::Fragment(frag)) => {
+                                *holes += 1;
                                 td.import_element(dst, &frag.doc, frag.root)?;
                             }
                             None => {

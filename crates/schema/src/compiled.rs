@@ -40,7 +40,19 @@ impl CompiledSchema {
 
     /// Parses, checks and compiles schema text in one step.
     pub fn parse(source: &str) -> Result<CompiledSchema, SchemaError> {
-        CompiledSchema::new(crate::reader::parse_schema(source)?)
+        let _span = obs::span!("schema.compile");
+        let timer = obs::Timer::start();
+        let result = CompiledSchema::new(crate::reader::parse_schema(source)?);
+        if let Some(elapsed) = timer.stop() {
+            obs::metrics()
+                .histogram(
+                    "schema_compile_seconds",
+                    "Wall time to parse + check a schema.",
+                    obs::DURATION_BUCKETS,
+                )
+                .observe_duration(elapsed);
+        }
+        result
     }
 
     /// The underlying schema components.
@@ -57,6 +69,29 @@ impl CompiledSchema {
         let dfa = ContentDfa::compile(&expr).map_err(|e| {
             SimpleTypeError::Unresolved(format!("content model of {type_name}: {e}"))
         })?;
+        if obs::enabled() {
+            let metrics = obs::metrics();
+            metrics
+                .counter(
+                    "schema_dfa_compiled_total",
+                    "Content-model DFAs compiled (cache misses).",
+                )
+                .inc();
+            metrics
+                .gauge_with(
+                    "schema_dfa_states",
+                    "DFA state count per content model.",
+                    &[("content_model", type_name)],
+                )
+                .set(dfa.state_count() as i64);
+            metrics
+                .gauge_with(
+                    "schema_dfa_transitions",
+                    "DFA transition count per content model.",
+                    &[("content_model", type_name)],
+                )
+                .set(dfa.transition_count() as i64);
+        }
         self.dfas
             .write()
             .expect("dfa cache lock")

@@ -450,8 +450,19 @@ impl Schema {
                 expected,
                 value: value.clone(),
             })?;
+        // One registry lookup per value (not per facet) when observability
+        // is on; a single atomic load when it is off.
+        let facet_counter = obs::enabled().then(|| {
+            obs::metrics().counter(
+                "schema_facet_checks_total",
+                "Constraining-facet checks evaluated on simple values.",
+            )
+        });
         for layer in &view.facet_layers {
             for facet in layer.iter() {
+                if let Some(counter) = &facet_counter {
+                    counter.inc();
+                }
                 facet
                     .check(&value, view.builtin)
                     .map_err(SimpleTypeError::Facet)?;

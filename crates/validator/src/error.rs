@@ -112,6 +112,29 @@ pub enum ValidationErrorKind {
     NotWellFormed(String),
 }
 
+impl ValidationErrorKind {
+    /// A stable, payload-free name for this kind — the `kind` label of
+    /// the `validator_errors_total` metric.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ValidationErrorKind::NoRootElement => "NoRootElement",
+            ValidationErrorKind::UndeclaredRoot(_) => "UndeclaredRoot",
+            ValidationErrorKind::AbstractElement(_) => "AbstractElement",
+            ValidationErrorKind::AbstractType(_) => "AbstractType",
+            ValidationErrorKind::UnknownType(_) => "UnknownType",
+            ValidationErrorKind::UnexpectedChild { .. } => "UnexpectedChild",
+            ValidationErrorKind::IncompleteContent { .. } => "IncompleteContent",
+            ValidationErrorKind::TextNotAllowed { .. } => "TextNotAllowed",
+            ValidationErrorKind::SimpleType { .. } => "SimpleType",
+            ValidationErrorKind::AttributeValue { .. } => "AttributeValue",
+            ValidationErrorKind::FixedAttribute { .. } => "FixedAttribute",
+            ValidationErrorKind::MissingAttribute { .. } => "MissingAttribute",
+            ValidationErrorKind::UndeclaredAttribute { .. } => "UndeclaredAttribute",
+            ValidationErrorKind::NotWellFormed(_) => "NotWellFormed",
+        }
+    }
+}
+
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.span {

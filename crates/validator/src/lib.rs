@@ -42,9 +42,44 @@ fn node_span(doc: &Document, node: NodeId) -> Option<Span> {
     doc.span(node).ok().filter(|s| *s != Span::default())
 }
 
+/// Records a finished validation pass's error population, labeled by
+/// validator mode (`tree` / `streaming`) and error kind.
+pub(crate) fn record_errors(mode: &'static str, errors: &[ValidationError]) {
+    if !obs::enabled() {
+        return;
+    }
+    let metrics = obs::metrics();
+    for error in errors {
+        metrics
+            .counter_with(
+                "validator_errors_total",
+                "Schema violations found, by validator mode and error kind.",
+                &[("mode", mode), ("kind", error.kind.label())],
+            )
+            .inc();
+    }
+}
+
 /// Validates a whole document: the root element must be declared at the
 /// schema's top level. Returns all violations found (empty = valid).
 pub fn validate_document(compiled: &CompiledSchema, doc: &Document) -> Vec<ValidationError> {
+    let _span = obs::span!("validate.tree");
+    let timer = obs::Timer::start();
+    let errors = validate_document_inner(compiled, doc);
+    if let Some(elapsed) = timer.stop() {
+        obs::metrics()
+            .histogram(
+                "validator_tree_seconds",
+                "Whole-document tree validation latency.",
+                obs::DURATION_BUCKETS,
+            )
+            .observe_duration(elapsed);
+    }
+    record_errors("tree", &errors);
+    errors
+}
+
+fn validate_document_inner(compiled: &CompiledSchema, doc: &Document) -> Vec<ValidationError> {
     let mut errors = Vec::new();
     let root = match doc.root_element() {
         Some(r) => r,

@@ -72,6 +72,9 @@ pub struct StreamingValidator<'a> {
     stack: Vec<Frame>,
     errors: Vec<ValidationError>,
     saw_root: bool,
+    /// Deepest element nesting seen (observability; histogram-recorded
+    /// when the stream finishes).
+    max_depth: usize,
 }
 
 impl<'a> StreamingValidator<'a> {
@@ -82,6 +85,7 @@ impl<'a> StreamingValidator<'a> {
             stack: Vec::new(),
             errors: Vec::new(),
             saw_root: false,
+            max_depth: 0,
         }
     }
 
@@ -102,9 +106,36 @@ impl<'a> StreamingValidator<'a> {
         }
     }
 
+    /// Feeds every event from `events` in order, returning the number of
+    /// violations found so far (over the whole stream, not just this
+    /// batch). Accepts owned events or references, so a handler can pipe
+    /// an event source straight through and abort on a rising
+    /// [`error_count`](Self::error_count) without collecting anything:
+    ///
+    /// ```ignore
+    /// if validator.feed_all(&batch) > limit {
+    ///     return reject(validator.into_errors());
+    /// }
+    /// ```
+    pub fn feed_all<E: std::borrow::Borrow<Event>>(
+        &mut self,
+        events: impl IntoIterator<Item = E>,
+    ) -> usize {
+        for event in events {
+            self.feed(event.borrow());
+        }
+        self.errors.len()
+    }
+
     /// The violations found so far.
     pub fn errors(&self) -> &[ValidationError] {
         &self.errors
+    }
+
+    /// Number of violations found so far — the cheap mid-stream abort
+    /// check (no error list is cloned or drained).
+    pub fn error_count(&self) -> usize {
+        self.errors.len()
     }
 
     /// Number of currently open element frames — the validator's entire
@@ -121,12 +152,31 @@ impl<'a> StreamingValidator<'a> {
             self.errors
                 .push(ValidationError::nowhere(ValidationErrorKind::NoRootElement));
         }
+        self.flush_metrics();
         self.errors
     }
 
     /// Abandons the stream, keeping the violations found so far.
     pub fn into_errors(self) -> Vec<ValidationError> {
+        self.flush_metrics();
         self.errors
+    }
+
+    /// Records this stream's error population and depth once, at the
+    /// terminal call ([`finish`](Self::finish) / [`into_errors`](Self::into_errors)
+    /// — both consume the validator, so this cannot double-count).
+    fn flush_metrics(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        crate::record_errors("streaming", &self.errors);
+        obs::metrics()
+            .histogram(
+                "validator_stream_max_depth",
+                "Deepest element nesting per streamed document.",
+                obs::DEPTH_BUCKETS,
+            )
+            .observe(self.max_depth as f64);
     }
 
     fn on_start(&mut self, name: &str, attributes: &[AttributeEvent], span: Span) {
@@ -200,6 +250,7 @@ impl<'a> StreamingValidator<'a> {
             span,
             kind,
         });
+        self.max_depth = self.max_depth.max(self.stack.len());
     }
 
     /// Runs the element-open checks (abstract type, attributes) and picks
@@ -363,6 +414,22 @@ impl<'a> StreamingValidator<'a> {
 /// [`ValidationErrorKind::NotWellFormed`] after whatever violations the
 /// valid prefix already produced.
 pub fn validate_str_streaming(compiled: &CompiledSchema, src: &str) -> Vec<ValidationError> {
+    let _span = obs::span!("validate.stream");
+    let timer = obs::Timer::start();
+    let errors = validate_str_streaming_inner(compiled, src);
+    if let Some(elapsed) = timer.stop() {
+        obs::metrics()
+            .histogram(
+                "validator_stream_seconds",
+                "Streaming (parse + validate) latency per document.",
+                obs::DURATION_BUCKETS,
+            )
+            .observe_duration(elapsed);
+    }
+    errors
+}
+
+fn validate_str_streaming_inner(compiled: &CompiledSchema, src: &str) -> Vec<ValidationError> {
     let mut reader = Reader::new(src);
     let mut validator = StreamingValidator::new(compiled);
     loop {
@@ -370,14 +437,19 @@ pub fn validate_str_streaming(compiled: &CompiledSchema, src: &str) -> Vec<Valid
             Ok(Event::Eof) => return validator.finish(),
             Ok(event) => validator.feed(&event),
             Err(e) => {
+                // into_errors() has already flushed the validator's own
+                // tallies; the synthesized well-formedness error must be
+                // recorded separately or it would go unmetered
                 let mut errors = validator.into_errors();
-                errors.push(ValidationError::at(
+                let wf = ValidationError::at(
                     ValidationErrorKind::NotWellFormed(e.kind.to_string()),
                     Span {
                         start: e.position,
                         end: e.position,
                     },
-                ));
+                );
+                crate::record_errors("streaming", std::slice::from_ref(&wf));
+                errors.push(wf);
                 return errors;
             }
         }
@@ -560,6 +632,31 @@ mod tests {
         }
         assert!(max_depth <= 5, "depth grew to {max_depth}");
         assert!(v.finish().is_empty());
+    }
+
+    #[test]
+    fn feed_all_counts_errors_without_collecting() {
+        let compiled = po();
+        let mut reader = Reader::new("<purchaseOrder><junk/></purchaseOrder>");
+        let mut events = Vec::new();
+        loop {
+            match reader.next_event().unwrap() {
+                Event::Eof => break,
+                event => events.push(event),
+            }
+        }
+        // by reference
+        let mut v = StreamingValidator::new(&compiled);
+        assert_eq!(v.error_count(), 0);
+        let count = v.feed_all(&events);
+        assert_eq!(count, v.error_count());
+        assert_eq!(count, 1, "{:#?}", v.errors());
+        // by value, split into batches: the return value is cumulative
+        let (first, rest) = events.split_at(1);
+        let mut v2 = StreamingValidator::new(&compiled);
+        assert_eq!(v2.feed_all(first.to_vec()), 0);
+        assert_eq!(v2.feed_all(rest.to_vec()), count);
+        assert_eq!(v2.finish().len(), count);
     }
 
     #[test]

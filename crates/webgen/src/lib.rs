@@ -37,4 +37,4 @@ pub use orders::{
     build_order_dom, generate_order, render_order_dom, render_order_string, render_order_vdom,
     Address, Item, Order,
 };
-pub use registry::SchemaRegistry;
+pub use registry::{RegisterError, SchemaRegistry};

@@ -3,10 +3,40 @@
 //! (`CompiledSchema` is `Arc`-backed).
 
 use std::collections::HashMap;
+use std::fmt;
 
 use parking_lot::RwLock;
 use schema::{CompiledSchema, SchemaError};
 use validator::ValidationError;
+
+/// Why [`SchemaRegistry::try_register`] refused a registration.
+#[derive(Debug)]
+pub enum RegisterError {
+    /// A schema is already registered under this name; the existing
+    /// registration is untouched.
+    Duplicate(String),
+    /// The schema text failed to compile.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::Duplicate(name) => {
+                write!(f, "a schema is already registered under {name:?}")
+            }
+            RegisterError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+impl From<SchemaError> for RegisterError {
+    fn from(e: SchemaError) -> Self {
+        RegisterError::Schema(e)
+    }
+}
 
 /// A named registry of compiled schemas.
 #[derive(Default)]
@@ -30,18 +60,72 @@ impl SchemaRegistry {
         Ok(reg)
     }
 
-    /// Compiles and registers a schema under `name`.
-    pub fn register(&self, name: &str, xsd: &str) -> Result<CompiledSchema, SchemaError> {
+    /// Compiles and registers a schema under `name`, **replacing** any
+    /// existing registration. The replaced schema is returned (`None`
+    /// for a first registration), so an overwrite is always visible to
+    /// the caller — it can be logged, diffed, or treated as a rollout.
+    /// Use [`try_register`](Self::try_register) when a duplicate name
+    /// should be an error instead.
+    pub fn register(&self, name: &str, xsd: &str) -> Result<Option<CompiledSchema>, SchemaError> {
         let compiled = CompiledSchema::parse(xsd)?;
-        self.schemas
-            .write()
-            .insert(name.to_string(), compiled.clone());
+        let previous = self.schemas.write().insert(name.to_string(), compiled);
+        if obs::enabled() {
+            obs::metrics()
+                .counter_with(
+                    "registry_register_total",
+                    "Schema registrations, by outcome.",
+                    &[(
+                        "outcome",
+                        if previous.is_some() { "replace" } else { "new" },
+                    )],
+                )
+                .inc();
+        }
+        Ok(previous)
+    }
+
+    /// Compiles and registers a schema under `name`, erroring with
+    /// [`RegisterError::Duplicate`] if the name is already taken (the
+    /// existing registration stays in place). The duplicate check is
+    /// re-run under the write lock, so two racing `try_register` calls
+    /// cannot both succeed.
+    pub fn try_register(&self, name: &str, xsd: &str) -> Result<CompiledSchema, RegisterError> {
+        // fast fail before paying for compilation
+        if self.schemas.read().contains_key(name) {
+            return Err(RegisterError::Duplicate(name.to_string()));
+        }
+        let compiled = CompiledSchema::parse(xsd)?;
+        let mut schemas = self.schemas.write();
+        if schemas.contains_key(name) {
+            return Err(RegisterError::Duplicate(name.to_string()));
+        }
+        schemas.insert(name.to_string(), compiled.clone());
+        drop(schemas);
+        if obs::enabled() {
+            obs::metrics()
+                .counter_with(
+                    "registry_register_total",
+                    "Schema registrations, by outcome.",
+                    &[("outcome", "new")],
+                )
+                .inc();
+        }
         Ok(compiled)
     }
 
     /// Fetches a registered schema.
     pub fn get(&self, name: &str) -> Option<CompiledSchema> {
-        self.schemas.read().get(name).cloned()
+        let found = self.schemas.read().get(name).cloned();
+        if obs::enabled() {
+            obs::metrics()
+                .counter_with(
+                    "registry_get_total",
+                    "Registry lookups, by result.",
+                    &[("result", if found.is_some() { "hit" } else { "miss" })],
+                )
+                .inc();
+        }
+        found
     }
 
     /// Number of registered schemas.
@@ -64,7 +148,30 @@ impl SchemaRegistry {
         document: &str,
     ) -> Option<Vec<ValidationError>> {
         let compiled = self.get(schema_name)?;
-        Some(validator::validate_str_streaming(&compiled, document))
+        Some(Self::validate_one(schema_name, &compiled, document))
+    }
+
+    /// One timed streaming validation, feeding the per-schema latency
+    /// histogram.
+    fn validate_one(
+        schema_name: &str,
+        compiled: &CompiledSchema,
+        document: &str,
+    ) -> Vec<ValidationError> {
+        let _span = obs::span!("registry.validate", schema = schema_name);
+        let timer = obs::Timer::start();
+        let errors = validator::validate_str_streaming(compiled, document);
+        if let Some(elapsed) = timer.stop() {
+            obs::metrics()
+                .histogram_with(
+                    "registry_validate_seconds",
+                    "Streaming validation latency through the registry, per schema.",
+                    &[("schema", schema_name)],
+                    obs::DURATION_BUCKETS,
+                )
+                .observe_duration(elapsed);
+        }
+        errors
     }
 
     /// Batch form of [`validate_streaming`](Self::validate_streaming) for
@@ -80,7 +187,7 @@ impl SchemaRegistry {
         Some(
             documents
                 .iter()
-                .map(|doc| validator::validate_str_streaming(&compiled, doc))
+                .map(|doc| Self::validate_one(schema_name, &compiled, doc))
                 .collect(),
         )
     }
@@ -100,11 +207,37 @@ mod tests {
     }
 
     #[test]
-    fn registration_replaces() {
+    fn registration_replaces_and_returns_the_previous_schema() {
         let reg = SchemaRegistry::new();
         assert!(reg.is_empty());
-        reg.register("wml", schema::corpus::WML_XSD).unwrap();
-        reg.register("wml", schema::corpus::WML_XSD).unwrap();
+        let first = reg.register("wml", schema::corpus::WML_XSD).unwrap();
+        assert!(first.is_none(), "first registration replaces nothing");
+        let replaced = reg.register("wml", schema::corpus::WML_XSD).unwrap();
+        let replaced = replaced.expect("second registration returns the replaced schema");
+        assert!(replaced.schema().element("wml").is_some());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn try_register_rejects_duplicates_and_keeps_the_original() {
+        let reg = SchemaRegistry::new();
+        reg.try_register("wml", schema::corpus::WML_XSD).unwrap();
+        let err = reg
+            .try_register("wml", schema::corpus::PURCHASE_ORDER_XSD)
+            .unwrap_err();
+        assert!(
+            matches!(&err, RegisterError::Duplicate(name) if name == "wml"),
+            "{err}"
+        );
+        // the original registration is untouched
+        let kept = reg.get("wml").unwrap();
+        assert!(kept.schema().element("wml").is_some());
+        assert!(kept.schema().element("purchaseOrder").is_none());
+        // bad schema text surfaces as a schema error, not a duplicate
+        assert!(matches!(
+            reg.try_register("broken", "<not-a-schema/>"),
+            Err(RegisterError::Schema(_))
+        ));
         assert_eq!(reg.len(), 1);
     }
 

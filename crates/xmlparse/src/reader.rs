@@ -25,6 +25,39 @@ pub struct Reader<'a> {
     root_seen: bool,
     /// Queued end-element event for self-closing tags.
     pending_end: Option<(String, Span)>,
+    /// Events produced so far (observability; flushed on drop).
+    events_seen: u64,
+    /// Whether an event ended in a parse error (observability).
+    errored: bool,
+}
+
+/// Bytes consumed and events produced flush to the metrics registry once
+/// per reader, so the per-event cost of observability is a local `u64`
+/// increment and the disabled cost is one atomic load at drop.
+impl Drop for Reader<'_> {
+    fn drop(&mut self) {
+        if !obs::enabled() {
+            return;
+        }
+        let metrics = obs::metrics();
+        metrics
+            .counter("xmlparse_events_total", "Parser events produced.")
+            .inc_by(self.events_seen);
+        metrics
+            .counter(
+                "xmlparse_bytes_total",
+                "Source bytes consumed by the parser.",
+            )
+            .inc_by(self.pos.offset as u64);
+        if self.errored {
+            metrics
+                .counter(
+                    "xmlparse_errors_total",
+                    "Documents rejected as not well-formed.",
+                )
+                .inc();
+        }
+    }
 }
 
 impl<'a> Reader<'a> {
@@ -37,6 +70,8 @@ impl<'a> Reader<'a> {
             root_closed: false,
             root_seen: false,
             pending_end: None,
+            events_seen: 0,
+            errored: false,
         }
     }
 
@@ -140,6 +175,16 @@ impl<'a> Reader<'a> {
 
     /// Produces the next event.
     pub fn next_event(&mut self) -> Result<Event, ParseError> {
+        let result = self.next_event_inner();
+        match &result {
+            Ok(Event::Eof) => {}
+            Ok(_) => self.events_seen += 1,
+            Err(_) => self.errored = true,
+        }
+        result
+    }
+
+    fn next_event_inner(&mut self) -> Result<Event, ParseError> {
         if let Some((name, span)) = self.pending_end.take() {
             self.finish_element(&name)?;
             return Ok(Event::EndElement { name, span });
@@ -460,8 +505,9 @@ impl<'a> Reader<'a> {
         self.eat_str("?>", "PI closer")?;
         let span = Span::new(start, self.pos);
         if target.eq_ignore_ascii_case("xml") {
-            // Swallow the XML declaration and continue with the next event.
-            return self.next_event();
+            // Swallow the XML declaration and continue with the next event
+            // (the inner form, so the wrapper counts the event only once).
+            return self.next_event_inner();
         }
         Ok(Event::ProcessingInstruction { target, data, span })
     }

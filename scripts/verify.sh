@@ -10,6 +10,21 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo build --release -p examples --bins"
+cargo build --release -p examples --bins
+
+echo "==> xmlstat smoke run"
+out="$(cargo run -q --release -p examples --bin xmlstat)"
+for needle in "xmlparse_events_total" "schema_compile_seconds" \
+    "validator_tree_seconds" "validator_stream_seconds" \
+    "pxml_templates_checked_total" "registry_validate_seconds" \
+    "# TYPE xmlparse_events_total counter"; do
+  if ! grep -q "$needle" <<<"$out"; then
+    echo "xmlstat output is missing '$needle'" >&2
+    exit 1
+  fi
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

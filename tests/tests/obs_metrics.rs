@@ -1,0 +1,190 @@
+//! End-to-end agreement between the metrics the `obs` layer collects and
+//! ground truth computed directly by the pipeline, on the purchase-order
+//! corpus — the xmlstat workload in test form.
+//!
+//! The obs registry is process-global, so every test here takes
+//! `OBS_LOCK` and asserts on *deltas* around the pipeline call it
+//! exercises, never on absolute values.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use schema::{corpus, CompiledSchema};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn counter(name: &str) -> u64 {
+    obs::metrics().counter(name, "").get()
+}
+
+fn labeled(name: &str, labels: &[(&str, &str)]) -> u64 {
+    obs::metrics().counter_with(name, "", labels).get()
+}
+
+/// A purchase order with a wrong child order, a bogus date, and an
+/// unknown element — exercising several distinct error kinds at once.
+const BROKEN_PO: &str = r#"<purchaseOrder orderDate="not-a-date">
+  <billTo country="US">
+    <name>B. Smith</name><street>8 Oak</street><city>Old Town</city>
+    <state>PA</state><zip>95819</zip>
+  </billTo>
+  <shipTo country="US">
+    <name>A. Smith</name><street>123 Maple</street><city>Mill Valley</city>
+    <state>CA</state><zip>90952</zip>
+  </shipTo>
+  <bogus/>
+</purchaseOrder>"#;
+
+fn by_kind(errors: &[validator::ValidationError]) -> BTreeMap<&'static str, u64> {
+    let mut map = BTreeMap::new();
+    for e in errors {
+        *map.entry(e.kind.label()).or_insert(0) += 1;
+    }
+    map
+}
+
+#[test]
+fn tree_validation_error_counters_match_ground_truth() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::install_collector();
+    let compiled = CompiledSchema::parse(corpus::PURCHASE_ORDER_XSD).unwrap();
+    let doc = xmlparse::parse_document(BROKEN_PO).unwrap();
+
+    // ground truth first, with obs on: the instrumented call *is* the
+    // measured call, so run it once and diff counters around it
+    let expected = by_kind(&validator::validate_document(&compiled, &doc));
+    assert!(!expected.is_empty(), "corpus document should be invalid");
+    let before: BTreeMap<_, _> = expected
+        .keys()
+        .map(|k| {
+            (
+                *k,
+                labeled("validator_errors_total", &[("kind", k), ("mode", "tree")]),
+            )
+        })
+        .collect();
+    let errors = validator::validate_document(&compiled, &doc);
+    assert_eq!(by_kind(&errors), expected);
+    for (kind, count) in &expected {
+        let after = labeled(
+            "validator_errors_total",
+            &[("kind", kind), ("mode", "tree")],
+        );
+        assert_eq!(
+            after - before[kind],
+            *count,
+            "tree error counter for kind {kind}"
+        );
+    }
+}
+
+#[test]
+fn streaming_validation_counters_match_ground_truth() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::install_collector();
+    let compiled = CompiledSchema::parse(corpus::PURCHASE_ORDER_XSD).unwrap();
+
+    let expected = by_kind(&validator::validate_str_streaming(&compiled, BROKEN_PO));
+    assert!(!expected.is_empty());
+    let before: BTreeMap<_, _> = expected
+        .keys()
+        .map(|k| {
+            (
+                *k,
+                labeled(
+                    "validator_errors_total",
+                    &[("kind", k), ("mode", "streaming")],
+                ),
+            )
+        })
+        .collect();
+    let depth_before = obs::metrics()
+        .histogram("validator_stream_max_depth", "", obs::DEPTH_BUCKETS)
+        .count();
+    let errors = validator::validate_str_streaming(&compiled, BROKEN_PO);
+    assert_eq!(by_kind(&errors), expected);
+    for (kind, count) in &expected {
+        let after = labeled(
+            "validator_errors_total",
+            &[("kind", kind), ("mode", "streaming")],
+        );
+        assert_eq!(
+            after - before[kind],
+            *count,
+            "streaming error counter for kind {kind}"
+        );
+    }
+    let depth_after = obs::metrics()
+        .histogram("validator_stream_max_depth", "", obs::DEPTH_BUCKETS)
+        .count();
+    assert_eq!(
+        depth_after - depth_before,
+        1,
+        "one depth observation per run"
+    );
+}
+
+#[test]
+fn parser_counters_match_the_document() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::install_collector();
+
+    // count events with an explicit reader, then diff around parse_document
+    let mut reader = xmlparse::Reader::new(corpus::PURCHASE_ORDER_XML);
+    let mut ground_truth_events = 0u64;
+    while !matches!(reader.next_event().unwrap(), xmlparse::Event::Eof) {
+        ground_truth_events += 1;
+    }
+    drop(reader);
+
+    let events_before = counter("xmlparse_events_total");
+    let bytes_before = counter("xmlparse_bytes_total");
+    let errors_before = counter("xmlparse_errors_total");
+    xmlparse::parse_document(corpus::PURCHASE_ORDER_XML).unwrap();
+    assert_eq!(
+        counter("xmlparse_events_total") - events_before,
+        ground_truth_events
+    );
+    assert_eq!(
+        counter("xmlparse_bytes_total") - bytes_before,
+        corpus::PURCHASE_ORDER_XML.len() as u64
+    );
+    assert_eq!(counter("xmlparse_errors_total"), errors_before);
+
+    // a malformed document moves the error counter
+    assert!(xmlparse::parse_document("<a><b></a>").is_err());
+    assert_eq!(counter("xmlparse_errors_total") - errors_before, 1);
+}
+
+#[test]
+fn registry_and_facet_counters_move() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::install_collector();
+
+    let hits_before = labeled("registry_get_total", &[("result", "hit")]);
+    let misses_before = labeled("registry_get_total", &[("result", "miss")]);
+    let facets_before = counter("schema_facet_checks_total");
+
+    let registry = webgen::SchemaRegistry::new();
+    registry
+        .register("purchase-order", corpus::PURCHASE_ORDER_XSD)
+        .unwrap();
+    assert!(registry.get("purchase-order").is_some());
+    assert!(registry.get("absent").is_none());
+    let errors = registry
+        .validate_streaming("purchase-order", corpus::PURCHASE_ORDER_XML)
+        .unwrap();
+    assert!(errors.is_empty(), "{errors:#?}");
+
+    // two hits: the explicit get plus the one inside validate_streaming
+    assert_eq!(
+        labeled("registry_get_total", &[("result", "hit")]) - hits_before,
+        2
+    );
+    assert_eq!(
+        labeled("registry_get_total", &[("result", "miss")]) - misses_before,
+        1
+    );
+    // the Fig. 1 document carries facet-constrained values (SKU, zip)
+    assert!(counter("schema_facet_checks_total") > facets_before);
+}
