@@ -157,6 +157,13 @@ impl ContentDfa {
         }
     }
 
+    /// Whether two handles share one underlying automaton — the cheap
+    /// "same compiled model" check the schema layer's intern table is
+    /// built around.
+    pub fn ptr_eq(&self, other: &ContentDfa) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Number of DFA states (bench metric).
     pub fn state_count(&self) -> usize {
         self.inner.transitions.len()

@@ -1,8 +1,23 @@
 //! A schema with compiled, cached content-model automata — the shared
 //! artifact the runtime validator and V-DOM both hold.
+//!
+//! Two layers of sharing:
+//!
+//! * a **per-schema cache** (`type name → Arc<ContentDfa>`), so every
+//!   element instance of a type reuses one automaton;
+//! * a **process-global intern table** (`content expression →
+//!   Arc<ContentDfa>`), so *identical content models* — across types,
+//!   across schemas, across registry entries — compile exactly once and
+//!   share one automaton. A fleet of worker threads validating against
+//!   overlapping schemas never compiles the same model twice.
+//!
+//! All locks are `parking_lot` (non-poisoning): a panic on one
+//! validation thread must not wedge the caches for every other worker.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Mutex, RwLock};
 
 use automata::{ContentDfa, ContentExpr};
 
@@ -14,6 +29,56 @@ use crate::resolve::SimpleTypeError;
 /// the child is undeclared within the type.
 type ChildTypeCache = Arc<RwLock<HashMap<(String, String), Option<TypeRef>>>>;
 
+/// The process-global DFA intern table. Keyed by the (unexpanded)
+/// content expression, which derives `Hash`/`Eq` structurally — two
+/// types whose models are written identically intern to one automaton.
+static DFA_INTERN: OnceLock<Mutex<HashMap<ContentExpr, Arc<ContentDfa>>>> = OnceLock::new();
+
+fn intern_table() -> &'static Mutex<HashMap<ContentExpr, Arc<ContentDfa>>> {
+    DFA_INTERN.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Number of distinct content models interned process-wide.
+pub fn interned_dfa_count() -> usize {
+    intern_table().lock().len()
+}
+
+/// Looks `expr` up in the intern table, compiling it on first sight.
+///
+/// Compilation happens *under* the table lock, so each distinct model is
+/// compiled exactly once no matter how many threads race here — the
+/// `schema_dfa_compiled_total` counter is a faithful count of real
+/// compilations. Failed compilations are not cached (every caller gets
+/// the same error).
+fn intern_dfa(expr: &ContentExpr, type_name: &str) -> Result<Arc<ContentDfa>, SimpleTypeError> {
+    let mut table = intern_table().lock();
+    if let Some(dfa) = table.get(expr) {
+        if obs::enabled() {
+            obs::metrics()
+                .counter(
+                    "schema_dfa_intern_hits_total",
+                    "Content-model DFA requests served from the process-global intern table.",
+                )
+                .inc();
+        }
+        return Ok(dfa.clone());
+    }
+    let dfa =
+        Arc::new(ContentDfa::compile(expr).map_err(|e| {
+            SimpleTypeError::Unresolved(format!("content model of {type_name}: {e}"))
+        })?);
+    if obs::enabled() {
+        obs::metrics()
+            .counter(
+                "schema_dfa_compiled_total",
+                "Content-model DFAs compiled (intern-table misses).",
+            )
+            .inc();
+    }
+    table.insert(expr.clone(), dfa.clone());
+    Ok(dfa)
+}
+
 /// A checked schema plus lazily populated caches (content DFAs, effective
 /// attribute lists, child-element types), cheap to clone and share across
 /// threads. The caches are what make V-DOM's per-mutation checks O(1)
@@ -21,7 +86,7 @@ type ChildTypeCache = Arc<RwLock<HashMap<(String, String), Option<TypeRef>>>>;
 #[derive(Debug, Clone)]
 pub struct CompiledSchema {
     schema: Arc<Schema>,
-    dfas: Arc<RwLock<HashMap<String, ContentDfa>>>,
+    dfas: Arc<RwLock<HashMap<String, Arc<ContentDfa>>>>,
     attrs: Arc<RwLock<HashMap<String, Arc<[AttributeUse]>>>>,
     child_types: ChildTypeCache,
 }
@@ -60,23 +125,19 @@ impl CompiledSchema {
         &self.schema
     }
 
-    /// The content DFA of a complex type, compiled on first use.
-    pub fn content_dfa(&self, type_name: &str) -> Result<ContentDfa, SimpleTypeError> {
-        if let Some(dfa) = self.dfas.read().expect("dfa cache lock").get(type_name) {
+    /// The content DFA of a complex type, interned on first use.
+    ///
+    /// The returned handle is shared: two types (in this or any other
+    /// schema) with structurally identical content models get
+    /// pointer-equal `Arc<ContentDfa>`s.
+    pub fn content_dfa(&self, type_name: &str) -> Result<Arc<ContentDfa>, SimpleTypeError> {
+        if let Some(dfa) = self.dfas.read().get(type_name) {
             return Ok(dfa.clone());
         }
         let expr = self.schema.content_expr(type_name)?;
-        let dfa = ContentDfa::compile(&expr).map_err(|e| {
-            SimpleTypeError::Unresolved(format!("content model of {type_name}: {e}"))
-        })?;
+        let dfa = intern_dfa(&expr, type_name)?;
         if obs::enabled() {
             let metrics = obs::metrics();
-            metrics
-                .counter(
-                    "schema_dfa_compiled_total",
-                    "Content-model DFAs compiled (cache misses).",
-                )
-                .inc();
             metrics
                 .gauge_with(
                     "schema_dfa_states",
@@ -92,10 +153,7 @@ impl CompiledSchema {
                 )
                 .set(dfa.transition_count() as i64);
         }
-        self.dfas
-            .write()
-            .expect("dfa cache lock")
-            .insert(type_name.to_string(), dfa.clone());
+        self.dfas.write().insert(type_name.to_string(), dfa.clone());
         Ok(dfa)
     }
 
@@ -126,13 +184,12 @@ impl CompiledSchema {
         &self,
         type_name: &str,
     ) -> Result<Arc<[AttributeUse]>, SimpleTypeError> {
-        if let Some(a) = self.attrs.read().expect("attr cache lock").get(type_name) {
+        if let Some(a) = self.attrs.read().get(type_name) {
             return Ok(a.clone());
         }
         let computed: Arc<[AttributeUse]> = self.schema.effective_attributes(type_name)?.into();
         self.attrs
             .write()
-            .expect("attr cache lock")
             .insert(type_name.to_string(), computed.clone());
         Ok(computed)
     }
@@ -141,24 +198,55 @@ impl CompiledSchema {
     /// cached (including negative results).
     pub fn child_element_type(&self, type_name: &str, child: &str) -> Option<TypeRef> {
         let key = (type_name.to_string(), child.to_string());
-        if let Some(t) = self
-            .child_types
-            .read()
-            .expect("child-type cache lock")
-            .get(&key)
-        {
+        if let Some(t) = self.child_types.read().get(&key) {
             return t.clone();
         }
         let computed = self.schema.child_element_type(type_name, child);
-        self.child_types
-            .write()
-            .expect("child-type cache lock")
-            .insert(key, computed.clone());
+        self.child_types.write().insert(key, computed.clone());
         computed
     }
 
-    /// Number of DFAs compiled so far (bench metric).
+    /// Precompiles every complex type's content DFA, effective attribute
+    /// table, and child-type map, so a server pays all compilation cost
+    /// *before* taking traffic instead of on the first unlucky request.
+    /// Idempotent and safe to race from several threads.
+    ///
+    /// Returns the number of complex types whose DFA is ready. Types
+    /// whose model cannot be DFA-compiled (occurrence bounds beyond the
+    /// expansion limit) are skipped here and keep reporting their error
+    /// on the per-document path, exactly as without warming.
+    pub fn warm(&self) -> usize {
+        let _span = obs::span!("schema.warm");
+        let timer = obs::Timer::start();
+        let mut ready = 0;
+        for (name, def) in &self.schema.types {
+            if !matches!(def, TypeDef::Complex(_)) {
+                continue;
+            }
+            let _ = self.effective_attributes(name);
+            if let Ok(expr) = self.schema.content_expr(name) {
+                for symbol in expr.symbols() {
+                    let _ = self.child_element_type(name, &symbol);
+                }
+            }
+            if self.content_dfa(name).is_ok() {
+                ready += 1;
+            }
+        }
+        if let Some(elapsed) = timer.stop() {
+            obs::metrics()
+                .histogram(
+                    "schema_warm_seconds",
+                    "Wall time to precompile a schema's DFAs and attribute tables.",
+                    obs::DURATION_BUCKETS,
+                )
+                .observe_duration(elapsed);
+        }
+        ready
+    }
+
+    /// Number of DFAs cached in *this* schema so far (bench metric).
     pub fn compiled_count(&self) -> usize {
-        self.dfas.read().expect("dfa cache lock").len()
+        self.dfas.read().len()
     }
 }

@@ -52,7 +52,7 @@ pub mod resolve;
 pub mod value;
 
 pub use builtin::BuiltinType;
-pub use compiled::CompiledSchema;
+pub use compiled::{interned_dfa_count, CompiledSchema};
 pub use components::{
     AttributeGroupDef, AttributeUse, ComplexType, ContentModel, Derivation, DerivationMethod,
     ElementDecl, GroupDef, Occurs, Particle, Schema, SimpleType, Term, TypeDef, TypeRef,

@@ -76,6 +76,44 @@ fn content_dfa_of_purchase_order_type() {
 }
 
 #[test]
+fn identical_content_models_intern_to_one_dfa() {
+    // Two independently compiled copies of the same schema: the intern
+    // table hands both the same compiled automaton.
+    let a = po();
+    let b = po();
+    let da = a.content_dfa("PurchaseOrderType").unwrap();
+    let db = b.content_dfa("PurchaseOrderType").unwrap();
+    assert!(da.ptr_eq(&db), "equal models must share one automaton");
+    assert!(
+        std::sync::Arc::ptr_eq(&da, &db),
+        "intern table returns clones of one Arc"
+    );
+    // distinct models stay distinct
+    let items = a.content_dfa("Items").unwrap();
+    assert!(!da.ptr_eq(&items));
+    assert!(schema::interned_dfa_count() >= 2);
+}
+
+#[test]
+fn warm_precompiles_every_complex_type() {
+    let c = po();
+    assert_eq!(c.compiled_count(), 0);
+    let ready = c.warm();
+    assert!(
+        ready >= 4,
+        "PO schema has several complex types, got {ready}"
+    );
+    assert_eq!(c.compiled_count(), ready);
+    // idempotent: a second warm compiles nothing new
+    assert_eq!(c.warm(), ready);
+    assert_eq!(c.compiled_count(), ready);
+    // warmed lookups are cache hits, not recompilations
+    let before = schema::interned_dfa_count();
+    let _ = c.content_dfa("PurchaseOrderType").unwrap();
+    assert_eq!(schema::interned_dfa_count(), before);
+}
+
+#[test]
 fn items_allows_zero_or_more_items() {
     let c = po();
     let dfa = c.content_dfa("Items").unwrap();

@@ -37,4 +37,5 @@ pub use orders::{
     build_order_dom, generate_order, render_order_dom, render_order_string, render_order_vdom,
     Address, Item, Order,
 };
+pub use pool::ThreadPool;
 pub use registry::{RegisterError, SchemaRegistry};

@@ -4,8 +4,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
+use pool::ThreadPool;
 use schema::{CompiledSchema, SchemaError};
 use validator::ValidationError;
 
@@ -191,6 +193,73 @@ impl SchemaRegistry {
                 .collect(),
         )
     }
+
+    /// Parallel form of
+    /// [`validate_batch_streaming`](Self::validate_batch_streaming): fans
+    /// the documents out across `pool`'s workers and returns one error
+    /// list per document, **in input order** — kinds, spans, and order
+    /// are identical to the sequential path at any thread count (each
+    /// document is validated by the same pure per-document routine; only
+    /// the scheduling differs).
+    pub fn validate_batch_streaming_parallel(
+        &self,
+        schema_name: &str,
+        documents: &[&str],
+        pool: &ThreadPool,
+    ) -> Option<Vec<Vec<ValidationError>>> {
+        let compiled = self.get(schema_name)?;
+        Some(Self::batch_parallel(
+            schema_name,
+            &compiled,
+            documents,
+            pool,
+        ))
+    }
+
+    /// The serving-path batch entry point: warms the schema (every
+    /// content-model DFA, attribute table, and child-type entry compiled
+    /// up front, see [`CompiledSchema::warm`]) and then validates the
+    /// batch in parallel. Output is identical to
+    /// [`validate_batch_streaming`](Self::validate_batch_streaming);
+    /// warming only moves compilation cost out of the first documents.
+    pub fn validate_batch_parallel(
+        &self,
+        schema_name: &str,
+        documents: &[&str],
+        pool: &ThreadPool,
+    ) -> Option<Vec<Vec<ValidationError>>> {
+        let compiled = self.get(schema_name)?;
+        compiled.warm();
+        Some(Self::batch_parallel(
+            schema_name,
+            &compiled,
+            documents,
+            pool,
+        ))
+    }
+
+    /// Shared parallel fan-out. Documents are copied once into `Arc<str>`
+    /// jobs (the pool needs `'static` payloads); per-document latency is
+    /// still recorded by [`validate_one`](Self::validate_one) on the
+    /// worker, and the pool flushes its per-worker queue-wait/steal
+    /// metrics once when the batch completes.
+    fn batch_parallel(
+        schema_name: &str,
+        compiled: &CompiledSchema,
+        documents: &[&str],
+        pool: &ThreadPool,
+    ) -> Vec<Vec<ValidationError>> {
+        let _span = obs::span!(
+            "registry.validate_batch_parallel",
+            schema = schema_name,
+            docs = documents.len(),
+            threads = pool.threads()
+        );
+        let name: Arc<str> = Arc::from(schema_name);
+        let compiled = compiled.clone();
+        let docs: Vec<Arc<str>> = documents.iter().map(|d| Arc::from(*d)).collect();
+        pool.map(docs, move |doc| Self::validate_one(&name, &compiled, &doc))
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +328,39 @@ mod tests {
         assert!(!results[1].is_empty());
         assert!(reg.validate_streaming("wml", &good).unwrap().is_empty());
         assert!(reg.validate_batch_streaming("nope", &[]).is_none());
+    }
+
+    #[test]
+    fn parallel_batches_match_the_sequential_path() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let data = crate::DirectoryPageData {
+            sub_dirs: (0..12).map(|i| format!("dir{i}")).collect(),
+            current_dir: "/media".into(),
+            parent_dir: "/".into(),
+        };
+        let good = crate::render_string(&data);
+        let bad = crate::render_string_buggy(&data);
+        let malformed = "<wml><card>"; // not well-formed
+        let docs: Vec<&str> = vec![&good, &bad, malformed, &good, &bad];
+        let sequential = reg.validate_batch_streaming("wml", &docs).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let streamed = reg
+                .validate_batch_streaming_parallel("wml", &docs, &pool)
+                .unwrap();
+            assert_eq!(
+                streamed, sequential,
+                "streaming parallel at {threads} threads"
+            );
+            let warmed = reg.validate_batch_parallel("wml", &docs, &pool).unwrap();
+            assert_eq!(warmed, sequential, "warmed parallel at {threads} threads");
+        }
+        let pool = ThreadPool::new(2);
+        assert!(reg.validate_batch_parallel("nope", &docs, &pool).is_none());
+        assert_eq!(
+            reg.validate_batch_parallel("wml", &[], &pool).unwrap(),
+            Vec::<Vec<ValidationError>>::new()
+        );
     }
 
     #[test]

@@ -25,6 +25,28 @@ for needle in "xmlparse_events_total" "schema_compile_seconds" \
   fi
 done
 
+echo "==> parallel stress pass (RUST_TEST_THREADS=8)"
+# Run the concurrency-sensitive suites with 8 test threads so the
+# parallel validator, the DFA intern table, and the obs aggregation race
+# against each other as hard as this host allows.
+RUST_TEST_THREADS=8 cargo test -q -p integration-tests \
+  --test parallel_prop --test intern_stress --test obs_metrics
+RUST_TEST_THREADS=8 cargo test -q -p pool -p webgen registry
+
+echo "==> 32-thread parallel smoke on the corpora"
+out="$(cargo run -q --release -p examples --bin parallel_batch -- 32)"
+for needle in "threads=32" "pool_steals_total" "pool_queue_wait_seconds" \
+    "schema_dfa_compiled_total"; do
+  if ! grep -q "$needle" <<<"$out"; then
+    echo "parallel_batch output is missing '$needle'" >&2
+    exit 1
+  fi
+done
+if grep -q "invalid, threads=32" <<<"$out" && ! grep -q " 0 invalid, threads=32" <<<"$out"; then
+  echo "parallel_batch reported invalid documents on a valid corpus" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use pool::ThreadPool;
 use schema::{corpus, CompiledSchema};
 
 static OBS_LOCK: Mutex<()> = Mutex::new(());
@@ -154,6 +155,129 @@ fn parser_counters_match_the_document() {
     // a malformed document moves the error counter
     assert!(xmlparse::parse_document("<a><b></a>").is_err());
     assert_eq!(counter("xmlparse_errors_total") - errors_before, 1);
+}
+
+/// Counters aggregated from concurrent pool workers must exactly match
+/// single-threaded ground truth on the purchase-order corpus: no lost
+/// updates under the 8-way race, histograms whose counts and cumulative
+/// buckets sum to the number of observations.
+#[test]
+fn parallel_batch_counters_match_single_threaded_ground_truth() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::install_collector();
+    let registry = webgen::SchemaRegistry::new();
+    registry
+        .register("po-parallel", corpus::PURCHASE_ORDER_XSD)
+        .unwrap();
+
+    // A batch with plenty of both valid and invalid documents.
+    let docs_owned: Vec<String> = (0..24)
+        .map(|i| {
+            if i % 3 == 0 {
+                BROKEN_PO.to_string()
+            } else {
+                webgen::render_order_string(&webgen::generate_order(i as u64, 5))
+            }
+        })
+        .collect();
+    let docs: Vec<&str> = docs_owned.iter().map(String::as_str).collect();
+
+    // Single-threaded ground truth: the sequential batch, and the exact
+    // per-kind error population it implies.
+    let sequential = registry
+        .validate_batch_streaming("po-parallel", &docs)
+        .unwrap();
+    let mut expected: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for errors in &sequential {
+        for (kind, n) in by_kind(errors) {
+            *expected.entry(kind).or_insert(0) += n;
+        }
+    }
+    assert!(!expected.is_empty(), "batch must contain invalid documents");
+
+    let error_counters_before: BTreeMap<_, _> = expected
+        .keys()
+        .map(|k| {
+            (
+                *k,
+                labeled(
+                    "validator_errors_total",
+                    &[("kind", k), ("mode", "streaming")],
+                ),
+            )
+        })
+        .collect();
+    let latency = obs::metrics().histogram_with(
+        "registry_validate_seconds",
+        "",
+        &[("schema", "po-parallel")],
+        obs::DURATION_BUCKETS,
+    );
+    let latency_before = latency.count();
+    let batches_before = counter("pool_batches_total");
+    let jobs_before: u64 = (0..8)
+        .map(|w| labeled("pool_jobs_total", &[("worker", &w.to_string())]))
+        .sum();
+    let waits_before: u64 = (0..8)
+        .map(|w| {
+            obs::metrics()
+                .histogram_with(
+                    "pool_queue_wait_seconds",
+                    "",
+                    &[("worker", &w.to_string())],
+                    obs::DURATION_BUCKETS,
+                )
+                .count()
+        })
+        .sum();
+
+    // The measured run: 8 concurrent workers over the same batch.
+    let pool = ThreadPool::new(8);
+    let parallel = registry
+        .validate_batch_streaming_parallel("po-parallel", &docs, &pool)
+        .unwrap();
+    assert_eq!(parallel, sequential, "parallel result must be identical");
+
+    // Error counters: concurrent workers lost no updates.
+    for (kind, count) in &expected {
+        let after = labeled(
+            "validator_errors_total",
+            &[("kind", kind), ("mode", "streaming")],
+        );
+        assert_eq!(
+            after - error_counters_before[kind],
+            *count,
+            "streaming error counter for kind {kind} under 8 workers"
+        );
+    }
+
+    // Per-document latency histogram: one observation per document, and
+    // the cumulative +Inf bucket agrees with the count (sums correctly).
+    assert_eq!(latency.count() - latency_before, docs.len() as u64);
+    let buckets = latency.cumulative_buckets();
+    assert_eq!(buckets.last().unwrap().1, latency.count());
+
+    // Pool accounting, flushed once per batch: the per-worker job
+    // counters and queue-wait observations sum to exactly one per
+    // document across the 8 workers.
+    assert_eq!(counter("pool_batches_total") - batches_before, 1);
+    let jobs_after: u64 = (0..8)
+        .map(|w| labeled("pool_jobs_total", &[("worker", &w.to_string())]))
+        .sum();
+    assert_eq!(jobs_after - jobs_before, docs.len() as u64);
+    let waits_after: u64 = (0..8)
+        .map(|w| {
+            obs::metrics()
+                .histogram_with(
+                    "pool_queue_wait_seconds",
+                    "",
+                    &[("worker", &w.to_string())],
+                    obs::DURATION_BUCKETS,
+                )
+                .count()
+        })
+        .sum();
+    assert_eq!(waits_after - waits_before, docs.len() as u64);
 }
 
 #[test]
