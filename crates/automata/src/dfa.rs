@@ -7,6 +7,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
+use symbols::Sym;
+
 use crate::expr::ContentExpr;
 use crate::glushkov::{Glushkov, PositionId};
 use crate::Matcher;
@@ -73,6 +75,10 @@ pub struct ContentDfa {
 struct Inner {
     /// transitions[state] maps symbol → next state.
     transitions: Vec<HashMap<String, usize>>,
+    /// The same transition function keyed by interned symbol, sorted by
+    /// `Sym` for binary search — the zero-allocation hot path. Built
+    /// alongside `transitions`, so the two tables are always equivalent.
+    sym_transitions: Vec<Vec<(Sym, u32)>>,
     accepting: Vec<bool>,
 }
 
@@ -113,6 +119,7 @@ impl ContentDfa {
         let mut index: HashMap<BTreeSet<PositionId>, usize> = HashMap::new();
         let mut worklist: Vec<BTreeSet<PositionId>> = vec![BTreeSet::new()];
         let mut transitions: Vec<HashMap<String, usize>> = vec![HashMap::new()];
+        let mut sym_transitions: Vec<Vec<(Sym, u32)>> = vec![Vec::new()];
         let mut accepting = vec![g.nullable];
         let mut processed = 0;
 
@@ -141,17 +148,24 @@ impl ContentDfa {
                         accepting.push(next.iter().any(|p| g.last.contains(p)));
                         worklist.push(next);
                         transitions.push(HashMap::new());
+                        sym_transitions.push(Vec::new());
                         id
                     }
                 };
                 transitions[current_id].insert(sym.to_string(), next_id);
+                sym_transitions[current_id].push((symbols::intern(sym), next_id as u32));
             }
             processed += 1;
+        }
+
+        for row in &mut sym_transitions {
+            row.sort_unstable_by_key(|&(s, _)| s);
         }
 
         ContentDfa {
             inner: Arc::new(Inner {
                 transitions,
+                sym_transitions,
                 accepting,
             }),
         }
@@ -215,6 +229,23 @@ impl DfaMatcher {
     /// The current DFA state id (used by V-DOM to snapshot progress).
     pub fn state(&self) -> usize {
         self.state
+    }
+
+    /// Steps on an interned symbol without allocating. Returns `false`
+    /// (matcher unchanged) when the symbol has no transition; callers
+    /// wanting the rich [`StepError`] then re-step via [`Matcher::step`]
+    /// with the string name — valid because both tables are built from
+    /// the same construction and a failed step does not move the state.
+    #[inline]
+    pub fn try_step_sym(&mut self, sym: Sym) -> bool {
+        let row = &self.dfa.inner.sym_transitions[self.state];
+        match row.binary_search_by_key(&sym, |&(s, _)| s) {
+            Ok(i) => {
+                self.state = row[i].1 as usize;
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -334,6 +365,24 @@ mod tests {
         let dfa = ContentDfa::compile(&ContentExpr::Empty).unwrap();
         assert!(dfa.accepts([]));
         assert!(!dfa.accepts(["x"]));
+    }
+
+    #[test]
+    fn sym_steps_agree_with_string_steps() {
+        let dfa = ContentDfa::compile(&po_model()).unwrap();
+        let mut by_str = dfa.start();
+        let mut by_sym = dfa.start();
+        for step in ["shipTo", "billTo", "items", "comment", "items"] {
+            let str_ok = by_str.step(step).is_ok();
+            let sym_ok = by_sym.try_step_sym(symbols::intern(step));
+            assert_eq!(str_ok, sym_ok, "divergence on {step}");
+            assert_eq!(by_str.state(), by_sym.state());
+        }
+        // a symbol never seen by any content model has no transition
+        let mut m = dfa.start();
+        let before = m.state();
+        assert!(!m.try_step_sym(symbols::intern("symtest-dfa-unknown")));
+        assert_eq!(m.state(), before);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! **B10 — zero-copy event pipeline** (group `B10-zero-copy`).
+//!
+//! Measures what the borrowed-event + interned-symbol path buys over the
+//! owned-event path it replaced:
+//!
+//! * `po-parse-owned` vs `po-parse-borrowed` — the parser alone, draining
+//!   the event stream of a 1000-item order with `next_event` (allocates
+//!   per event) vs `next_event_borrowed` (slices the source);
+//! * `po-streaming` / `wml-streaming` — end-to-end streaming validation
+//!   on exactly the B2b corpora, now running borrowed events into the
+//!   symbol-dispatch validator. Compare against the B2b `*-streaming`
+//!   rows of the previous revision for the before/after (EXPERIMENTS.md
+//!   B10 records both).
+//!
+//! Schemas are warmed first, so the numbers isolate the per-document hot
+//! path from one-time compilation, exactly as in B9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bench::{po_schema, wml_schema};
+use xmlparse::{BorrowedEvent, Event, Reader};
+
+fn drain_owned(src: &str) -> usize {
+    let mut reader = Reader::new(src);
+    let mut events = 0;
+    loop {
+        match reader.next_event().expect("bench corpus is well-formed") {
+            Event::Eof => return events,
+            _ => events += 1,
+        }
+    }
+}
+
+fn drain_borrowed(src: &str) -> usize {
+    let mut reader = Reader::new(src);
+    let mut events = 0;
+    loop {
+        match reader
+            .next_event_borrowed()
+            .expect("bench corpus is well-formed")
+        {
+            BorrowedEvent::Eof => return events,
+            _ => events += 1,
+        }
+    }
+}
+
+fn zero_copy(c: &mut Criterion) {
+    let po = po_schema();
+    let wml = wml_schema();
+    po.warm();
+    wml.warm();
+    let mut group = c.benchmark_group("B10-zero-copy");
+    group.sample_size(15);
+
+    // the parser alone: owned vs borrowed event stream
+    let order = webgen::generate_order(17, 1000);
+    let xml = webgen::render_order_string(&order);
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    assert_eq!(drain_owned(&xml), drain_borrowed(&xml));
+    group.bench_with_input(BenchmarkId::new("po-parse-owned", 1000), &xml, |b, xml| {
+        b.iter(|| black_box(drain_owned(xml)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("po-parse-borrowed", 1000),
+        &xml,
+        |b, xml| b.iter(|| black_box(drain_borrowed(xml))),
+    );
+
+    // end to end, on the B2b corpora
+    for &n in &[1usize, 10, 100, 1000] {
+        let order = webgen::generate_order(17, n);
+        let xml = webgen::render_order_string(&order);
+        assert!(validator::validate_str_streaming(&po, &xml).is_empty());
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("po-streaming", n), &xml, |b, xml| {
+            b.iter(|| black_box(validator::validate_str_streaming(&po, xml).len()))
+        });
+    }
+    for &n in &[4usize, 64, 512] {
+        let data = webgen::DirectoryPageData {
+            sub_dirs: (0..n).map(|i| format!("dir{i:04}")).collect(),
+            current_dir: "/media/archive".into(),
+            parent_dir: "/media".into(),
+        };
+        let xml = webgen::render_string(&data);
+        assert!(validator::validate_str_streaming(&wml, &xml).is_empty());
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("wml-streaming", n), &xml, |b, xml| {
+            b.iter(|| black_box(validator::validate_str_streaming(&wml, xml).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, zero_copy);
+criterion_main!(benches);

@@ -24,10 +24,13 @@ use automata::{ContentDfa, ContentExpr};
 use crate::components::{AttributeUse, ContentModel, Schema, TypeDef, TypeRef};
 use crate::error::SchemaError;
 use crate::resolve::SimpleTypeError;
+use crate::symtab::SymIndex;
 
-/// Cache of `(type name, child name) → child element type`, `None` when
-/// the child is undeclared within the type.
-type ChildTypeCache = Arc<RwLock<HashMap<(String, String), Option<TypeRef>>>>;
+/// Cache of `type name → (child name → child element type)`, `None` when
+/// the child is undeclared within the type. Nested rather than keyed by
+/// `(String, String)` so a cache *hit* probes with two `&str`s and never
+/// allocates.
+type ChildTypeCache = Arc<RwLock<HashMap<String, HashMap<String, Option<TypeRef>>>>>;
 
 /// The process-global DFA intern table. Keyed by the (unexpanded)
 /// content expression, which derives `Hash`/`Eq` structurally — two
@@ -89,6 +92,9 @@ pub struct CompiledSchema {
     dfas: Arc<RwLock<HashMap<String, Arc<ContentDfa>>>>,
     attrs: Arc<RwLock<HashMap<String, Arc<[AttributeUse]>>>>,
     child_types: ChildTypeCache,
+    /// Symbol-keyed dispatch plans, built once on first use (or eagerly
+    /// by [`warm`](Self::warm)) and shared by every clone.
+    sym_index: Arc<OnceLock<SymIndex>>,
 }
 
 impl CompiledSchema {
@@ -100,6 +106,7 @@ impl CompiledSchema {
             dfas: Arc::new(RwLock::new(HashMap::new())),
             attrs: Arc::new(RwLock::new(HashMap::new())),
             child_types: Arc::new(RwLock::new(HashMap::new())),
+            sym_index: Arc::new(OnceLock::new()),
         })
     }
 
@@ -197,13 +204,29 @@ impl CompiledSchema {
     /// The declared type of `child` inside complex type `type_name`,
     /// cached (including negative results).
     pub fn child_element_type(&self, type_name: &str, child: &str) -> Option<TypeRef> {
-        let key = (type_name.to_string(), child.to_string());
-        if let Some(t) = self.child_types.read().get(&key) {
+        if let Some(t) = self
+            .child_types
+            .read()
+            .get(type_name)
+            .and_then(|m| m.get(child))
+        {
             return t.clone();
         }
         let computed = self.schema.child_element_type(type_name, child);
-        self.child_types.write().insert(key, computed.clone());
+        self.child_types
+            .write()
+            .entry(type_name.to_string())
+            .or_default()
+            .insert(child.to_string(), computed.clone());
         computed
+    }
+
+    /// The symbol-keyed dispatch index: per-element open plans keyed by
+    /// interned QNames, built on first use. The streaming validator's
+    /// zero-allocation hot path dispatches through this instead of the
+    /// string-keyed caches.
+    pub fn sym_index(&self) -> &SymIndex {
+        self.sym_index.get_or_init(|| SymIndex::build(self))
     }
 
     /// Precompiles every complex type's content DFA, effective attribute
@@ -233,6 +256,9 @@ impl CompiledSchema {
                 ready += 1;
             }
         }
+        // build the symbol-keyed dispatch plans while we're still ahead
+        // of traffic (this also interns every declared QName)
+        let _ = self.sym_index();
         if let Some(elapsed) = timer.stop() {
             obs::metrics()
                 .histogram(

@@ -49,6 +49,7 @@ pub mod error;
 pub mod facets;
 pub mod reader;
 pub mod resolve;
+pub mod symtab;
 pub mod value;
 
 pub use builtin::BuiltinType;
@@ -61,3 +62,4 @@ pub use error::{SchemaError, SchemaErrorKind};
 pub use facets::{CompiledPattern, Facet, FacetViolation};
 pub use reader::{parse_schema, read_schema, XSD_NAMESPACE};
 pub use resolve::{SimpleTypeError, SimpleView};
+pub use symtab::{ContentPlan, ElemPlan, RootPlan, SymIndex};

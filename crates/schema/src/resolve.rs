@@ -389,7 +389,9 @@ impl Schema {
     /// layers.
     pub fn simple_view<'s>(&'s self, r: &TypeRef) -> Result<SimpleView<'s>, SimpleTypeError> {
         let mut facet_layers: Vec<&'s [Facet]> = Vec::new();
-        let mut current = r.clone();
+        // Walk the chain by reference: every hop lands on a `TypeRef`
+        // owned by `self.types`, so nothing is cloned along the way.
+        let mut current: &TypeRef = r;
         let mut hops = 0;
         loop {
             hops += 1;
@@ -402,25 +404,25 @@ impl Schema {
             match current {
                 TypeRef::Builtin(b) => {
                     return Ok(SimpleView {
-                        builtin: b,
+                        builtin: *b,
                         facet_layers,
                     })
                 }
-                TypeRef::Named(n) | TypeRef::Anonymous(n) => match self.types.get(&n) {
+                TypeRef::Named(n) | TypeRef::Anonymous(n) => match self.types.get(n) {
                     Some(TypeDef::Simple(s)) => {
                         facet_layers.push(&s.facets);
-                        current = s.base.clone();
+                        current = &s.base;
                     }
                     Some(TypeDef::Complex(c)) => {
                         // simpleContent complex types delegate to their
                         // simple content for *value* validation
                         if let ContentModel::Simple(inner) = &c.content {
-                            current = inner.clone();
+                            current = inner;
                         } else {
-                            return Err(SimpleTypeError::NotSimple(n));
+                            return Err(SimpleTypeError::NotSimple(n.clone()));
                         }
                     }
-                    None => return Err(SimpleTypeError::Unresolved(n)),
+                    None => return Err(SimpleTypeError::Unresolved(n.clone())),
                 },
             }
         }
@@ -430,6 +432,23 @@ impl Schema {
     /// normalization, built-in lexical check, then every facet layer from
     /// most derived to base. Returns the normalized value.
     pub fn validate_simple_value(&self, r: &TypeRef, raw: &str) -> Result<String, SimpleTypeError> {
+        self.check_simple_value_inner(r, raw)
+            .map(std::borrow::Cow::into_owned)
+    }
+
+    /// Like [`validate_simple_value`](Self::validate_simple_value), but
+    /// discards the normalized value — on success (the hot path for valid
+    /// documents) nothing is allocated: normalization borrows whenever
+    /// the value is already normal, and the checks read it in place.
+    pub fn check_simple_value(&self, r: &TypeRef, raw: &str) -> Result<(), SimpleTypeError> {
+        self.check_simple_value_inner(r, raw).map(|_| ())
+    }
+
+    fn check_simple_value_inner<'v>(
+        &self,
+        r: &TypeRef,
+        raw: &'v str,
+    ) -> Result<std::borrow::Cow<'v, str>, SimpleTypeError> {
         let view = self.simple_view(r)?;
         // effective whitespace: the most derived explicit facet, else the
         // built-in's own mode
@@ -442,13 +461,13 @@ impl Schema {
                 _ => None,
             })
             .unwrap_or_else(|| view.builtin.whitespace());
-        let value = mode.apply(raw).into_owned();
+        let value = mode.apply(raw);
         view.builtin
             .validate(&value)
             .map_err(|expected| SimpleTypeError::Lexical {
                 builtin: view.builtin,
                 expected,
-                value: value.clone(),
+                value: value.clone().into_owned(),
             })?;
         // One registry lookup per value (not per facet) when observability
         // is on; a single atomic load when it is off.

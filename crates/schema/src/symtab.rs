@@ -1,0 +1,280 @@
+//! Symbol-keyed validation plans: everything the streaming validator
+//! needs at an element-open, precomputed and keyed by interned [`Sym`]s.
+//!
+//! The paper compiles content models ahead of time (Sect. 6); this module
+//! extends the idea to the *dispatch* around them. For every element a
+//! schema can ever admit — root declarations and every `(complex type,
+//! child name)` pair — [`SymIndex`] holds an [`ElemPlan`]: the effective
+//! attribute table, the abstract-type verdict, and the content regime
+//! (simple type to check at close, compiled DFA to step, or a
+//! precomputed error). At validation time the hot path is two integer
+//! hash lookups per element; no strings are compared, hashed, or
+//! allocated.
+//!
+//! The plans deliberately reproduce the *exact* decision tree of the
+//! string-path validator (`validator::stream`), including its quirks:
+//! an element whose type is unknown gets `UnknownType` and **no**
+//! attribute checks, while a broken content model reports *after* the
+//! attribute checks. The differential proptests in
+//! `tests/tests/zero_copy_prop.rs` hold the two paths byte-identical.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use automata::ContentDfa;
+use symbols::Sym;
+
+use crate::compiled::CompiledSchema;
+use crate::components::{AttributeUse, ContentModel, TypeDef, TypeRef};
+
+/// How an element's content is validated, decided once at build time.
+#[derive(Debug, Clone)]
+pub enum ContentPlan {
+    /// Text-only content: buffer character data, check it against this
+    /// simple type at the close tag.
+    Simple(TypeRef),
+    /// Element (or mixed) content: child names step the compiled DFA.
+    Complex {
+        /// The complex type's interned name — the key for child lookups
+        /// when this element becomes a parent.
+        type_sym: Sym,
+        /// The shared, interned automaton.
+        dfa: Arc<ContentDfa>,
+        /// Whether interleaved text is allowed.
+        mixed: bool,
+    },
+    /// The content model failed to compile (occurrence bounds beyond the
+    /// expansion limit). Reported as a `SimpleType` error with this
+    /// message — after attribute checks, exactly like the string path —
+    /// and the subtree is skipped.
+    Broken(String),
+    /// The declared type does not resolve. Reported as `UnknownType`
+    /// with this name; no attribute checks run, and the subtree is
+    /// skipped.
+    Unknown(String),
+}
+
+/// The precomputed element-open plan: everything `open_typed` used to
+/// derive from a `TypeRef` per element, derived once.
+#[derive(Debug, Clone)]
+pub struct ElemPlan {
+    /// Effective attribute uses (empty for simple-typed elements —
+    /// matching the string path, which checks attributes against an
+    /// empty declared list there).
+    pub attrs: Arc<[AttributeUse]>,
+    /// `Some(type name)` when the complex type is abstract: report
+    /// `AbstractType` before the attribute checks.
+    pub abstract_type: Option<String>,
+    /// The content regime.
+    pub content: ContentPlan,
+}
+
+/// A root element's plan, or the fact that the declaration is abstract.
+#[derive(Debug, Clone)]
+pub enum RootPlan {
+    /// Abstract declarations may not appear in instances: report
+    /// `AbstractElement` and skip the subtree.
+    Abstract,
+    /// A concrete root with its open plan.
+    Elem(Arc<ElemPlan>),
+}
+
+/// The symbol-keyed dispatch tables for one compiled schema.
+#[derive(Debug)]
+pub struct SymIndex {
+    roots: HashMap<Sym, RootPlan>,
+    children: HashMap<(Sym, Sym), Arc<ElemPlan>>,
+}
+
+impl SymIndex {
+    /// Builds the index: interns every declared name and precomputes a
+    /// plan for every root and every `(complex type, child)` pair the
+    /// schema can admit.
+    ///
+    /// Child candidates are the union of the content expression's
+    /// symbols and *all* top-level element names — the latter because
+    /// `Schema::child_element_type` resolves an abstract substitution
+    /// head referenced by `ref=` even though the content expression
+    /// excludes it (the DFA step fails, but the subtree still validates
+    /// against the head's type, and the plans must agree with that).
+    pub fn build(compiled: &CompiledSchema) -> SymIndex {
+        let schema = compiled.schema();
+        // one plan per distinct type, shared by every element of that type
+        let mut plans: HashMap<String, Arc<ElemPlan>> = HashMap::new();
+        let mut plan_for = |type_ref: &TypeRef| -> Arc<ElemPlan> {
+            // variant-tagged key: a schema may declare a type named like
+            // a built-in, and the two must not share a plan
+            let key = match type_ref {
+                TypeRef::Builtin(b) => format!("builtin:{}", b.name()),
+                TypeRef::Named(n) | TypeRef::Anonymous(n) => format!("named:{n}"),
+            };
+            plans
+                .entry(key)
+                .or_insert_with(|| Arc::new(build_plan(compiled, type_ref)))
+                .clone()
+        };
+
+        let mut roots = HashMap::new();
+        for (name, decl) in &schema.elements {
+            let sym = symbols::intern(name);
+            let plan = if decl.is_abstract {
+                RootPlan::Abstract
+            } else {
+                RootPlan::Elem(plan_for(&decl.type_ref))
+            };
+            roots.insert(sym, plan);
+        }
+
+        let mut children = HashMap::new();
+        for (type_name, def) in &schema.types {
+            if !matches!(def, TypeDef::Complex(_)) {
+                continue;
+            }
+            let type_sym = symbols::intern(type_name);
+            let mut candidates: Vec<&str> = schema.elements.keys().map(String::as_str).collect();
+            let expr_symbols = schema.content_expr(type_name).map(|e| e.symbols());
+            if let Ok(syms) = &expr_symbols {
+                candidates.extend(syms.iter().map(String::as_str));
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for child in candidates {
+                if let Some(child_type) = compiled.child_element_type(type_name, child) {
+                    children.insert((type_sym, symbols::intern(child)), plan_for(&child_type));
+                }
+            }
+        }
+
+        SymIndex { roots, children }
+    }
+
+    /// The plan for a root element, `None` when undeclared.
+    #[inline]
+    pub fn root(&self, name: Sym) -> Option<&RootPlan> {
+        self.roots.get(&name)
+    }
+
+    /// The plan for `child` within complex type `parent_type`, `None`
+    /// when the type admits no such child (the subtree is skipped).
+    #[inline]
+    pub fn child(&self, parent_type: Sym, child: Sym) -> Option<&Arc<ElemPlan>> {
+        self.children.get(&(parent_type, child))
+    }
+
+    /// Number of root plans (bench/obs metric).
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of `(type, child)` plans (bench/obs metric).
+    pub fn child_count(&self) -> usize {
+        self.children.len()
+    }
+}
+
+/// Derives the open plan for one type reference — the build-time twin of
+/// the string path's `open_typed` dispatch.
+fn build_plan(compiled: &CompiledSchema, type_ref: &TypeRef) -> ElemPlan {
+    let no_attrs: Arc<[AttributeUse]> = Arc::from(Vec::new());
+    match type_ref {
+        TypeRef::Builtin(_) => ElemPlan {
+            attrs: no_attrs,
+            abstract_type: None,
+            content: ContentPlan::Simple(type_ref.clone()),
+        },
+        TypeRef::Named(name) | TypeRef::Anonymous(name) => match compiled.schema().type_def(name) {
+            Some(TypeDef::Simple(_)) => ElemPlan {
+                attrs: no_attrs,
+                abstract_type: None,
+                content: ContentPlan::Simple(type_ref.clone()),
+            },
+            Some(TypeDef::Complex(ct)) => {
+                let attrs = compiled.effective_attributes(name).unwrap_or(no_attrs);
+                let abstract_type = ct.is_abstract.then(|| name.clone());
+                let content = match &ct.content {
+                    ContentModel::Simple(simple_ref) => ContentPlan::Simple(simple_ref.clone()),
+                    ContentModel::Empty | ContentModel::ElementOnly(_) => {
+                        complex_content(compiled, name, false)
+                    }
+                    ContentModel::Mixed(_) => complex_content(compiled, name, true),
+                };
+                ElemPlan {
+                    attrs,
+                    abstract_type,
+                    content,
+                }
+            }
+            None => ElemPlan {
+                attrs: no_attrs,
+                abstract_type: None,
+                content: ContentPlan::Unknown(name.clone()),
+            },
+        },
+    }
+}
+
+fn complex_content(compiled: &CompiledSchema, type_name: &str, mixed: bool) -> ContentPlan {
+    match compiled.content_dfa(type_name) {
+        Ok(dfa) => ContentPlan::Complex {
+            type_sym: symbols::intern(type_name),
+            dfa,
+            mixed,
+        },
+        Err(e) => ContentPlan::Broken(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{PURCHASE_ORDER_XSD, WML_XSD};
+
+    #[test]
+    fn po_index_covers_declared_children() {
+        let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
+        let index = compiled.sym_index();
+        let root = symbols::lookup("purchaseOrder").expect("root interned");
+        assert!(matches!(index.root(root), Some(RootPlan::Elem(_))));
+        let po_type = match index.root(root) {
+            Some(RootPlan::Elem(plan)) => match &plan.content {
+                ContentPlan::Complex { type_sym, .. } => *type_sym,
+                other => panic!("unexpected root content {other:?}"),
+            },
+            _ => unreachable!(),
+        };
+        let ship = symbols::lookup("shipTo").expect("child interned");
+        assert!(index.child(po_type, ship).is_some());
+        let bogus = symbols::intern("symtest-not-a-po-child");
+        assert!(index.child(po_type, bogus).is_none());
+    }
+
+    #[test]
+    fn wml_index_builds_and_counts() {
+        let compiled = CompiledSchema::parse(WML_XSD).unwrap();
+        let index = compiled.sym_index();
+        assert!(index.root_count() >= 1);
+        assert!(index.child_count() > 0);
+    }
+
+    #[test]
+    fn plans_are_shared_per_type() {
+        let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
+        let index = compiled.sym_index();
+        // shipTo and billTo are both USAddress: one plan, two entries
+        let root = symbols::lookup("purchaseOrder").unwrap();
+        let po_type = match index.root(root) {
+            Some(RootPlan::Elem(plan)) => match &plan.content {
+                ContentPlan::Complex { type_sym, .. } => *type_sym,
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        };
+        let ship = index
+            .child(po_type, symbols::lookup("shipTo").unwrap())
+            .unwrap();
+        let bill = index
+            .child(po_type, symbols::lookup("billTo").unwrap())
+            .unwrap();
+        assert!(Arc::ptr_eq(ship, bill));
+    }
+}

@@ -185,7 +185,7 @@ fn validate_simple_element(
         ));
     }
     let text = doc.text_content(node).unwrap_or_default();
-    if let Err(e) = compiled.schema().validate_simple_value(type_ref, &text) {
+    if let Err(e) = compiled.schema().check_simple_value(type_ref, &text) {
         errors.push(ValidationError::at_opt(
             ValidationErrorKind::SimpleType {
                 element: doc.tag_name(node).unwrap_or_default().to_string(),
@@ -290,6 +290,43 @@ fn validate_attributes(
     );
 }
 
+/// A uniform read-only view of an attribute, so the shared checks run
+/// over tree attribute lists, owned parser events, and the zero-copy
+/// borrowed events without collecting into an intermediate `Vec`.
+pub(crate) trait AttrView {
+    /// Lexical attribute name.
+    fn attr_name(&self) -> &str;
+    /// Normalized attribute value.
+    fn attr_value(&self) -> &str;
+}
+
+impl AttrView for (&str, &str) {
+    fn attr_name(&self) -> &str {
+        self.0
+    }
+    fn attr_value(&self) -> &str {
+        self.1
+    }
+}
+
+impl AttrView for xmlparse::AttributeEvent {
+    fn attr_name(&self) -> &str {
+        &self.name
+    }
+    fn attr_value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl AttrView for xmlparse::BorrowedAttribute<'_> {
+    fn attr_name(&self) -> &str {
+        self.name
+    }
+    fn attr_value(&self) -> &str {
+        &self.value
+    }
+}
+
 /// The attribute checks shared by the tree and streaming validators:
 /// declared values validate against their simple types, `fixed` values
 /// must match, required attributes must be present, undeclared attributes
@@ -307,9 +344,29 @@ fn check_attributes(
     errors: &mut Vec<ValidationError>,
 ) {
     let declared = complex_type.and_then(|t| compiled.effective_attributes(t).ok());
-    let declared: &[AttributeUse] = declared.as_deref().unwrap_or(&[]);
+    check_attributes_declared(
+        compiled,
+        element,
+        present,
+        declared.as_deref().unwrap_or(&[]),
+        span,
+        errors,
+    );
+}
 
-    for &(name, value) in present {
+/// [`check_attributes`] against an already-resolved declared list — the
+/// form the streaming validator's precomputed [`schema::ElemPlan`]s call
+/// directly, skipping the per-element `effective_attributes` lookup.
+pub(crate) fn check_attributes_declared<A: AttrView>(
+    compiled: &CompiledSchema,
+    element: &str,
+    present: &[A],
+    declared: &[AttributeUse],
+    span: Option<Span>,
+    errors: &mut Vec<ValidationError>,
+) {
+    for attr in present {
+        let (name, value) = (attr.attr_name(), attr.attr_value());
         let decl = declared.iter().find(|d| d.name == name);
         if name == "xmlns"
             || name.starts_with("xmlns:")
@@ -319,10 +376,7 @@ fn check_attributes(
         }
         match decl {
             Some(decl) => {
-                if let Err(e) = compiled
-                    .schema()
-                    .validate_simple_value(&decl.type_ref, value)
-                {
+                if let Err(e) = compiled.schema().check_simple_value(&decl.type_ref, value) {
                     errors.push(ValidationError::at_opt(
                         ValidationErrorKind::AttributeValue {
                             element: element.to_string(),
@@ -356,7 +410,7 @@ fn check_attributes(
         }
     }
     for decl in declared {
-        if decl.required && !present.iter().any(|&(n, _)| n == decl.name) {
+        if decl.required && !present.iter().any(|a| a.attr_name() == decl.name) {
             errors.push(ValidationError::at_opt(
                 ValidationErrorKind::MissingAttribute {
                     element: element.to_string(),

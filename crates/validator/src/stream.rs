@@ -1,46 +1,131 @@
 //! Streaming validation over the pull parser's events — the same checks
 //! as the tree validator, without ever materializing a [`dom::Document`].
 //!
-//! [`StreamingValidator`] consumes [`xmlparse::Event`]s and keeps only a
-//! stack of open-element frames: element name, start-tag span, and either
-//! a content-model DFA matcher (complex content) or a text buffer plus
+//! [`StreamingValidator`] consumes parser events and keeps only a stack
+//! of open-element frames: element name, start-tag span, and either a
+//! content-model DFA matcher (complex content) or a text buffer plus
 //! simple-type reference (simple content). Memory is O(depth + deepest
 //! buffered leaf text), so arbitrarily long documents validate in
 //! constant space — the server-page use case, where a rendered page is
 //! checked on its way out rather than parsed into a tree first (bench
 //! B2b measures the difference).
 //!
+//! The hot path is **allocation-free**: [`Self::feed_borrowed`] takes the
+//! reader's zero-copy [`BorrowedEvent`]s, dispatches through the schema's
+//! precomputed [`SymIndex`] (two integer hash lookups per element: root
+//! or `(type, child)` → [`ElemPlan`]), steps the content DFA by interned
+//! symbol, and buffers leaf text as a borrowed slice of the source. For
+//! a valid, entity-free document, no string is hashed, compared, copied,
+//! or allocated between the start tag and the error check — the
+//! allocation-counter test in `tests/tests/alloc_smoke.rs` holds this at
+//! exactly zero per event.
+//!
 //! The checks and their order are identical to
 //! [`validate_document`](crate::validate_document) — attribute checks at
 //! element open, DFA steps per child, text-placement per text run, and
 //! buffered simple-value checks at element close — so both validators
 //! produce the same error list (kinds *and* spans) for any well-formed
-//! input; `tests/tests/streaming_prop.rs` asserts this differentially.
+//! input; `tests/tests/streaming_prop.rs` and
+//! `tests/tests/zero_copy_prop.rs` assert this differentially.
+
+use std::borrow::Cow;
+use std::sync::Arc;
 
 use automata::{DfaMatcher, Matcher};
-use schema::{CompiledSchema, ContentModel, TypeDef, TypeRef};
+use schema::{CompiledSchema, ContentPlan, ElemPlan, RootPlan, SymIndex};
+use symbols::Sym;
 use xmlchars::Span;
-use xmlparse::{AttributeEvent, Event, Reader};
+use xmlparse::{BorrowedEvent, Event, Reader};
 
-use crate::check_attributes;
 use crate::error::{ValidationError, ValidationErrorKind};
+use crate::{check_attributes_declared, AttrView};
 
-/// What an open frame is checking, mirroring the tree validator's three
-/// regimes for an element's content.
-enum FrameKind {
+/// Buffered character data of a simple-content frame. Starts borrowing
+/// the source; promotes to an owned buffer only when a second text run
+/// arrives (split by a comment, PI, CDATA boundary, or a skipped child)
+/// or when the text itself needed entity expansion.
+enum TextBuf<'src> {
+    Empty,
+    Borrowed(&'src str),
+    Owned(String),
+}
+
+impl<'src> TextBuf<'src> {
+    fn as_str(&self) -> &str {
+        match self {
+            TextBuf::Empty => "",
+            TextBuf::Borrowed(s) => s,
+            TextBuf::Owned(s) => s,
+        }
+    }
+
+    fn push(&mut self, run: TextRun<'src, '_>) {
+        match self {
+            TextBuf::Empty => {
+                *self = match run {
+                    TextRun::Zero(Cow::Borrowed(s)) => TextBuf::Borrowed(s),
+                    TextRun::Zero(Cow::Owned(s)) => TextBuf::Owned(s),
+                    TextRun::Copy(s) => TextBuf::Owned(s.to_string()),
+                }
+            }
+            TextBuf::Borrowed(prev) => {
+                let run = run.as_str();
+                let mut s = String::with_capacity(prev.len() + run.len());
+                s.push_str(prev);
+                s.push_str(run);
+                *self = TextBuf::Owned(s);
+            }
+            TextBuf::Owned(buf) => buf.push_str(run.as_str()),
+        }
+    }
+}
+
+/// One text run on its way into the validator: a `Cow` straight off the
+/// zero-copy stream (storable as-is), or a transient borrow from an owned
+/// [`Event`] (copied only if a simple-content frame actually buffers it).
+enum TextRun<'src, 't> {
+    Zero(Cow<'src, str>),
+    Copy(&'t str),
+}
+
+impl TextRun<'_, '_> {
+    fn as_str(&self) -> &str {
+        match self {
+            TextRun::Zero(c) => c,
+            TextRun::Copy(s) => s,
+        }
+    }
+}
+
+/// An open-element frame, mirroring the tree validator's three regimes
+/// for an element's content. Only checked frames carry their name (as an
+/// interned symbol — every checked element is, by construction, declared
+/// somewhere in the schema and therefore interned at index build time);
+/// skipped subtrees carry nothing at all.
+enum Frame<'src> {
     /// Complex element-only or mixed content: child names step a DFA.
     Complex {
-        /// Name of the complex type (for child-type lookups).
-        type_name: String,
+        name: Sym,
+        /// The complex type's interned name — the key for child plan
+        /// lookups.
+        type_sym: Sym,
         matcher: DfaMatcher,
         mixed: bool,
         /// Cleared by the first failed DFA step; suppresses the
         /// close-time completeness check, exactly like the tree walk.
         content_ok: bool,
+        span: Span,
     },
     /// Simple-typed content: text buffers until the close tag, then
     /// validates (whitespace → built-in → facets) in one shot.
-    Simple { type_ref: TypeRef, text: String },
+    Simple {
+        name: Sym,
+        /// The open plan; its [`ContentPlan::Simple`] holds the type to
+        /// check at close.
+        plan: Arc<ElemPlan>,
+        text: TextBuf<'src>,
+        span: Span,
+    },
     /// A subtree that cannot be validated — undeclared child, unknown or
     /// abstract root, uncompilable content model. The error (if any) was
     /// reported when the frame opened; the subtree is consumed silently,
@@ -48,28 +133,22 @@ enum FrameKind {
     Skip,
 }
 
-struct Frame {
-    name: String,
-    span: Span,
-    kind: FrameKind,
-}
-
-/// Decided at element open: how to frame the element being entered.
-enum OpenAs {
-    Typed(TypeRef),
-    Skip,
-}
-
-/// An incremental validator over [`xmlparse::Event`]s.
+/// An incremental validator over parser events.
 ///
-/// Feed events in document order via [`feed`](Self::feed); collect the
-/// violations with [`finish`](Self::finish) (or inspect them mid-stream
-/// with [`errors`](Self::errors)). The event source is typically
-/// [`xmlparse::Reader`]; [`validate_str_streaming`] wires the two
-/// together.
-pub struct StreamingValidator<'a> {
+/// Feed zero-copy events via [`feed_borrowed`](Self::feed_borrowed) (the
+/// allocation-free path) or owned events via [`feed`](Self::feed);
+/// collect the violations with [`finish`](Self::finish) (or inspect them
+/// mid-stream with [`errors`](Self::errors)). The event source is
+/// typically [`xmlparse::Reader`]; [`validate_str_streaming`] wires the
+/// two together.
+///
+/// `'src` is the source buffer borrowed events slice; for owned-event
+/// feeding it is unconstrained.
+pub struct StreamingValidator<'a, 'src> {
     compiled: &'a CompiledSchema,
-    stack: Vec<Frame>,
+    /// The schema's precomputed symbol-keyed dispatch plans.
+    index: &'a SymIndex,
+    stack: Vec<Frame<'src>>,
     errors: Vec<ValidationError>,
     saw_root: bool,
     /// Deepest element nesting seen (observability; histogram-recorded
@@ -77,11 +156,14 @@ pub struct StreamingValidator<'a> {
     max_depth: usize,
 }
 
-impl<'a> StreamingValidator<'a> {
+impl<'a, 'src> StreamingValidator<'a, 'src> {
     /// A validator with an empty stack, ready for a document's events.
-    pub fn new(compiled: &'a CompiledSchema) -> StreamingValidator<'a> {
+    /// Builds the schema's [`SymIndex`] if this is its first use (warmed
+    /// schemas have it precomputed).
+    pub fn new(compiled: &'a CompiledSchema) -> StreamingValidator<'a, 'src> {
         StreamingValidator {
             compiled,
+            index: compiled.sym_index(),
             stack: Vec::new(),
             errors: Vec::new(),
             saw_root: false,
@@ -89,8 +171,8 @@ impl<'a> StreamingValidator<'a> {
         }
     }
 
-    /// Consumes one event. Events must arrive in the order the reader
-    /// produced them; `Eof` is accepted and ignored.
+    /// Consumes one owned event. Events must arrive in the order the
+    /// reader produced them; `Eof` is accepted and ignored.
     pub fn feed(&mut self, event: &Event) {
         match event {
             Event::StartElement {
@@ -100,9 +182,28 @@ impl<'a> StreamingValidator<'a> {
                 ..
             } => self.on_start(name, attributes, *span),
             Event::EndElement { .. } => self.on_end(),
-            Event::Text { text, span } => self.on_text(text, *span),
+            Event::Text { text, span } => self.on_text(TextRun::Copy(text), *span),
             // comments and PIs are always permitted
             Event::Comment { .. } | Event::ProcessingInstruction { .. } | Event::Eof => {}
+        }
+    }
+
+    /// Consumes one zero-copy event — the allocation-free hot path.
+    /// Buffered leaf text borrows the source (`'src`) instead of being
+    /// copied.
+    pub fn feed_borrowed(&mut self, event: BorrowedEvent<'src, '_>) {
+        match event {
+            BorrowedEvent::StartElement {
+                name,
+                attributes,
+                span,
+                ..
+            } => self.on_start(name, attributes, span),
+            BorrowedEvent::EndElement { .. } => self.on_end(),
+            BorrowedEvent::Text { text, span } => self.on_text(TextRun::Zero(text), span),
+            BorrowedEvent::Comment { .. }
+            | BorrowedEvent::ProcessingInstruction { .. }
+            | BorrowedEvent::Eof => {}
         }
     }
 
@@ -179,21 +280,30 @@ impl<'a> StreamingValidator<'a> {
             .observe(self.max_depth as f64);
     }
 
-    fn on_start(&mut self, name: &str, attributes: &[AttributeEvent], span: Span) {
-        let open_as = if let Some(parent) = self.stack.last_mut() {
-            match &mut parent.kind {
-                FrameKind::Complex {
-                    type_name,
+    fn on_start<A: AttrView>(&mut self, name: &str, attributes: &[A], span: Span) {
+        // documents name only what a schema declared (plus hostile noise);
+        // a name the schema never interned cannot be valid anywhere, and
+        // lookup never grows the table, so attacker input stays O(1)
+        let sym = symbols::lookup(name);
+        let index = self.index;
+        let frame = if let Some(parent) = self.stack.last_mut() {
+            match parent {
+                Frame::Complex {
+                    name: parent_name,
+                    type_sym,
                     matcher,
                     content_ok,
                     ..
                 } => {
-                    if *content_ok {
+                    if *content_ok && !sym.is_some_and(|s| matcher.try_step_sym(s)) {
+                        // the cold path: re-step by string for the rich
+                        // error (a failed step leaves the state unchanged,
+                        // so the re-step sees the exact same state)
                         if let Err(e) = matcher.step(name) {
                             *content_ok = false;
                             self.errors.push(ValidationError::at(
                                 ValidationErrorKind::UnexpectedChild {
-                                    parent: parent.name.clone(),
+                                    parent: symbols::name(*parent_name).to_string(),
                                     child: name.to_string(),
                                     expected: e.expected,
                                 },
@@ -203,141 +313,129 @@ impl<'a> StreamingValidator<'a> {
                     }
                     // enter declared children regardless, so nested errors
                     // surface too; undeclared ones were just reported
-                    match self.compiled.child_element_type(type_name, name) {
-                        Some(t) => OpenAs::Typed(t),
-                        None => OpenAs::Skip,
+                    match sym.and_then(|s| index.child(*type_sym, s)) {
+                        Some(plan) => {
+                            let plan = plan.clone();
+                            self.open_with_plan(
+                                sym.expect("child plan implies sym"),
+                                plan,
+                                attributes,
+                                span,
+                            )
+                        }
+                        None => Frame::Skip,
                     }
                 }
-                FrameKind::Simple { .. } => {
+                Frame::Simple {
+                    name: parent_name, ..
+                } => {
                     self.errors.push(ValidationError::at(
                         ValidationErrorKind::UnexpectedChild {
-                            parent: parent.name.clone(),
+                            parent: symbols::name(*parent_name).to_string(),
                             child: name.to_string(),
                             expected: Vec::new(),
                         },
                         span,
                     ));
-                    OpenAs::Skip
+                    Frame::Skip
                 }
-                FrameKind::Skip => OpenAs::Skip,
+                Frame::Skip => Frame::Skip,
             }
         } else {
             self.saw_root = true;
-            match self.compiled.schema().element(name) {
-                Some(decl) if decl.is_abstract => {
+            match sym.and_then(|s| index.root(s).map(|p| (s, p))) {
+                Some((_, RootPlan::Abstract)) => {
                     self.errors.push(ValidationError::at(
                         ValidationErrorKind::AbstractElement(name.to_string()),
                         span,
                     ));
-                    OpenAs::Skip
+                    Frame::Skip
                 }
-                Some(decl) => OpenAs::Typed(decl.type_ref.clone()),
+                Some((s, RootPlan::Elem(plan))) => {
+                    let plan = plan.clone();
+                    self.open_with_plan(s, plan, attributes, span)
+                }
                 None => {
                     self.errors.push(ValidationError::at(
                         ValidationErrorKind::UndeclaredRoot(name.to_string()),
                         span,
                     ));
-                    OpenAs::Skip
+                    Frame::Skip
                 }
             }
         };
-        let kind = match open_as {
-            OpenAs::Typed(type_ref) => self.open_typed(name, &type_ref, attributes, span),
-            OpenAs::Skip => FrameKind::Skip,
-        };
-        self.stack.push(Frame {
-            name: name.to_string(),
-            span,
-            kind,
-        });
+        self.stack.push(frame);
         self.max_depth = self.max_depth.max(self.stack.len());
     }
 
-    /// Runs the element-open checks (abstract type, attributes) and picks
-    /// the frame regime for a declared element — the streaming twin of
-    /// `validate_element`'s dispatch on the type reference.
-    fn open_typed(
+    /// Runs the element-open checks (abstract type, attributes) against a
+    /// precomputed plan and builds the frame — the symbol-path twin of
+    /// the old per-element dispatch on a `TypeRef`, with the same checks
+    /// in the same order.
+    fn open_with_plan<A: AttrView>(
         &mut self,
-        name: &str,
-        type_ref: &TypeRef,
-        attributes: &[AttributeEvent],
+        name: Sym,
+        plan: Arc<ElemPlan>,
+        attributes: &[A],
         span: Span,
-    ) -> FrameKind {
-        let compiled = self.compiled;
-        let attrs: Vec<(&str, &str)> = attributes
-            .iter()
-            .map(|a| (a.name.as_str(), a.value.as_str()))
-            .collect();
-        let simple = |type_ref: &TypeRef| FrameKind::Simple {
-            type_ref: type_ref.clone(),
-            text: String::new(),
-        };
-        match type_ref {
-            TypeRef::Builtin(_) => {
-                check_attributes(compiled, name, &attrs, None, Some(span), &mut self.errors);
-                simple(type_ref)
-            }
-            TypeRef::Named(tn) | TypeRef::Anonymous(tn) => match compiled.schema().type_def(tn) {
-                Some(TypeDef::Simple(_)) => {
-                    check_attributes(compiled, name, &attrs, None, Some(span), &mut self.errors);
-                    simple(type_ref)
-                }
-                Some(TypeDef::Complex(ct)) => {
-                    if ct.is_abstract {
-                        self.errors.push(ValidationError::at(
-                            ValidationErrorKind::AbstractType(tn.clone()),
-                            span,
-                        ));
-                    }
-                    check_attributes(
-                        compiled,
-                        name,
-                        &attrs,
-                        Some(tn),
-                        Some(span),
-                        &mut self.errors,
-                    );
-                    match &ct.content {
-                        ContentModel::Simple(simple_ref) => simple(simple_ref),
-                        ContentModel::Empty | ContentModel::ElementOnly(_) => {
-                            self.complex_frame(name, tn, false, span)
-                        }
-                        ContentModel::Mixed(_) => self.complex_frame(name, tn, true, span),
-                    }
-                }
-                None => {
-                    self.errors.push(ValidationError::at(
-                        ValidationErrorKind::UnknownType(tn.clone()),
-                        span,
-                    ));
-                    FrameKind::Skip
-                }
-            },
+    ) -> Frame<'src> {
+        // an unresolvable type reports only itself: no attribute checks,
+        // exactly like the tree walk (which returns before them)
+        if let ContentPlan::Unknown(type_name) = &plan.content {
+            self.errors.push(ValidationError::at(
+                ValidationErrorKind::UnknownType(type_name.clone()),
+                span,
+            ));
+            return Frame::Skip;
         }
-    }
-
-    fn complex_frame(&mut self, name: &str, type_name: &str, mixed: bool, span: Span) -> FrameKind {
-        match self.compiled.content_dfa(type_name) {
-            Ok(dfa) => FrameKind::Complex {
-                type_name: type_name.to_string(),
-                matcher: dfa.start(),
-                mixed,
-                content_ok: true,
+        if let Some(type_name) = &plan.abstract_type {
+            self.errors.push(ValidationError::at(
+                ValidationErrorKind::AbstractType(type_name.clone()),
+                span,
+            ));
+        }
+        check_attributes_declared(
+            self.compiled,
+            symbols::name(name),
+            attributes,
+            &plan.attrs,
+            Some(span),
+            &mut self.errors,
+        );
+        match &plan.content {
+            ContentPlan::Simple(_) => Frame::Simple {
+                name,
+                plan: plan.clone(),
+                text: TextBuf::Empty,
+                span,
             },
-            Err(e) => {
+            ContentPlan::Complex {
+                type_sym,
+                dfa,
+                mixed,
+            } => Frame::Complex {
+                name,
+                type_sym: *type_sym,
+                matcher: dfa.start(),
+                mixed: *mixed,
+                content_ok: true,
+                span,
+            },
+            ContentPlan::Broken(message) => {
                 self.errors.push(ValidationError::at(
                     ValidationErrorKind::SimpleType {
-                        element: name.to_string(),
-                        message: e.to_string(),
+                        element: symbols::name(name).to_string(),
+                        message: message.clone(),
                     },
                     span,
                 ));
-                FrameKind::Skip
+                Frame::Skip
             }
+            ContentPlan::Unknown(_) => unreachable!("handled above"),
         }
     }
 
-    fn on_text(&mut self, text: &str, span: Span) {
+    fn on_text(&mut self, text: TextRun<'src, '_>, span: Span) {
         // Walk inward-out: the nearest frame decides. A Skip frame defers
         // to its enclosing frames only for simple-content buffering (the
         // tree's `text_content` concatenates *descendant* text), never for
@@ -349,13 +447,12 @@ impl<'a> StreamingValidator<'a> {
             None => return,
         };
         for i in (0..=top).rev() {
-            let frame = &mut self.stack[i];
-            match &mut frame.kind {
-                FrameKind::Skip => continue,
-                FrameKind::Simple { text: buffer, .. } => buffer.push_str(text),
-                FrameKind::Complex { mixed, .. } => {
-                    if i == top && !*mixed && !text.trim().is_empty() {
-                        let element = frame.name.clone();
+            match &mut self.stack[i] {
+                Frame::Skip => continue,
+                Frame::Simple { text: buffer, .. } => buffer.push(text),
+                Frame::Complex { name, mixed, .. } => {
+                    if i == top && !*mixed && !text.as_str().trim().is_empty() {
+                        let element = symbols::name(*name).to_string();
                         self.errors.push(ValidationError::at(
                             ValidationErrorKind::TextNotAllowed { element },
                             span,
@@ -373,44 +470,56 @@ impl<'a> StreamingValidator<'a> {
             // unmatched end tag: the reader rejects this before we see it
             None => return,
         };
-        match frame.kind {
-            FrameKind::Simple { type_ref, text } => {
+        match frame {
+            Frame::Simple {
+                name,
+                plan,
+                text,
+                span,
+            } => {
+                let type_ref = match &plan.content {
+                    ContentPlan::Simple(t) => t,
+                    _ => unreachable!("Simple frames hold Simple plans"),
+                };
                 if let Err(e) = self
                     .compiled
                     .schema()
-                    .validate_simple_value(&type_ref, &text)
+                    .check_simple_value(type_ref, text.as_str())
                 {
                     self.errors.push(ValidationError::at(
                         ValidationErrorKind::SimpleType {
-                            element: frame.name,
+                            element: symbols::name(name).to_string(),
                             message: e.to_string(),
                         },
-                        frame.span,
+                        span,
                     ));
                 }
             }
-            FrameKind::Complex {
+            Frame::Complex {
+                name,
                 matcher,
                 content_ok,
+                span,
                 ..
             } => {
                 if content_ok && !matcher.is_accepting() {
                     self.errors.push(ValidationError::at(
                         ValidationErrorKind::IncompleteContent {
-                            element: frame.name,
+                            element: symbols::name(name).to_string(),
                             expected: matcher.expected(),
                         },
-                        frame.span,
+                        span,
                     ));
                 }
             }
-            FrameKind::Skip => {}
+            Frame::Skip => {}
         }
     }
 }
 
 /// Parses and validates `src` in one streaming pass, without building a
-/// tree. Parse failures surface as a trailing
+/// tree — end to end on the zero-copy path: borrowed events, symbol-keyed
+/// dispatch, borrowed text buffers. Parse failures surface as a trailing
 /// [`ValidationErrorKind::NotWellFormed`] after whatever violations the
 /// valid prefix already produced.
 pub fn validate_str_streaming(compiled: &CompiledSchema, src: &str) -> Vec<ValidationError> {
@@ -433,9 +542,9 @@ fn validate_str_streaming_inner(compiled: &CompiledSchema, src: &str) -> Vec<Val
     let mut reader = Reader::new(src);
     let mut validator = StreamingValidator::new(compiled);
     loop {
-        match reader.next_event() {
-            Ok(Event::Eof) => return validator.finish(),
-            Ok(event) => validator.feed(&event),
+        match reader.next_event_borrowed() {
+            Ok(BorrowedEvent::Eof) => return validator.finish(),
+            Ok(event) => validator.feed_borrowed(event),
             Err(e) => {
                 // into_errors() has already flushed the validator's own
                 // tallies; the synthesized well-formedness error must be
@@ -632,6 +741,26 @@ mod tests {
         }
         assert!(max_depth <= 5, "depth grew to {max_depth}");
         assert!(v.finish().is_empty());
+    }
+
+    #[test]
+    fn borrowed_and_owned_feeding_agree() {
+        // the two feeding modes run the same machinery; hold them to the
+        // same error list on a document that exercises every frame kind
+        let compiled = po();
+        let src = PURCHASE_ORDER_XML
+            .replace("orderDate=\"1999-10-20\"", "orderDate=\"soon\"")
+            .replace("<zip>90952</zip>", "<zip>nope</zip>");
+        let borrowed = validate_str_streaming(&compiled, &src);
+        let mut reader = Reader::new(src.as_str());
+        let mut v = StreamingValidator::new(&compiled);
+        loop {
+            match reader.next_event().unwrap() {
+                Event::Eof => break,
+                event => v.feed(&event),
+            }
+        }
+        assert_eq!(v.finish(), borrowed);
     }
 
     #[test]

@@ -1,4 +1,13 @@
 //! The events produced by the pull reader.
+//!
+//! Two families: the owned [`Event`] (what the tree builder and most
+//! callers consume) and the zero-copy [`BorrowedEvent`], whose names and
+//! text are slices of the source buffer. [`BorrowedEvent::into_owned`]
+//! converts one into the other; [`crate::Reader::next_event`] is exactly
+//! `next_event_borrowed().map(into_owned)`, so the two streams are
+//! identical by construction.
+
+use std::borrow::Cow;
 
 use xmlchars::Span;
 
@@ -61,4 +70,137 @@ pub enum Event {
     },
     /// End of input, after the root element closed.
     Eof,
+}
+
+/// One attribute as read from a start tag, borrowing the source buffer.
+///
+/// The name is always a slice of the source; the value is borrowed
+/// unless attribute-value normalization or entity resolution actually
+/// rewrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorrowedAttribute<'src> {
+    /// Lexical attribute name (a slice of the source).
+    pub name: &'src str,
+    /// Value after normalization; borrowed when already normal.
+    pub value: Cow<'src, str>,
+}
+
+impl BorrowedAttribute<'_> {
+    /// An owned copy of this attribute.
+    pub fn to_owned_event(&self) -> AttributeEvent {
+        AttributeEvent {
+            name: self.name.to_string(),
+            value: self.value.clone().into_owned(),
+        }
+    }
+}
+
+/// A parsing event borrowing the source buffer (`'src`) and, for start
+/// tags, the reader's reusable attribute buffer (`'buf`).
+///
+/// Produced by [`crate::Reader::next_event_borrowed`]; for documents
+/// without entity references, producing one of these performs no heap
+/// allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BorrowedEvent<'src, 'buf> {
+    /// `<name attr="v" …>` — `self_closing` distinguishes `<name/>`.
+    StartElement {
+        /// Lexical tag name (a slice of the source).
+        name: &'src str,
+        /// Attributes in document order, in the reader's reused buffer.
+        attributes: &'buf [BorrowedAttribute<'src>],
+        /// Whether the tag was `<name/>`; the reader still emits a
+        /// matching end event immediately after.
+        self_closing: bool,
+        /// Source span of the tag.
+        span: Span,
+    },
+    /// `</name>` (also synthesized after a self-closing start tag).
+    EndElement {
+        /// Lexical tag name (a slice of the source).
+        name: &'src str,
+        /// Source span of the tag.
+        span: Span,
+    },
+    /// Character data; borrowed unless entity resolution rewrote it.
+    /// CDATA sections are folded in (always borrowed).
+    Text {
+        /// Resolved text.
+        text: Cow<'src, str>,
+        /// Source span of the run.
+        span: Span,
+    },
+    /// `<!-- … -->` without the delimiters (always borrowed).
+    Comment {
+        /// Comment body.
+        text: &'src str,
+        /// Source span.
+        span: Span,
+    },
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// PI target.
+        target: &'src str,
+        /// PI data, possibly empty.
+        data: &'src str,
+        /// Source span.
+        span: Span,
+    },
+    /// End of input, after the root element closed.
+    Eof,
+}
+
+impl BorrowedEvent<'_, '_> {
+    /// Copies the event into its owned form.
+    pub fn into_owned(self) -> Event {
+        match self {
+            BorrowedEvent::StartElement {
+                name,
+                attributes,
+                self_closing,
+                span,
+            } => Event::StartElement {
+                name: name.to_string(),
+                attributes: attributes
+                    .iter()
+                    .map(BorrowedAttribute::to_owned_event)
+                    .collect(),
+                self_closing,
+                span,
+            },
+            BorrowedEvent::EndElement { name, span } => Event::EndElement {
+                name: name.to_string(),
+                span,
+            },
+            BorrowedEvent::Text { text, span } => Event::Text {
+                text: text.into_owned(),
+                span,
+            },
+            BorrowedEvent::Comment { text, span } => Event::Comment {
+                text: text.to_string(),
+                span,
+            },
+            BorrowedEvent::ProcessingInstruction { target, data, span } => {
+                Event::ProcessingInstruction {
+                    target: target.to_string(),
+                    data: data.to_string(),
+                    span,
+                }
+            }
+            BorrowedEvent::Eof => Event::Eof,
+        }
+    }
+
+    /// Whether every string in the event borrows the source buffer (the
+    /// zero-allocation case; `false` means entity expansion forced an
+    /// owned copy somewhere).
+    pub fn is_fully_borrowed(&self) -> bool {
+        match self {
+            BorrowedEvent::StartElement { attributes, .. } => attributes
+                .iter()
+                .all(|a| matches!(a.value, Cow::Borrowed(_))),
+            BorrowedEvent::Text { text, .. } => matches!(text, Cow::Borrowed(_)),
+            _ => true,
+        }
+    }
 }

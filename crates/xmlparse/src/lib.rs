@@ -19,6 +19,6 @@ pub mod reader;
 pub mod tree;
 
 pub use error::{ParseError, ParseErrorKind};
-pub use event::{AttributeEvent, Event};
+pub use event::{AttributeEvent, BorrowedAttribute, BorrowedEvent, Event};
 pub use reader::Reader;
 pub use tree::{parse_document, parse_fragment};

@@ -1,32 +1,83 @@
 //! The pull reader: a hand-written, position-tracking XML tokenizer with
 //! integrated well-formedness checking.
+//!
+//! The reader is zero-copy: [`Reader::next_event_borrowed`] yields
+//! [`BorrowedEvent`]s whose names and text are slices of the input, with
+//! `Cow` values that only become owned when entity resolution or
+//! attribute-value normalization actually rewrote something. The owned
+//! [`Reader::next_event`] is a thin `.into_owned()` over the same stream.
+//! Scan loops over character data and attribute values sweep plain ASCII
+//! byte-wise (a run of bytes in `0x20..0x80` is a run of one-column
+//! characters, so position tracking stays exact) and fall back to
+//! per-character decoding only at markup, references, controls, or
+//! non-ASCII.
+
+use std::borrow::Cow;
 
 use xmlchars::chars::{is_name_char, is_name_start_char, is_xml_char, is_xml_whitespace};
-use xmlchars::{unescape, Position, Span};
+use xmlchars::{unescape, Position, Span, UnescapeError};
 
 use crate::error::{ParseError, ParseErrorKind};
-use crate::event::{AttributeEvent, Event};
+use crate::event::{BorrowedAttribute, BorrowedEvent, Event};
+
+/// The produced event before the attribute buffer is attached — an
+/// internal form that does not borrow the reader, so bookkeeping can run
+/// between production and hand-off.
+enum RawEvent<'src> {
+    Start {
+        name: &'src str,
+        self_closing: bool,
+        span: Span,
+    },
+    End {
+        name: &'src str,
+        span: Span,
+    },
+    Text {
+        text: Cow<'src, str>,
+        span: Span,
+    },
+    Comment {
+        text: &'src str,
+        span: Span,
+    },
+    Pi {
+        target: &'src str,
+        data: &'src str,
+        span: Span,
+    },
+    Eof,
+}
 
 /// A pull parser over a complete in-memory document.
 ///
-/// Call [`Reader::next_event`] repeatedly until it returns
-/// [`Event::Eof`]. The reader enforces well-formedness: tag nesting,
-/// attribute uniqueness, character legality, a single root element, and
-/// reference syntax. Errors are fatal; after an error the reader should be
+/// Call [`Reader::next_event`] (owned) or
+/// [`Reader::next_event_borrowed`] (zero-copy) repeatedly until `Eof`.
+/// The reader enforces well-formedness: tag nesting, attribute
+/// uniqueness, character legality, a single root element, and reference
+/// syntax. Errors are fatal; after an error the reader should be
 /// discarded.
 pub struct Reader<'a> {
     src: &'a str,
     pos: Position,
-    /// Stack of open element names for nesting checks.
-    open: Vec<String>,
+    /// Stack of open element names (slices of the source) for nesting
+    /// checks.
+    open: Vec<&'a str>,
     /// Whether the root element has been seen and closed.
     root_closed: bool,
     /// Whether any root element has been opened yet.
     root_seen: bool,
     /// Queued end-element event for self-closing tags.
-    pending_end: Option<(String, Span)>,
+    pending_end: Option<(&'a str, Span)>,
+    /// Reused per-start-tag attribute storage; borrowed events slice it.
+    attr_buf: Vec<BorrowedAttribute<'a>>,
     /// Events produced so far (observability; flushed on drop).
     events_seen: u64,
+    /// Events whose every string borrowed the source (observability).
+    borrowed_events: u64,
+    /// Events that needed an owned copy — entity expansion or attribute
+    /// normalization rewrote something (observability).
+    owned_fallback: u64,
     /// Whether an event ended in a parse error (observability).
     errored: bool,
 }
@@ -49,6 +100,19 @@ impl Drop for Reader<'_> {
                 "Source bytes consumed by the parser.",
             )
             .inc_by(self.pos.offset as u64);
+        metrics
+            .counter(
+                "borrowed_events_total",
+                "Events whose strings were all zero-copy slices of the source.",
+            )
+            .inc_by(self.borrowed_events);
+        metrics
+            .counter(
+                "owned_fallback_total",
+                "Events that required an owned copy (entity expansion or \
+                 attribute-value normalization).",
+            )
+            .inc_by(self.owned_fallback);
         if self.errored {
             metrics
                 .counter(
@@ -70,7 +134,10 @@ impl<'a> Reader<'a> {
             root_closed: false,
             root_seen: false,
             pending_end: None,
+            attr_buf: Vec::new(),
             events_seen: 0,
+            borrowed_events: 0,
+            owned_fallback: 0,
             errored: false,
         }
     }
@@ -89,8 +156,9 @@ impl<'a> Reader<'a> {
         self.pos
     }
 
-    /// Names of currently open elements, outermost first.
-    pub fn open_elements(&self) -> &[String] {
+    /// Names of currently open elements, outermost first (slices of the
+    /// source).
+    pub fn open_elements(&self) -> &[&'a str] {
         &self.open
     }
 
@@ -108,6 +176,27 @@ impl<'a> Reader<'a> {
         let c = self.peek()?;
         self.pos.advance(c);
         Some(c)
+    }
+
+    /// Advances over a run of plain ASCII bytes — `0x20..0x80`, none of
+    /// `stops`. Every byte in such a run is exactly one column and one
+    /// byte and never a newline, so position tracking stays exact without
+    /// decoding; anything outside the run (markup, controls, non-ASCII)
+    /// is left for the caller's per-character path.
+    #[inline]
+    fn skip_plain_ascii(&mut self, stops: &[u8]) {
+        let bytes = self.src.as_bytes();
+        let mut i = self.pos.offset;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if !(0x20..0x80).contains(&b) || stops.contains(&b) {
+                break;
+            }
+            i += 1;
+        }
+        let run = i - self.pos.offset;
+        self.pos.offset = i;
+        self.pos.column += run as u32;
     }
 
     fn eat(&mut self, expected: char, what: &'static str) -> Result<(), ParseError> {
@@ -149,7 +238,7 @@ impl<'a> Reader<'a> {
         ParseError::new(kind, at)
     }
 
-    fn read_name(&mut self) -> Result<String, ParseError> {
+    fn read_name(&mut self) -> Result<&'a str, ParseError> {
         let start = self.pos.offset;
         match self.peek() {
             Some(c) if is_name_start_char(c) => {
@@ -168,26 +257,84 @@ impl<'a> Reader<'a> {
         while matches!(self.peek(), Some(c) if is_name_char(c)) {
             self.bump();
         }
-        Ok(self.src[start..self.pos.offset].to_string())
+        Ok(&self.src[start..self.pos.offset])
     }
 
     // ---- event production ----------------------------------------------
 
-    /// Produces the next event.
+    /// Produces the next event, owned. Exactly
+    /// [`next_event_borrowed`](Self::next_event_borrowed) plus
+    /// [`BorrowedEvent::into_owned`].
     pub fn next_event(&mut self) -> Result<Event, ParseError> {
-        let result = self.next_event_inner();
-        match &result {
-            Ok(Event::Eof) => {}
-            Ok(_) => self.events_seen += 1,
-            Err(_) => self.errored = true,
-        }
-        result
+        self.next_event_borrowed().map(BorrowedEvent::into_owned)
     }
 
-    fn next_event_inner(&mut self) -> Result<Event, ParseError> {
+    /// Produces the next event as zero-copy slices of the source.
+    ///
+    /// The returned event borrows the reader (its attribute buffer is
+    /// reused between start tags), so it must be dropped before the next
+    /// call — the natural shape of a pull loop.
+    pub fn next_event_borrowed(&mut self) -> Result<BorrowedEvent<'a, '_>, ParseError> {
+        let raw = match self.next_event_inner() {
+            Ok(raw) => raw,
+            Err(e) => {
+                self.errored = true;
+                return Err(e);
+            }
+        };
+        match &raw {
+            RawEvent::Eof => {}
+            RawEvent::Text {
+                text: Cow::Owned(_),
+                ..
+            } => {
+                self.events_seen += 1;
+                self.owned_fallback += 1;
+            }
+            RawEvent::Start { .. }
+                if self
+                    .attr_buf
+                    .iter()
+                    .any(|a| matches!(a.value, Cow::Owned(_))) =>
+            {
+                self.events_seen += 1;
+                self.owned_fallback += 1;
+            }
+            _ => {
+                self.events_seen += 1;
+                self.borrowed_events += 1;
+            }
+        }
+        Ok(self.materialize(raw))
+    }
+
+    /// Attaches the shared attribute buffer to a raw start event.
+    fn materialize(&self, raw: RawEvent<'a>) -> BorrowedEvent<'a, '_> {
+        match raw {
+            RawEvent::Start {
+                name,
+                self_closing,
+                span,
+            } => BorrowedEvent::StartElement {
+                name,
+                attributes: &self.attr_buf,
+                self_closing,
+                span,
+            },
+            RawEvent::End { name, span } => BorrowedEvent::EndElement { name, span },
+            RawEvent::Text { text, span } => BorrowedEvent::Text { text, span },
+            RawEvent::Comment { text, span } => BorrowedEvent::Comment { text, span },
+            RawEvent::Pi { target, data, span } => {
+                BorrowedEvent::ProcessingInstruction { target, data, span }
+            }
+            RawEvent::Eof => BorrowedEvent::Eof,
+        }
+    }
+
+    fn next_event_inner(&mut self) -> Result<RawEvent<'a>, ParseError> {
         if let Some((name, span)) = self.pending_end.take() {
-            self.finish_element(&name)?;
-            return Ok(Event::EndElement { name, span });
+            self.finish_element(name)?;
+            return Ok(RawEvent::End { name, span });
         }
         // Outside the root element, skip whitespace-only text.
         if self.open.is_empty() {
@@ -205,17 +352,19 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn finish_document(&mut self) -> Result<Event, ParseError> {
+    fn finish_document(&mut self) -> Result<RawEvent<'a>, ParseError> {
         if !self.open.is_empty() {
-            return Err(self.err(ParseErrorKind::UnclosedElements(self.open.clone())));
+            return Err(self.err(ParseErrorKind::UnclosedElements(
+                self.open.iter().map(|s| s.to_string()).collect(),
+            )));
         }
         if !self.root_seen {
             return Err(self.err(ParseErrorKind::NoRootElement));
         }
-        Ok(Event::Eof)
+        Ok(RawEvent::Eof)
     }
 
-    fn read_markup(&mut self) -> Result<Event, ParseError> {
+    fn read_markup(&mut self) -> Result<RawEvent<'a>, ParseError> {
         let start = self.pos;
         self.eat('<', "markup")?;
         match self.peek() {
@@ -240,12 +389,12 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn read_start_tag(&mut self, start: Position) -> Result<Event, ParseError> {
+    fn read_start_tag(&mut self, start: Position) -> Result<RawEvent<'a>, ParseError> {
         if self.root_closed && self.open.is_empty() {
             return Err(self.err_at(ParseErrorKind::TrailingContent, start));
         }
         let name = self.read_name()?;
-        let mut attributes: Vec<AttributeEvent> = Vec::new();
+        self.attr_buf.clear();
         loop {
             let had_space = matches!(self.peek(), Some(c) if is_xml_whitespace(c));
             self.skip_whitespace();
@@ -258,12 +407,11 @@ impl<'a> Reader<'a> {
                     self.bump();
                     self.eat('>', "self-closing tag")?;
                     let span = Span::new(start, self.pos);
-                    self.open.push(name.clone());
+                    self.open.push(name);
                     self.root_seen = true;
-                    self.pending_end = Some((name.clone(), span));
-                    return Ok(Event::StartElement {
+                    self.pending_end = Some((name, span));
+                    return Ok(RawEvent::Start {
                         name,
-                        attributes,
                         self_closing: true,
                         span,
                     });
@@ -276,10 +424,12 @@ impl<'a> Reader<'a> {
                         }));
                     }
                     let attr = self.read_attribute()?;
-                    if attributes.iter().any(|a| a.name == attr.name) {
-                        return Err(self.err(ParseErrorKind::DuplicateAttribute(attr.name)));
+                    if self.attr_buf.iter().any(|a| a.name == attr.name) {
+                        return Err(
+                            self.err(ParseErrorKind::DuplicateAttribute(attr.name.to_string()))
+                        );
                     }
-                    attributes.push(attr);
+                    self.attr_buf.push(attr);
                 }
                 Some(c) => {
                     return Err(self.err(ParseErrorKind::Expected {
@@ -295,17 +445,16 @@ impl<'a> Reader<'a> {
             }
         }
         let span = Span::new(start, self.pos);
-        self.open.push(name.clone());
+        self.open.push(name);
         self.root_seen = true;
-        Ok(Event::StartElement {
+        Ok(RawEvent::Start {
             name,
-            attributes,
             self_closing: false,
             span,
         })
     }
 
-    fn read_attribute(&mut self) -> Result<AttributeEvent, ParseError> {
+    fn read_attribute(&mut self) -> Result<BorrowedAttribute<'a>, ParseError> {
         let name = self.read_name()?;
         self.skip_whitespace();
         self.eat('=', "'=' in attribute")?;
@@ -329,6 +478,7 @@ impl<'a> Reader<'a> {
         };
         let start = self.pos.offset;
         loop {
+            self.skip_plain_ascii(&[quote as u8, b'<']);
             match self.peek() {
                 Some(c) if c == quote => break,
                 Some('<') => {
@@ -350,31 +500,18 @@ impl<'a> Reader<'a> {
         }
         let raw = &self.src[start..self.pos.offset];
         self.bump(); // closing quote
-                     // Attribute-value normalization: tabs and newlines become spaces
-                     // (XML 1.0 §3.3.3), then references are resolved.
-        let normalized: String = raw
-            .chars()
-            .map(|c| {
-                if matches!(c, '\t' | '\n' | '\r') {
-                    ' '
-                } else {
-                    c
-                }
-            })
-            .collect();
-        let value = unescape(&normalized)
-            .map_err(|e| self.err(ParseErrorKind::Reference(e)))?
-            .into_owned();
-        Ok(AttributeEvent { name, value })
+        let value =
+            normalize_attr_value(raw).map_err(|e| self.err(ParseErrorKind::Reference(e)))?;
+        Ok(BorrowedAttribute { name, value })
     }
 
-    fn read_end_tag(&mut self, start: Position) -> Result<Event, ParseError> {
+    fn read_end_tag(&mut self, start: Position) -> Result<RawEvent<'a>, ParseError> {
         let name = self.read_name()?;
         self.skip_whitespace();
         self.eat('>', "end tag")?;
         let span = Span::new(start, self.pos);
-        self.finish_element(&name)?;
-        Ok(Event::EndElement { name, span })
+        self.finish_element(name)?;
+        Ok(RawEvent::End { name, span })
     }
 
     fn finish_element(&mut self, name: &str) -> Result<(), ParseError> {
@@ -386,42 +523,42 @@ impl<'a> Reader<'a> {
                 Ok(())
             }
             Some(open) => Err(self.err(ParseErrorKind::MismatchedTag {
-                open,
+                open: open.to_string(),
                 close: name.to_string(),
             })),
             None => Err(self.err(ParseErrorKind::UnmatchedEndTag(name.to_string()))),
         }
     }
 
-    fn read_text(&mut self) -> Result<Event, ParseError> {
+    fn read_text(&mut self) -> Result<RawEvent<'a>, ParseError> {
         let start = self.pos;
         let begin = self.pos.offset;
-        while let Some(c) = self.peek() {
-            if c == '<' {
-                break;
+        loop {
+            self.skip_plain_ascii(b"<]");
+            match self.peek() {
+                Some('<') | None => break,
+                Some(']') if self.rest().starts_with("]]>") => {
+                    return Err(self.err(ParseErrorKind::IllegalSequence("]]>")));
+                }
+                Some(c) if !is_xml_char(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
+                Some(_) => {
+                    self.bump();
+                }
             }
-            if !is_xml_char(c) {
-                return Err(self.err(ParseErrorKind::IllegalChar(c)));
-            }
-            if c == ']' && self.rest().starts_with("]]>") {
-                return Err(self.err(ParseErrorKind::IllegalSequence("]]>")));
-            }
-            self.bump();
         }
         let raw = &self.src[begin..self.pos.offset];
-        let text = unescape(raw)
-            .map_err(|e| self.err(ParseErrorKind::Reference(e)))?
-            .into_owned();
-        Ok(Event::Text {
+        let text = unescape(raw).map_err(|e| self.err(ParseErrorKind::Reference(e)))?;
+        Ok(RawEvent::Text {
             text,
             span: Span::new(start, self.pos),
         })
     }
 
-    fn read_comment(&mut self, start: Position) -> Result<Event, ParseError> {
+    fn read_comment(&mut self, start: Position) -> Result<RawEvent<'a>, ParseError> {
         self.eat_str("--", "comment opener")?;
         let begin = self.pos.offset;
         loop {
+            self.skip_plain_ascii(b"-");
             if self.rest().starts_with("-->") {
                 break;
             }
@@ -436,21 +573,22 @@ impl<'a> Reader<'a> {
                 None => return Err(self.err(ParseErrorKind::UnexpectedEof { context: "comment" })),
             }
         }
-        let text = self.src[begin..self.pos.offset].to_string();
+        let text = &self.src[begin..self.pos.offset];
         self.eat_str("-->", "comment closer")?;
-        Ok(Event::Comment {
+        Ok(RawEvent::Comment {
             text,
             span: Span::new(start, self.pos),
         })
     }
 
-    fn read_cdata(&mut self, start: Position) -> Result<Event, ParseError> {
+    fn read_cdata(&mut self, start: Position) -> Result<RawEvent<'a>, ParseError> {
         self.eat_str("[CDATA[", "CDATA opener")?;
         if self.open.is_empty() {
             return Err(self.err_at(ParseErrorKind::TrailingContent, start));
         }
         let begin = self.pos.offset;
         loop {
+            self.skip_plain_ascii(b"]");
             if self.rest().starts_with("]]>") {
                 break;
             }
@@ -466,15 +604,15 @@ impl<'a> Reader<'a> {
                 }
             }
         }
-        let text = self.src[begin..self.pos.offset].to_string();
+        let text = &self.src[begin..self.pos.offset];
         self.eat_str("]]>", "CDATA closer")?;
-        Ok(Event::Text {
-            text,
+        Ok(RawEvent::Text {
+            text: Cow::Borrowed(text),
             span: Span::new(start, self.pos),
         })
     }
 
-    fn read_pi(&mut self, start: Position) -> Result<Event, ParseError> {
+    fn read_pi(&mut self, start: Position) -> Result<RawEvent<'a>, ParseError> {
         self.eat('?', "processing instruction")?;
         let target = self.read_name()?;
         if target.eq_ignore_ascii_case("xml") && start.offset != 0 {
@@ -486,6 +624,7 @@ impl<'a> Reader<'a> {
         self.skip_whitespace();
         let begin = self.pos.offset;
         loop {
+            self.skip_plain_ascii(b"?");
             if self.rest().starts_with("?>") {
                 break;
             }
@@ -501,7 +640,7 @@ impl<'a> Reader<'a> {
                 }
             }
         }
-        let data = self.src[begin..self.pos.offset].to_string();
+        let data = &self.src[begin..self.pos.offset];
         self.eat_str("?>", "PI closer")?;
         let span = Span::new(start, self.pos);
         if target.eq_ignore_ascii_case("xml") {
@@ -509,8 +648,29 @@ impl<'a> Reader<'a> {
             // (the inner form, so the wrapper counts the event only once).
             return self.next_event_inner();
         }
-        Ok(Event::ProcessingInstruction { target, data, span })
+        Ok(RawEvent::Pi { target, data, span })
     }
+}
+
+/// Attribute-value normalization (XML 1.0 §3.3.3): tabs and newlines
+/// become spaces, then references are resolved. Borrows when the value
+/// needed neither — the zero-copy fast path. The whitespace substitution
+/// is byte-for-byte, so reference-error offsets are unaffected by it.
+fn normalize_attr_value(raw: &str) -> Result<Cow<'_, str>, UnescapeError> {
+    if raw.bytes().any(|b| matches!(b, b'\t' | b'\n' | b'\r')) {
+        let normalized: String = raw
+            .chars()
+            .map(|c| {
+                if matches!(c, '\t' | '\n' | '\r') {
+                    ' '
+                } else {
+                    c
+                }
+            })
+            .collect();
+        return Ok(Cow::Owned(unescape(&normalized)?.into_owned()));
+    }
+    unescape(raw)
 }
 
 #[cfg(test)]
@@ -566,6 +726,68 @@ mod tests {
                 assert_eq!(attributes[2].value, "a b"); // tab normalized
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_events_slice_the_source() {
+        let src = "<a x=\"plain\">text</a>";
+        let mut r = Reader::new(src);
+        match r.next_event_borrowed().unwrap() {
+            BorrowedEvent::StartElement {
+                name, attributes, ..
+            } => {
+                assert_eq!(name, "a");
+                assert!(matches!(attributes[0].value, Cow::Borrowed(_)));
+                assert_eq!(attributes[0].value, "plain");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match r.next_event_borrowed().unwrap() {
+            BorrowedEvent::Text { text, .. } => {
+                assert!(matches!(text, Cow::Borrowed(_)));
+                assert_eq!(text, "text");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entity_values_fall_back_to_owned() {
+        let mut r = Reader::new("<a x=\"1 &amp; 2\">a &lt; b</a>");
+        match r.next_event_borrowed().unwrap() {
+            BorrowedEvent::StartElement { attributes, .. } => {
+                assert!(matches!(attributes[0].value, Cow::Owned(_)));
+                assert_eq!(attributes[0].value, "1 & 2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match r.next_event_borrowed().unwrap() {
+            BorrowedEvent::Text { text, .. } => {
+                assert!(matches!(text, Cow::Owned(_)));
+                assert_eq!(text, "a < b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_stream_matches_owned_stream() {
+        let src = "<?xml version=\"1.0\"?><root a=\"v\">\n  <child b='1 &gt; 0'>x &amp; y</child>\n  <!-- note --><![CDATA[raw <>]]><?pi data?>\n  <empty/>\n</root>";
+        let mut owned = Vec::new();
+        let mut r = Reader::new(src);
+        loop {
+            let e = r.next_event().unwrap();
+            let done = e == Event::Eof;
+            owned.push(e);
+            if done {
+                break;
+            }
+        }
+        let mut r = Reader::new(src);
+        for expect in &owned {
+            let got = r.next_event_borrowed().unwrap().into_owned();
+            assert_eq!(&got, expect);
         }
     }
 
@@ -645,6 +867,29 @@ mod tests {
     fn positions_track_lines() {
         let err = events("<a>\n  <b>\n</a>").unwrap_err();
         assert_eq!(err.position.line, 3);
+    }
+
+    #[test]
+    fn positions_track_lines_through_multiline_text_and_values() {
+        // newlines inside text runs and attribute values go through the
+        // byte-sweep fast path's slow lane; line accounting must survive
+        let err = events("<a v=\"one\ntwo\">line\nline\nline<b>\n</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedTag { .. }));
+        assert_eq!(err.position.line, 5);
+    }
+
+    #[test]
+    fn non_ascii_text_positions_count_chars() {
+        // '€' is one column but three bytes; a following error must sit
+        // at the character-accurate column
+        let evs = events("<a>€€€</a>").unwrap();
+        match &evs[1] {
+            Event::Text { text, span } => {
+                assert_eq!(text, "€€€");
+                assert_eq!(span.end.column, span.start.column + 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

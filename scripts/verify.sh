@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> zero-copy pipeline gates (allocation smoke + differential props)"
+# The alloc smoke asserts 0 heap allocations per event on entity-free
+# documents; the zero-copy props hold borrowed ≡ owned event streams and
+# streaming ≡ tree validation across the corpora.
+cargo test -q -p integration-tests --test alloc_smoke --test zero_copy_prop
+
 echo "==> cargo build --release -p examples --bins"
 cargo build --release -p examples --bins
 
@@ -18,6 +24,8 @@ out="$(cargo run -q --release -p examples --bin xmlstat)"
 for needle in "xmlparse_events_total" "schema_compile_seconds" \
     "validator_tree_seconds" "validator_stream_seconds" \
     "pxml_templates_checked_total" "registry_validate_seconds" \
+    "borrowed_events_total" "owned_fallback_total" \
+    "symbols_interned_total" "symbol_table_bytes" \
     "# TYPE xmlparse_events_total counter"; do
   if ! grep -q "$needle" <<<"$out"; then
     echo "xmlstat output is missing '$needle'" >&2

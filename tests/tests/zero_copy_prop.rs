@@ -1,0 +1,234 @@
+//! Differential property tests for the zero-copy pipeline: the borrowed
+//! event stream must be *identical* (names, attributes, text, spans) to
+//! the owned stream on any input, and streaming validation over borrowed
+//! events — sequential or fanned out over a thread pool — must produce
+//! the same error lists as the tree validator.
+//!
+//! These properties are what let the reader and validator take the
+//! allocation-free fast path without a correctness tax: if a byte-sweep
+//! scan loop or a symbol-table lookup ever diverged from the slow string
+//! path, one of these tests would present the offending document.
+
+use pool::ThreadPool;
+use proptest::prelude::*;
+use schema::corpus::{PURCHASE_ORDER_XML, PURCHASE_ORDER_XSD, WML_XSD};
+use schema::CompiledSchema;
+use validator::{validate_document, validate_str_streaming, ValidationError};
+use webgen::SchemaRegistry;
+use xmlparse::{Event, Reader};
+
+fn po() -> CompiledSchema {
+    CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap()
+}
+
+fn wml() -> CompiledSchema {
+    CompiledSchema::parse(WML_XSD).unwrap()
+}
+
+/// Pulls the full owned-event stream (or the error that ended it).
+fn owned_stream(src: &str) -> Result<Vec<Event>, String> {
+    let mut reader = Reader::new(src);
+    let mut events = Vec::new();
+    loop {
+        match reader.next_event() {
+            Ok(Event::Eof) => {
+                events.push(Event::Eof);
+                return Ok(events);
+            }
+            Ok(e) => events.push(e),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Pulls the borrowed-event stream, converting each event to owned for
+/// comparison, and asserting the borrow classification is sound: every
+/// event over an entity-free document must be fully borrowed.
+fn borrowed_stream(src: &str) -> Result<Vec<Event>, String> {
+    let entity_free = !src.contains('&');
+    let mut reader = Reader::new(src);
+    let mut events = Vec::new();
+    loop {
+        match reader.next_event_borrowed() {
+            Ok(e) => {
+                if entity_free && !matches!(e, xmlparse::BorrowedEvent::Eof) {
+                    // attribute normalization (tab/newline) is the one
+                    // non-entity owner; only assert when values are clean
+                    let clean_values =
+                        !src.contains('\t') && !src.contains('\n') && !src.contains('\r');
+                    if clean_values {
+                        assert!(e.is_fully_borrowed(), "owned copy without entities: {e:?}");
+                    }
+                }
+                let done = matches!(e, xmlparse::BorrowedEvent::Eof);
+                events.push(e.into_owned());
+                if done {
+                    return Ok(events);
+                }
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Streaming and tree validation must agree on well-formed input; returns
+/// the error list.
+fn agree(c: &CompiledSchema, src: &str) -> Vec<ValidationError> {
+    let streamed = validate_str_streaming(c, src);
+    let doc = xmlparse::parse_document(src).expect("well-formed input");
+    let treed = validate_document(c, &doc);
+    assert_eq!(streamed, treed, "validators disagree on:\n{src}");
+    streamed
+}
+
+/// Purchase-order mutations, each of which individually invalidates the
+/// paper's Fig. 1 document while keeping it well-formed.
+const PO_MUTATIONS: &[(&str, &str)] = &[
+    ("<zip>90952</zip>", "<zip>not a number</zip>"),
+    ("partNum=\"872-AA\"", "partNum=\"oops\""),
+    ("<quantity>1</quantity>", "<quantity>900</quantity>"),
+    ("country=\"US\"", "country=\"DE\""),
+    ("orderDate=\"1999-10-20\"", "orderDate=\"soon\""),
+    ("<state>CA</state>", ""),
+    ("<city>Mill Valley</city>", "<town>Mill Valley</town>"),
+    ("<items>", "<items>loose text"),
+    (
+        "<purchaseOrder orderDate",
+        "<purchaseOrder bogus=\"1\" orderDate",
+    ),
+    (" partNum=\"926-AA\"", ""),
+];
+
+/// A batch mixing valid and mutated orders, deterministically from seeds.
+fn mixed_batch(seeds: &[u64]) -> Vec<String> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            if seed % 3 == 0 {
+                let (from, to) = PO_MUTATIONS[(seed as usize / 3) % PO_MUTATIONS.len()];
+                PURCHASE_ORDER_XML.replace(from, to)
+            } else {
+                let order = webgen::generate_order(seed, (seed % 7) as usize);
+                webgen::render_order_string(&order)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Borrowed events ≡ owned events on generated (valid) orders.
+    #[test]
+    fn borrowed_stream_matches_owned_on_orders(seed in 0u64..500, items in 0usize..15) {
+        let order = webgen::generate_order(seed, items);
+        let xml = webgen::render_order_string(&order);
+        prop_assert_eq!(owned_stream(&xml), borrowed_stream(&xml));
+    }
+
+    /// Borrowed events ≡ owned events on mutated paper documents.
+    #[test]
+    fn borrowed_stream_matches_owned_on_mutations(
+        picks in prop::collection::vec(0usize..10, 1..3),
+    ) {
+        let mut src = PURCHASE_ORDER_XML.to_string();
+        for &pick in &picks {
+            let (from, to) = PO_MUTATIONS[pick];
+            src = src.replace(from, to);
+        }
+        prop_assert_eq!(owned_stream(&src), borrowed_stream(&src));
+    }
+
+    /// Borrowed events ≡ owned events on rendered WML pages over
+    /// markup-hostile directory names (entity escapes force the owned
+    /// fallback — both streams must resolve them identically).
+    #[test]
+    fn borrowed_stream_matches_owned_on_wml(
+        dirs in prop::collection::vec("[a-zA-Z0-9 <>&\"']{1,12}", 0..6),
+    ) {
+        let data = webgen::DirectoryPageData {
+            sub_dirs: dirs,
+            current_dir: "/media/archive".into(),
+            parent_dir: "/media".into(),
+        };
+        let page = webgen::render_string(&data);
+        prop_assert_eq!(owned_stream(&page), borrowed_stream(&page));
+    }
+
+    /// Borrowed events ≡ owned events on arbitrary inputs, including
+    /// non-ASCII, controls, and malformed markup — same events *and* the
+    /// same error at the same point.
+    #[test]
+    fn borrowed_stream_matches_owned_on_arbitrary(input in ".{0,64}") {
+        prop_assert_eq!(owned_stream(&input), borrowed_stream(&input));
+    }
+
+    /// Streaming over borrowed events ≡ tree validation, on valid and
+    /// mutated purchase orders (the zero-copy twin of streaming_prop's
+    /// agreement property, now exercising the symbol-dispatch path).
+    #[test]
+    fn zero_copy_validation_agrees_with_tree(
+        picks in prop::collection::vec(0usize..10, 0..3),
+    ) {
+        let c = po();
+        let mut src = PURCHASE_ORDER_XML.to_string();
+        for &pick in &picks {
+            let (from, to) = PO_MUTATIONS[pick];
+            src = src.replace(from, to);
+        }
+        let errors = agree(&c, &src);
+        if picks.is_empty() {
+            prop_assert!(errors.is_empty(), "{errors:#?}");
+        }
+    }
+
+    /// Same agreement on WML pages over hostile names.
+    #[test]
+    fn zero_copy_validation_agrees_on_wml(
+        dirs in prop::collection::vec("[a-zA-Z0-9 <>&\"']{1,12}", 0..6),
+    ) {
+        let c = wml();
+        let data = webgen::DirectoryPageData {
+            sub_dirs: dirs,
+            current_dir: "/media/archive".into(),
+            parent_dir: "/media".into(),
+        };
+        let errors = agree(&c, &webgen::render_string(&data));
+        prop_assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    /// Batch validation through the registry at 1 and 8 threads: both
+    /// must equal the per-document sequential truth, document by
+    /// document, for batches mixing valid and invalid orders.
+    #[test]
+    fn parallel_batches_agree_at_one_and_eight_threads(
+        seeds in prop::collection::vec(0u64..1000, 1..12),
+    ) {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let compiled = reg.get("purchase-order").unwrap();
+        let batch = mixed_batch(&seeds);
+        let docs: Vec<&str> = batch.iter().map(String::as_str).collect();
+        let expected: Vec<Vec<ValidationError>> = docs
+            .iter()
+            .map(|d| validate_str_streaming(&compiled, d))
+            .collect();
+        for threads in [1, 8] {
+            let pool = ThreadPool::new(threads);
+            let got = reg
+                .validate_batch_parallel("purchase-order", &docs, &pool)
+                .unwrap();
+            prop_assert_eq!(&got, &expected, "thread count {}", threads);
+        }
+    }
+}
+
+/// The paper's own document, end to end on both paths — a deterministic
+/// anchor alongside the generated cases.
+#[test]
+fn paper_document_identical_on_both_paths() {
+    assert_eq!(
+        owned_stream(PURCHASE_ORDER_XML),
+        borrowed_stream(PURCHASE_ORDER_XML)
+    );
+    assert!(agree(&po(), PURCHASE_ORDER_XML).is_empty());
+}
