@@ -1,0 +1,448 @@
+//! Resource governance for the validation pipeline: per-document budgets,
+//! deadlines, and cooperative cancellation.
+//!
+//! The fast path built in earlier revisions assumes well-behaved input; a
+//! production deployment does not get that luxury. A single hostile
+//! document — pathological nesting, a megabyte attribute list, a flood of
+//! entity references — must cost a bounded amount of CPU and memory and
+//! then be rejected with a *typed* error, never a panic, an OOM, or a
+//! stalled worker.
+//!
+//! [`Limits`] is the budget record threaded through the whole pipeline:
+//!
+//! * `xmlparse::Reader` enforces the parse-side budgets (input size,
+//!   element depth, attribute count and value length, entity-expansion
+//!   volume);
+//! * `validator::StreamingValidator` enforces the collection-side budgets
+//!   (maximum collected errors, deadline, cancellation);
+//! * `webgen::SchemaRegistry` batch entry points check the deadline /
+//!   [`CancelToken`] between documents so a parallel batch can be aborted
+//!   cleanly mid-flight.
+//!
+//! A tripped budget surfaces as a [`ResourceErrorKind`] — deliberately
+//! distinct from well-formedness and validity errors, because the
+//! document was not proven wrong, the *checking* was stopped. Every trip
+//! is counted in the `limit_trips_total` metric (labelled by kind).
+//!
+//! [`Limits::default`] is tuned so that legitimate documents never
+//! notice the governor (the corpora of benches B1–B10 validate
+//! byte-identically with it), while each committed hostile corpus
+//! document under `tests/corpora/hostile/` trips it in well under 100ms.
+//! [`Limits::unbounded`] reproduces pre-governance behavior exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A budget violation: which limit tripped, with enough context to log a
+/// useful rejection. Embedded in `xmlparse::ParseErrorKind::Resource`
+/// (with the position where the budget tripped) and
+/// `validator::ValidationErrorKind::Resource` (with the span).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceErrorKind {
+    /// The document exceeds the input-size budget before parsing starts.
+    InputTooLarge {
+        /// The configured ceiling, in bytes.
+        limit: usize,
+        /// The document's actual size, in bytes.
+        actual: usize,
+    },
+    /// Element nesting deeper than the depth budget.
+    DepthExceeded {
+        /// The configured ceiling on open elements.
+        limit: usize,
+    },
+    /// More attributes on one element than the attribute budget.
+    TooManyAttributes {
+        /// The configured per-element ceiling.
+        limit: usize,
+    },
+    /// One attribute value longer (raw bytes) than the value budget.
+    AttributeValueTooLong {
+        /// The configured ceiling, in bytes.
+        limit: usize,
+        /// The offending value's raw length, in bytes.
+        actual: usize,
+    },
+    /// More entity/character references resolved than the expansion
+    /// budget — the billion-laughs guard. (DTD entity definitions are
+    /// rejected outright by the parser, so amplification here can only
+    /// come from reference *flooding*; the count cap bounds it.)
+    TooManyExpansions {
+        /// The configured per-document ceiling on resolved references.
+        limit: u64,
+    },
+    /// Cumulative expansion output larger than the amplification budget.
+    ExpansionTooLarge {
+        /// The configured ceiling on expanded bytes.
+        limit: usize,
+    },
+    /// The validator hit its error-collection cap; the error list is the
+    /// exact prefix of the unbounded run, ending with this marker.
+    TooManyErrors {
+        /// The configured ceiling on collected errors.
+        limit: usize,
+    },
+    /// The per-request deadline passed before validation finished.
+    DeadlineExceeded,
+    /// The request's [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl ResourceErrorKind {
+    /// A stable, payload-free name for this kind — the `kind` label of
+    /// the `limit_trips_total` metric.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResourceErrorKind::InputTooLarge { .. } => "InputTooLarge",
+            ResourceErrorKind::DepthExceeded { .. } => "DepthExceeded",
+            ResourceErrorKind::TooManyAttributes { .. } => "TooManyAttributes",
+            ResourceErrorKind::AttributeValueTooLong { .. } => "AttributeValueTooLong",
+            ResourceErrorKind::TooManyExpansions { .. } => "TooManyExpansions",
+            ResourceErrorKind::ExpansionTooLarge { .. } => "ExpansionTooLarge",
+            ResourceErrorKind::TooManyErrors { .. } => "TooManyErrors",
+            ResourceErrorKind::DeadlineExceeded => "DeadlineExceeded",
+            ResourceErrorKind::Cancelled => "Cancelled",
+        }
+    }
+}
+
+impl fmt::Display for ResourceErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceErrorKind::InputTooLarge { limit, actual } => {
+                write!(f, "input is {actual} bytes, over the {limit}-byte budget")
+            }
+            ResourceErrorKind::DepthExceeded { limit } => {
+                write!(f, "element nesting deeper than the budget of {limit}")
+            }
+            ResourceErrorKind::TooManyAttributes { limit } => {
+                write!(f, "more than {limit} attributes on one element")
+            }
+            ResourceErrorKind::AttributeValueTooLong { limit, actual } => {
+                write!(
+                    f,
+                    "attribute value is {actual} bytes, over the {limit}-byte budget"
+                )
+            }
+            ResourceErrorKind::TooManyExpansions { limit } => {
+                write!(f, "more than {limit} entity/character references resolved")
+            }
+            ResourceErrorKind::ExpansionTooLarge { limit } => {
+                write!(f, "entity expansion produced more than {limit} bytes")
+            }
+            ResourceErrorKind::TooManyErrors { limit } => {
+                write!(f, "more than {limit} errors collected; checking stopped")
+            }
+            ResourceErrorKind::DeadlineExceeded => write!(f, "validation deadline exceeded"),
+            ResourceErrorKind::Cancelled => write!(f, "validation cancelled"),
+        }
+    }
+}
+
+/// A shared cancellation flag: clone it into every worker touching a
+/// request, flip it once from anywhere, and every holder observes the
+/// cancellation at its next between-documents check. Cloning shares the
+/// flag (`Arc`-backed); cancellation is sticky.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// The per-document/per-request resource budget.
+///
+/// All fields are public and the `with_*` builders are sugar; a ceiling
+/// of `usize::MAX` / `u64::MAX` (as set by [`Limits::unbounded`])
+/// disables the corresponding check.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum document size in bytes, checked before parsing starts.
+    pub max_input_bytes: usize,
+    /// Maximum depth of open elements.
+    pub max_depth: usize,
+    /// Maximum attributes on a single element.
+    pub max_attributes: usize,
+    /// Maximum raw byte length of a single attribute value.
+    pub max_attr_value_bytes: usize,
+    /// Maximum entity/character references resolved per document.
+    pub max_entity_expansions: u64,
+    /// Maximum cumulative bytes produced by reference expansion per
+    /// document (the amplification guard).
+    pub max_expansion_bytes: usize,
+    /// Maximum validation errors collected before checking stops.
+    pub max_errors: usize,
+    /// Absolute deadline; work stops at the next check once passed.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation; work stops at the next check once
+    /// cancelled.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Default for Limits {
+    /// Production-sane ceilings: far above anything a legitimate document
+    /// in the corpora produces, far below what a hostile document needs.
+    fn default() -> Limits {
+        Limits {
+            max_input_bytes: 64 << 20,
+            max_depth: 1024,
+            max_attributes: 4096,
+            max_attr_value_bytes: 64 << 10,
+            max_entity_expansions: 10_000,
+            max_expansion_bytes: 1 << 20,
+            max_errors: 1000,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+impl Limits {
+    /// Every ceiling at its maximum, no deadline, no cancellation —
+    /// byte-identical to pre-governance behavior.
+    pub fn unbounded() -> Limits {
+        Limits {
+            max_input_bytes: usize::MAX,
+            max_depth: usize::MAX,
+            max_attributes: usize::MAX,
+            max_attr_value_bytes: usize::MAX,
+            max_entity_expansions: u64::MAX,
+            max_expansion_bytes: usize::MAX,
+            max_errors: usize::MAX,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Replaces the input-size ceiling.
+    pub fn with_max_input_bytes(mut self, n: usize) -> Limits {
+        self.max_input_bytes = n;
+        self
+    }
+
+    /// Replaces the element-depth ceiling.
+    pub fn with_max_depth(mut self, n: usize) -> Limits {
+        self.max_depth = n;
+        self
+    }
+
+    /// Replaces the per-element attribute-count ceiling.
+    pub fn with_max_attributes(mut self, n: usize) -> Limits {
+        self.max_attributes = n;
+        self
+    }
+
+    /// Replaces the attribute-value length ceiling.
+    pub fn with_max_attr_value_bytes(mut self, n: usize) -> Limits {
+        self.max_attr_value_bytes = n;
+        self
+    }
+
+    /// Replaces the reference-count ceiling.
+    pub fn with_max_entity_expansions(mut self, n: u64) -> Limits {
+        self.max_entity_expansions = n;
+        self
+    }
+
+    /// Replaces the expansion-output ceiling.
+    pub fn with_max_expansion_bytes(mut self, n: usize) -> Limits {
+        self.max_expansion_bytes = n;
+        self
+    }
+
+    /// Replaces the error-collection ceiling.
+    pub fn with_max_errors(mut self, n: usize) -> Limits {
+        self.max_errors = n;
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, at: Instant) -> Limits {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Sets the deadline `d` from now.
+    pub fn with_deadline_in(self, d: Duration) -> Limits {
+        self.with_deadline(Instant::now() + d)
+    }
+
+    /// Attaches a cancellation token (a clone; the caller keeps theirs).
+    pub fn with_cancel_token(mut self, token: &CancelToken) -> Limits {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Whether this budget carries a deadline or a cancellation token at
+    /// all — lets hot loops skip the clock entirely when it does not.
+    pub fn has_clock(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// The budget's time/cancellation state: `Some(kind)` once the token
+    /// is cancelled ([`ResourceErrorKind::Cancelled`]) or the deadline
+    /// has passed ([`ResourceErrorKind::DeadlineExceeded`]).
+    pub fn expired_kind(&self) -> Option<ResourceErrorKind> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(ResourceErrorKind::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(ResourceErrorKind::DeadlineExceeded);
+            }
+        }
+        None
+    }
+}
+
+/// Counts one budget trip in `limit_trips_total`, labelled by kind. Call
+/// once at the point where the violation is first constructed (not where
+/// it is re-wrapped), so each rejection counts exactly once.
+pub fn record_trip(kind: &ResourceErrorKind) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::metrics()
+        .counter_with(
+            "limit_trips_total",
+            "Resource-budget violations, by limit kind.",
+            &[("kind", kind.label())],
+        )
+        .inc();
+}
+
+/// Counts one document rejected for resource reasons in
+/// `docs_rejected_total`.
+pub fn record_rejected() {
+    if !obs::enabled() {
+        return;
+    }
+    obs::metrics()
+        .counter(
+            "docs_rejected_total",
+            "Documents rejected by a resource budget.",
+        )
+        .inc();
+}
+
+/// Counts one parallel batch aborted mid-flight in
+/// `batch_cancelled_total`.
+pub fn record_batch_cancelled() {
+    if !obs::enabled() {
+        return;
+    }
+    obs::metrics()
+        .counter(
+            "batch_cancelled_total",
+            "Validation batches aborted by deadline or cancellation.",
+        )
+        .inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_bounded_and_unbounded_is_not() {
+        let d = Limits::default();
+        assert!(d.max_depth < usize::MAX);
+        assert!(d.max_entity_expansions < u64::MAX);
+        assert!(!d.has_clock());
+        let u = Limits::unbounded();
+        assert_eq!(u.max_depth, usize::MAX);
+        assert_eq!(u.max_errors, usize::MAX);
+        assert!(u.expired_kind().is_none());
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let l = Limits::default()
+            .with_max_depth(3)
+            .with_max_attributes(7)
+            .with_max_input_bytes(11)
+            .with_max_attr_value_bytes(13)
+            .with_max_entity_expansions(17)
+            .with_max_expansion_bytes(19)
+            .with_max_errors(23);
+        assert_eq!(l.max_depth, 3);
+        assert_eq!(l.max_attributes, 7);
+        assert_eq!(l.max_input_bytes, 11);
+        assert_eq!(l.max_attr_value_bytes, 13);
+        assert_eq!(l.max_entity_expansions, 17);
+        assert_eq!(l.max_expansion_bytes, 19);
+        assert_eq!(l.max_errors, 23);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn expired_kind_prefers_cancellation() {
+        let token = CancelToken::new();
+        let l = Limits::default()
+            .with_cancel_token(&token)
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        assert!(l.has_clock());
+        // deadline already passed
+        assert_eq!(l.expired_kind(), Some(ResourceErrorKind::DeadlineExceeded));
+        token.cancel();
+        assert_eq!(l.expired_kind(), Some(ResourceErrorKind::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_does_not_expire() {
+        let l = Limits::default().with_deadline_in(Duration::from_secs(3600));
+        assert_eq!(l.expired_kind(), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            ResourceErrorKind::DepthExceeded { limit: 1 }.label(),
+            "DepthExceeded"
+        );
+        assert_eq!(ResourceErrorKind::Cancelled.label(), "Cancelled");
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let shown = ResourceErrorKind::InputTooLarge {
+            limit: 10,
+            actual: 20,
+        }
+        .to_string();
+        assert!(shown.contains("20 bytes"), "{shown}");
+        assert!(shown.contains("10-byte"), "{shown}");
+    }
+}

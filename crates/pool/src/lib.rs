@@ -263,6 +263,35 @@ impl ThreadPool {
         R: Send + 'static,
         F: Fn(T) -> R + Send + Sync + 'static,
     {
+        self.map_cancellable(items, || false, f)
+            .into_iter()
+            .map(|r| r.expect("a never-cancelled batch completes every item"))
+            .collect()
+    }
+
+    /// [`map`](Self::map) with cooperative cancellation: each worker
+    /// calls `cancelled` once per item, *before* running `f` on it, and
+    /// skips the item (yielding `None` in its slot) when it returns
+    /// `true`. Items already running when cancellation is observed finish
+    /// normally — jobs are never interrupted mid-document — so the result
+    /// is `Some` for every item processed before the cut and `None`
+    /// after, still in input order.
+    ///
+    /// The predicate is deliberately a plain closure rather than a
+    /// concrete token type, so this crate stays dependency-free: callers
+    /// pass `|| token.is_cancelled()`, `|| Instant::now() >= deadline`,
+    /// or a combination.
+    ///
+    /// # Panics
+    /// Re-raises on the calling thread if any job panicked (the workers
+    /// themselves survive), exactly like [`map`](Self::map).
+    pub fn map_cancellable<T, R, F, C>(&self, items: Vec<T>, cancelled: C, f: F) -> Vec<Option<R>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+        C: Fn() -> bool + Send + Sync + 'static,
+    {
         let n = items.len();
         if n == 0 {
             return Vec::new();
@@ -271,20 +300,24 @@ impl ThreadPool {
         let instrument = obs::enabled();
         let stats = Arc::new(BatchStats::new(self.threads()));
         let f = Arc::new(f);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let cancelled = Arc::new(cancelled);
+        let (tx, rx) = mpsc::channel::<(usize, Option<R>)>();
         for (idx, item) in items.into_iter().enumerate() {
             let f = f.clone();
+            let cancelled = cancelled.clone();
             let tx = tx.clone();
             let stats = stats.clone();
             self.push(Box::new(move |ctx| {
-                let result = if instrument {
+                let result = if cancelled() {
+                    None
+                } else if instrument {
                     let wait = ctx.queued.elapsed();
                     let started = Instant::now();
                     let result = f(item);
                     stats.record(ctx, wait, started.elapsed());
-                    result
+                    Some(result)
                 } else {
-                    f(item)
+                    Some(f(item))
                 };
                 // The receiver outlives the batch; a send only fails if
                 // the submitting thread already panicked, in which case
@@ -296,7 +329,7 @@ impl ThreadPool {
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let mut received = 0;
         for (idx, result) in rx {
-            out[idx] = Some(result);
+            out[idx] = result;
             received += 1;
         }
         if instrument {
@@ -319,9 +352,7 @@ impl ThreadPool {
             received, n,
             "a pool job panicked before producing its result"
         );
-        out.into_iter()
-            .map(|r| r.expect("every index reported exactly once"))
-            .collect()
+        out
     }
 }
 
@@ -426,6 +457,73 @@ mod tests {
         assert!(result.is_err(), "panic must propagate to the submitter");
         // the pool still works afterwards
         assert_eq!(pool.map(vec![10, 20], |n| n + 1), vec![11, 21]);
+    }
+
+    #[test]
+    fn map_cancellable_without_cancellation_matches_map() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map_cancellable((0u64..100).collect(), || false, |n| n * 3);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, Some(i as u64 * 3));
+        }
+    }
+
+    #[test]
+    fn map_cancellable_skips_everything_when_already_cancelled() {
+        let pool = ThreadPool::new(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran2 = ran.clone();
+        let out = pool.map_cancellable(
+            (0..50).collect::<Vec<u32>>(),
+            || true,
+            move |n| {
+                ran2.fetch_add(1, Ordering::SeqCst);
+                n
+            },
+        );
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(Option::is_none));
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            0,
+            "no job may run after the cut"
+        );
+    }
+
+    #[test]
+    fn mid_batch_cancellation_yields_a_prefix() {
+        // a single worker runs the jobs in submission order, so flipping
+        // the flag while item 2 runs deterministically skips 3 onward
+        let pool = ThreadPool::new(1);
+        let flag = Arc::new(AtomicBool::new(false));
+        let observed = flag.clone();
+        let flipper = flag.clone();
+        let out = pool.map_cancellable(
+            (0..10).collect::<Vec<u32>>(),
+            move || observed.load(Ordering::SeqCst),
+            move |n| {
+                if n == 2 {
+                    flipper.store(true, Ordering::SeqCst);
+                }
+                n
+            },
+        );
+        assert_eq!(
+            out,
+            vec![
+                Some(0),
+                Some(1),
+                Some(2),
+                None,
+                None,
+                None,
+                None,
+                None,
+                None,
+                None
+            ]
+        );
     }
 
     #[test]

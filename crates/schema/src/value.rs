@@ -211,9 +211,12 @@ impl Date {
         if let Some(rest) = s.strip_suffix('Z') {
             s = rest;
         } else if s.len() > 6 {
-            let tail = &s[s.len() - 6..];
-            if (tail.starts_with('+') || tail.starts_with('-')) && tail.as_bytes()[3] == b':' {
-                s = &s[..s.len() - 6];
+            // s.get(): the offset may split a multi-byte char in mangled
+            // input, which is merely not-a-timezone, not a panic
+            if let Some(tail) = s.get(s.len() - 6..) {
+                if (tail.starts_with('+') || tail.starts_with('-')) && tail.as_bytes()[3] == b':' {
+                    s = &s[..s.len() - 6];
+                }
             }
         }
         let negative_year = s.starts_with('-');
@@ -333,6 +336,9 @@ mod tests {
         assert!(Date::parse("99-05-21").is_err());
         assert!(Date::parse("0000-01-01").is_err());
         assert!(Date::parse("not-a-date").is_err());
+        // multi-byte char straddling the would-be timezone offset must
+        // reject, not panic on a non-boundary slice (found by fuzz_smoke)
+        assert!(Date::parse("1999-\u{FFFD}5-21").is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use limits::ResourceErrorKind;
 use xmlchars::Span;
 
 /// One schema violation found in a document.
@@ -110,6 +111,11 @@ pub enum ValidationErrorKind {
     /// The input could not be parsed at all (streaming entry points,
     /// which take raw text rather than an already-parsed tree).
     NotWellFormed(String),
+    /// A resource budget tripped and checking stopped — distinct from
+    /// both well-formedness and validity: the document was not proven
+    /// wrong, the work was cut off. The error list up to this marker is
+    /// a prefix of what an unbounded run would have produced.
+    Resource(ResourceErrorKind),
 }
 
 impl ValidationErrorKind {
@@ -131,6 +137,7 @@ impl ValidationErrorKind {
             ValidationErrorKind::MissingAttribute { .. } => "MissingAttribute",
             ValidationErrorKind::UndeclaredAttribute { .. } => "UndeclaredAttribute",
             ValidationErrorKind::NotWellFormed(_) => "NotWellFormed",
+            ValidationErrorKind::Resource(kind) => kind.label(),
         }
     }
 }
@@ -204,6 +211,9 @@ impl fmt::Display for ValidationErrorKind {
             }
             ValidationErrorKind::NotWellFormed(message) => {
                 write!(f, "document is not well-formed: {message}")
+            }
+            ValidationErrorKind::Resource(kind) => {
+                write!(f, "resource budget exceeded: {kind}")
             }
         }
     }

@@ -27,11 +27,12 @@ pub mod stream;
 
 use automata::Matcher;
 use dom::{Document, NodeId, NodeKind};
+use limits::{Limits, ResourceErrorKind};
 use schema::{AttributeUse, CompiledSchema, ContentModel, TypeDef, TypeRef};
 use xmlchars::Span;
 
 pub use error::{ValidationError, ValidationErrorKind};
-pub use stream::{validate_str_streaming, StreamingValidator};
+pub use stream::{validate_str_streaming, validate_str_streaming_with_limits, StreamingValidator};
 
 /// The parser-recorded span of `node`, if there is one.
 ///
@@ -60,12 +61,70 @@ pub(crate) fn record_errors(mode: &'static str, errors: &[ValidationError]) {
     }
 }
 
+/// Applies a budget's `max_errors` ceiling to a collected error list:
+/// keeps the exact prefix an unbounded run produced, then appends one
+/// [`ValidationErrorKind::Resource`] marker carrying the span of the
+/// first suppressed error. Returns whether the cap tripped. Shared by
+/// the tree and streaming validators so the capped list is identical
+/// whichever one hit it.
+pub(crate) fn cap_errors(errors: &mut Vec<ValidationError>, limits: &Limits) -> bool {
+    if errors.len() <= limits.max_errors {
+        return false;
+    }
+    let kind = ResourceErrorKind::TooManyErrors {
+        limit: limits.max_errors,
+    };
+    limits::record_trip(&kind);
+    let span = errors[limits.max_errors].span;
+    errors.truncate(limits.max_errors);
+    errors.push(ValidationError::at_opt(
+        ValidationErrorKind::Resource(kind),
+        span,
+    ));
+    true
+}
+
 /// Validates a whole document: the root element must be declared at the
 /// schema's top level. Returns all violations found (empty = valid).
+///
+/// Runs under [`Limits::default`], whose only ceiling that applies to an
+/// already-parsed tree is `max_errors` (1000) — legitimate documents are
+/// unaffected. Use [`validate_document_with_limits`] to tune it.
 pub fn validate_document(compiled: &CompiledSchema, doc: &Document) -> Vec<ValidationError> {
+    validate_document_with_limits(compiled, doc, &Limits::default())
+}
+
+/// [`validate_document`] under an explicit resource budget. The tree is
+/// already parsed, so only the collection-side budgets apply here: an
+/// expired deadline or cancelled token rejects the document up front
+/// (the walk itself is not interrupted), and `max_errors` caps the list
+/// via [`cap_errors`] semantics — exact unbounded prefix plus one
+/// [`ValidationErrorKind::Resource`] marker. Parse-side ceilings are
+/// enforced where the tree is built
+/// ([`xmlparse::parse_document_with_limits`]).
+pub fn validate_document_with_limits(
+    compiled: &CompiledSchema,
+    doc: &Document,
+    limits: &Limits,
+) -> Vec<ValidationError> {
     let _span = obs::span!("validate.tree");
     let timer = obs::Timer::start();
-    let errors = validate_document_inner(compiled, doc);
+    let (errors, tripped) = match limits.expired_kind() {
+        Some(kind) => {
+            limits::record_trip(&kind);
+            (
+                vec![ValidationError::nowhere(ValidationErrorKind::Resource(
+                    kind,
+                ))],
+                true,
+            )
+        }
+        None => {
+            let mut errors = validate_document_inner(compiled, doc);
+            let tripped = cap_errors(&mut errors, limits);
+            (errors, tripped)
+        }
+    };
     if let Some(elapsed) = timer.stop() {
         obs::metrics()
             .histogram(
@@ -76,6 +135,9 @@ pub fn validate_document(compiled: &CompiledSchema, doc: &Document) -> Vec<Valid
             .observe_duration(elapsed);
     }
     record_errors("tree", &errors);
+    if tripped {
+        limits::record_rejected();
+    }
     errors
 }
 
@@ -679,5 +741,45 @@ mod tests {
     #[test]
     fn is_valid_helper() {
         assert!(is_valid(&compiled(), &po_doc()));
+    }
+
+    #[test]
+    fn tree_error_cap_yields_prefix_plus_marker() {
+        let c = compiled();
+        let mut src = String::from("<purchaseOrder><items>");
+        for _ in 0..30 {
+            src.push_str("<item/>");
+        }
+        src.push_str("</items></purchaseOrder>");
+        let doc = xmlparse::parse_document(&src).unwrap();
+        let unbounded = validate_document_with_limits(&c, &doc, &Limits::unbounded());
+        assert!(unbounded.len() > 20);
+        let capped = validate_document_with_limits(&c, &doc, &Limits::default().with_max_errors(5));
+        assert_eq!(capped.len(), 6, "{capped:#?}");
+        assert_eq!(&capped[..5], &unbounded[..5]);
+        let marker = capped.last().unwrap();
+        assert!(matches!(
+            marker.kind,
+            ValidationErrorKind::Resource(ResourceErrorKind::TooManyErrors { limit: 5 })
+        ));
+        assert_eq!(marker.span, unbounded[5].span);
+        // the default cap leaves this document untouched
+        assert_eq!(validate_document(&c, &doc), unbounded);
+    }
+
+    #[test]
+    fn tree_rejects_up_front_on_expired_budget() {
+        let c = compiled();
+        let doc = po_doc();
+        let token = limits::CancelToken::new();
+        token.cancel();
+        let errors =
+            validate_document_with_limits(&c, &doc, &Limits::default().with_cancel_token(&token));
+        assert_eq!(errors.len(), 1, "{errors:#?}");
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::Resource(ResourceErrorKind::Cancelled)
+        ));
+        assert_eq!(errors[0].span, None);
     }
 }

@@ -32,10 +32,11 @@ use std::borrow::Cow;
 use std::sync::Arc;
 
 use automata::{DfaMatcher, Matcher};
+use limits::Limits;
 use schema::{CompiledSchema, ContentPlan, ElemPlan, RootPlan, SymIndex};
 use symbols::Sym;
 use xmlchars::Span;
-use xmlparse::{BorrowedEvent, Event, Reader};
+use xmlparse::{BorrowedEvent, Event, ParseErrorKind, Reader};
 
 use crate::error::{ValidationError, ValidationErrorKind};
 use crate::{check_attributes_declared, AttrView};
@@ -154,13 +155,37 @@ pub struct StreamingValidator<'a, 'src> {
     /// Deepest element nesting seen (observability; histogram-recorded
     /// when the stream finishes).
     max_depth: usize,
+    /// The collection-side budgets this validator enforces: the error
+    /// cap after every event, deadline/cancellation before every event
+    /// (only when [`Limits::has_clock`] — otherwise the clock is never
+    /// read).
+    limits: Limits,
+    /// Set once a budget trips; all further events are ignored and the
+    /// error list ends with its [`ValidationErrorKind::Resource`] marker.
+    tripped: bool,
+    /// Events seen since the last clock read; see
+    /// [`CLOCK_STRIDE`](Self::CLOCK_STRIDE).
+    clock_events: u32,
 }
 
 impl<'a, 'src> StreamingValidator<'a, 'src> {
     /// A validator with an empty stack, ready for a document's events.
     /// Builds the schema's [`SymIndex`] if this is its first use (warmed
-    /// schemas have it precomputed).
+    /// schemas have it precomputed). Runs under [`Limits::default`];
+    /// those ceilings are far above anything a legitimate document
+    /// produces, so results are byte-identical to an unbounded run.
     pub fn new(compiled: &'a CompiledSchema) -> StreamingValidator<'a, 'src> {
+        StreamingValidator::with_limits(compiled, Limits::default())
+    }
+
+    /// [`Self::new`] under an explicit resource budget. The validator
+    /// enforces the collection-side budgets (`max_errors`, deadline,
+    /// cancellation); the parse-side budgets belong to
+    /// [`xmlparse::Reader::with_limits`].
+    pub fn with_limits(
+        compiled: &'a CompiledSchema,
+        limits: Limits,
+    ) -> StreamingValidator<'a, 'src> {
         StreamingValidator {
             compiled,
             index: compiled.sym_index(),
@@ -168,12 +193,19 @@ impl<'a, 'src> StreamingValidator<'a, 'src> {
             errors: Vec::new(),
             saw_root: false,
             max_depth: 0,
+            limits,
+            tripped: false,
+            clock_events: 0,
         }
     }
 
     /// Consumes one owned event. Events must arrive in the order the
-    /// reader produced them; `Eof` is accepted and ignored.
+    /// reader produced them; `Eof` is accepted and ignored. Once a
+    /// budget trips ([`tripped`](Self::tripped)), events are discarded.
     pub fn feed(&mut self, event: &Event) {
+        if self.gate(owned_event_span(event)) {
+            return;
+        }
         match event {
             Event::StartElement {
                 name,
@@ -186,12 +218,17 @@ impl<'a, 'src> StreamingValidator<'a, 'src> {
             // comments and PIs are always permitted
             Event::Comment { .. } | Event::ProcessingInstruction { .. } | Event::Eof => {}
         }
+        self.enforce_error_cap();
     }
 
     /// Consumes one zero-copy event — the allocation-free hot path.
     /// Buffered leaf text borrows the source (`'src`) instead of being
-    /// copied.
+    /// copied. Once a budget trips ([`tripped`](Self::tripped)), events
+    /// are discarded.
     pub fn feed_borrowed(&mut self, event: BorrowedEvent<'src, '_>) {
+        if self.gate(borrowed_event_span(&event)) {
+            return;
+        }
         match event {
             BorrowedEvent::StartElement {
                 name,
@@ -205,6 +242,57 @@ impl<'a, 'src> StreamingValidator<'a, 'src> {
             | BorrowedEvent::ProcessingInstruction { .. }
             | BorrowedEvent::Eof => {}
         }
+        self.enforce_error_cap();
+    }
+
+    /// How many events may pass between clock reads when a deadline or
+    /// cancel token is set. Power of two; at streaming throughput this
+    /// bounds expiry-detection latency to microseconds while keeping the
+    /// `Instant::now()` syscall off all but 1/32 of event gates (B11's
+    /// `*-deadline` rows measure exactly this trade).
+    const CLOCK_STRIDE: u32 = 32;
+
+    /// The per-event budget gate: `true` means drop the event. Reads the
+    /// clock only when the budget actually carries a deadline or token —
+    /// and then only every [`CLOCK_STRIDE`](Self::CLOCK_STRIDE)th event,
+    /// starting with the first — so the default hot path costs two
+    /// predictable branches.
+    fn gate(&mut self, span: Option<Span>) -> bool {
+        if self.tripped {
+            return true;
+        }
+        if self.limits.has_clock() {
+            let due = self.clock_events & (Self::CLOCK_STRIDE - 1) == 0;
+            self.clock_events = self.clock_events.wrapping_add(1);
+            if due {
+                if let Some(kind) = self.limits.expired_kind() {
+                    limits::record_trip(&kind);
+                    self.errors.push(ValidationError::at_opt(
+                        ValidationErrorKind::Resource(kind),
+                        span,
+                    ));
+                    self.tripped = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Applies `max_errors` after an event's checks ran: the list is cut
+    /// to the exact prefix an unbounded run would have started with, plus
+    /// one [`ValidationErrorKind::Resource`] marker carrying the span of
+    /// the first suppressed error.
+    fn enforce_error_cap(&mut self) {
+        if !self.tripped && crate::cap_errors(&mut self.errors, &self.limits) {
+            self.tripped = true;
+        }
+    }
+
+    /// Whether a resource budget has tripped; once `true`, further events
+    /// are ignored and the error list is final apart from metrics flushes.
+    pub fn tripped(&self) -> bool {
+        self.tripped
     }
 
     /// Feeds every event from `events` in order, returning the number of
@@ -247,9 +335,11 @@ impl<'a, 'src> StreamingValidator<'a, 'src> {
 
     /// Finishes the document and returns all violations. Reports
     /// [`ValidationErrorKind::NoRootElement`] if no element was ever fed,
-    /// mirroring the tree validator on an empty document.
+    /// mirroring the tree validator on an empty document. A tripped
+    /// stream skips that check — the budget stopped the run, so "no root
+    /// seen" proves nothing.
     pub fn finish(mut self) -> Vec<ValidationError> {
-        if !self.saw_root {
+        if !self.saw_root && !self.tripped {
             self.errors
                 .push(ValidationError::nowhere(ValidationErrorKind::NoRootElement));
         }
@@ -517,15 +607,58 @@ impl<'a, 'src> StreamingValidator<'a, 'src> {
     }
 }
 
+/// The source span an owned event would anchor an error to (`None` for
+/// `Eof`, which has no position).
+fn owned_event_span(event: &Event) -> Option<Span> {
+    match event {
+        Event::StartElement { span, .. }
+        | Event::EndElement { span, .. }
+        | Event::Text { span, .. }
+        | Event::Comment { span, .. }
+        | Event::ProcessingInstruction { span, .. } => Some(*span),
+        Event::Eof => None,
+    }
+}
+
+/// [`owned_event_span`] for the zero-copy stream.
+fn borrowed_event_span(event: &BorrowedEvent<'_, '_>) -> Option<Span> {
+    match event {
+        BorrowedEvent::StartElement { span, .. }
+        | BorrowedEvent::EndElement { span, .. }
+        | BorrowedEvent::Text { span, .. }
+        | BorrowedEvent::Comment { span, .. }
+        | BorrowedEvent::ProcessingInstruction { span, .. } => Some(*span),
+        BorrowedEvent::Eof => None,
+    }
+}
+
 /// Parses and validates `src` in one streaming pass, without building a
 /// tree — end to end on the zero-copy path: borrowed events, symbol-keyed
 /// dispatch, borrowed text buffers. Parse failures surface as a trailing
 /// [`ValidationErrorKind::NotWellFormed`] after whatever violations the
 /// valid prefix already produced.
+///
+/// Runs under [`Limits::default`] — generous enough that legitimate
+/// documents validate byte-identically to an unbounded run, tight enough
+/// that hostile input is rejected in bounded time and memory. Use
+/// [`validate_str_streaming_with_limits`] to tune or disable the budget.
 pub fn validate_str_streaming(compiled: &CompiledSchema, src: &str) -> Vec<ValidationError> {
+    validate_str_streaming_with_limits(compiled, src, &Limits::default())
+}
+
+/// [`validate_str_streaming`] under an explicit resource budget: the
+/// reader enforces the parse-side ceilings, the validator the
+/// collection-side ones, and a trip ends the stream with a single
+/// [`ValidationErrorKind::Resource`] marker after whatever errors the
+/// governed prefix already produced.
+pub fn validate_str_streaming_with_limits(
+    compiled: &CompiledSchema,
+    src: &str,
+    limits: &Limits,
+) -> Vec<ValidationError> {
     let _span = obs::span!("validate.stream");
     let timer = obs::Timer::start();
-    let errors = validate_str_streaming_inner(compiled, src);
+    let errors = validate_str_streaming_inner(compiled, src, limits);
     if let Some(elapsed) = timer.stop() {
         obs::metrics()
             .histogram(
@@ -535,30 +668,56 @@ pub fn validate_str_streaming(compiled: &CompiledSchema, src: &str) -> Vec<Valid
             )
             .observe_duration(elapsed);
     }
+    if obs::enabled()
+        && errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::Resource(_)))
+    {
+        limits::record_rejected();
+    }
     errors
 }
 
-fn validate_str_streaming_inner(compiled: &CompiledSchema, src: &str) -> Vec<ValidationError> {
-    let mut reader = Reader::new(src);
-    let mut validator = StreamingValidator::new(compiled);
+fn validate_str_streaming_inner(
+    compiled: &CompiledSchema,
+    src: &str,
+    limits: &Limits,
+) -> Vec<ValidationError> {
+    let mut reader = Reader::with_limits(src, limits.clone());
+    let mut validator = StreamingValidator::with_limits(compiled, limits.clone());
     loop {
         match reader.next_event_borrowed() {
             Ok(BorrowedEvent::Eof) => return validator.finish(),
-            Ok(event) => validator.feed_borrowed(event),
+            Ok(event) => {
+                validator.feed_borrowed(event);
+                if validator.tripped() {
+                    // the budget marker is already the last error; stop
+                    // pulling events so a hostile tail costs nothing
+                    return validator.into_errors();
+                }
+            }
             Err(e) => {
                 // into_errors() has already flushed the validator's own
-                // tallies; the synthesized well-formedness error must be
+                // tallies; the synthesized terminal error must be
                 // recorded separately or it would go unmetered
                 let mut errors = validator.into_errors();
-                let wf = ValidationError::at(
-                    ValidationErrorKind::NotWellFormed(e.kind.to_string()),
-                    Span {
-                        start: e.position,
-                        end: e.position,
-                    },
-                );
-                crate::record_errors("streaming", std::slice::from_ref(&wf));
-                errors.push(wf);
+                let span = Span {
+                    start: e.position,
+                    end: e.position,
+                };
+                let terminal = match e.kind {
+                    // the reader already counted the trip; surface it
+                    // typed rather than as a well-formedness failure
+                    ParseErrorKind::Resource(kind) => {
+                        ValidationError::at(ValidationErrorKind::Resource(kind), span)
+                    }
+                    kind => ValidationError::at(
+                        ValidationErrorKind::NotWellFormed(kind.to_string()),
+                        span,
+                    ),
+                };
+                crate::record_errors("streaming", std::slice::from_ref(&terminal));
+                errors.push(terminal);
                 return errors;
             }
         }
@@ -569,7 +728,9 @@ fn validate_str_streaming_inner(compiled: &CompiledSchema, src: &str) -> Vec<Val
 mod tests {
     use super::*;
     use crate::validate_document;
+    use limits::{CancelToken, ResourceErrorKind};
     use schema::corpus::{PURCHASE_ORDER_XML, PURCHASE_ORDER_XSD, WML_XSD};
+    use std::time::{Duration, Instant};
 
     fn po() -> CompiledSchema {
         CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap()
@@ -805,5 +966,153 @@ mod tests {
             .iter()
             .any(|e| matches!(e.kind, ValidationErrorKind::UnexpectedChild { .. })));
         v.finish();
+    }
+
+    /// A document producing a deterministic flood of validation errors:
+    /// every `<item/>` is declared but missing its required `partNum`
+    /// and its required children.
+    fn error_flood(items: usize) -> String {
+        let mut src = String::from("<purchaseOrder><items>");
+        for _ in 0..items {
+            src.push_str("<item/>");
+        }
+        src.push_str("</items></purchaseOrder>");
+        src
+    }
+
+    #[test]
+    fn default_budget_is_byte_identical_to_unbounded() {
+        let compiled = po();
+        for src in [
+            PURCHASE_ORDER_XML.to_string(),
+            PURCHASE_ORDER_XML.replace("<zip>90952</zip>", "<zip>x</zip>"),
+            error_flood(20),
+        ] {
+            assert_eq!(
+                validate_str_streaming_with_limits(&compiled, &src, &Limits::unbounded()),
+                validate_str_streaming(&compiled, &src),
+                "default limits changed the verdict on:\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_cap_yields_exact_prefix_plus_marker() {
+        let compiled = po();
+        let src = error_flood(30);
+        let unbounded = validate_str_streaming_with_limits(&compiled, &src, &Limits::unbounded());
+        assert!(unbounded.len() > 20, "flood too small: {}", unbounded.len());
+        let capped = validate_str_streaming_with_limits(
+            &compiled,
+            &src,
+            &Limits::default().with_max_errors(8),
+        );
+        assert_eq!(capped.len(), 9, "{capped:#?}");
+        assert_eq!(&capped[..8], &unbounded[..8]);
+        let marker = capped.last().unwrap();
+        assert!(matches!(
+            marker.kind,
+            ValidationErrorKind::Resource(ResourceErrorKind::TooManyErrors { limit: 8 })
+        ));
+        // the marker sits where the first suppressed error would have
+        assert_eq!(marker.span, unbounded[8].span);
+    }
+
+    #[test]
+    fn feed_all_error_accumulation_is_capped() {
+        let compiled = po();
+        let src = error_flood(500);
+        let mut reader = Reader::new(&src);
+        let mut events = Vec::new();
+        loop {
+            match reader.next_event().unwrap() {
+                Event::Eof => break,
+                event => events.push(event),
+            }
+        }
+        let mut v =
+            StreamingValidator::with_limits(&compiled, Limits::default().with_max_errors(8));
+        let count = v.feed_all(&events);
+        assert!(v.tripped());
+        assert_eq!(count, 9, "{:#?}", v.errors());
+        let errors = v.finish();
+        assert_eq!(errors.len(), 9);
+        assert!(matches!(
+            errors.last().unwrap().kind,
+            ValidationErrorKind::Resource(ResourceErrorKind::TooManyErrors { limit: 8 })
+        ));
+        // the list was cut as soon as the cap tripped; its backing
+        // allocation never grew with the flood
+        assert!(errors.capacity() <= 64, "capacity {}", errors.capacity());
+    }
+
+    #[test]
+    fn past_deadline_trips_on_first_event() {
+        let compiled = po();
+        let budget = Limits::default().with_deadline(Instant::now() - Duration::from_millis(10));
+        let errors = validate_str_streaming_with_limits(&compiled, PURCHASE_ORDER_XML, &budget);
+        assert_eq!(errors.len(), 1, "{errors:#?}");
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::Resource(ResourceErrorKind::DeadlineExceeded)
+        ));
+        // anchored at the event that observed the expiry
+        assert!(errors[0].span.is_some());
+    }
+
+    #[test]
+    fn cancellation_stops_the_stream() {
+        let compiled = po();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Limits::default().with_cancel_token(&token);
+        let errors = validate_str_streaming_with_limits(&compiled, PURCHASE_ORDER_XML, &budget);
+        assert_eq!(errors.len(), 1, "{errors:#?}");
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::Resource(ResourceErrorKind::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn parser_budget_trip_surfaces_typed_not_as_well_formedness() {
+        let compiled = po();
+        let budget = Limits::default().with_max_depth(2);
+        let errors = validate_str_streaming_with_limits(&compiled, PURCHASE_ORDER_XML, &budget);
+        let last = errors.last().unwrap();
+        assert!(
+            matches!(
+                last.kind,
+                ValidationErrorKind::Resource(ResourceErrorKind::DepthExceeded { limit: 2 })
+            ),
+            "{errors:#?}"
+        );
+        assert!(last.span.is_some());
+        assert!(!errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::NotWellFormed(_))));
+    }
+
+    #[test]
+    fn tripped_stream_skips_missing_root_report() {
+        let compiled = po();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut v =
+            StreamingValidator::with_limits(&compiled, Limits::default().with_cancel_token(&token));
+        let mut reader = Reader::new(PURCHASE_ORDER_XML);
+        loop {
+            match reader.next_event().unwrap() {
+                Event::Eof => break,
+                event => v.feed(&event),
+            }
+        }
+        let errors = v.finish();
+        // only the cancellation marker — no misleading NoRootElement
+        assert_eq!(errors.len(), 1, "{errors:#?}");
+        assert!(matches!(
+            errors[0].kind,
+            ValidationErrorKind::Resource(ResourceErrorKind::Cancelled)
+        ));
     }
 }

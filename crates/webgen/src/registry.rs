@@ -6,10 +6,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use limits::{Limits, ResourceErrorKind};
 use parking_lot::RwLock;
 use pool::ThreadPool;
 use schema::{CompiledSchema, SchemaError};
-use validator::ValidationError;
+use validator::{ValidationError, ValidationErrorKind};
 
 /// Why [`SchemaRegistry::try_register`] refused a registration.
 #[derive(Debug)]
@@ -143,14 +144,28 @@ impl SchemaRegistry {
     /// Streaming-validates one rendered page against the schema
     /// registered under `schema_name`, without building a DOM; `None`
     /// when no such schema is registered. An empty error list means the
-    /// page is valid.
+    /// page is valid. Runs under [`Limits::default`] — see
+    /// [`validate_streaming_with_limits`](Self::validate_streaming_with_limits)
+    /// to tune the budget.
     pub fn validate_streaming(
         &self,
         schema_name: &str,
         document: &str,
     ) -> Option<Vec<ValidationError>> {
+        self.validate_streaming_with_limits(schema_name, document, &Limits::default())
+    }
+
+    /// [`validate_streaming`](Self::validate_streaming) under an explicit
+    /// resource budget; a tripped budget ends the error list with a
+    /// typed [`ValidationErrorKind::Resource`] marker.
+    pub fn validate_streaming_with_limits(
+        &self,
+        schema_name: &str,
+        document: &str,
+        limits: &Limits,
+    ) -> Option<Vec<ValidationError>> {
         let compiled = self.get(schema_name)?;
-        Some(Self::validate_one(schema_name, &compiled, document))
+        Some(Self::validate_one(schema_name, &compiled, document, limits))
     }
 
     /// One timed streaming validation, feeding the per-schema latency
@@ -159,10 +174,11 @@ impl SchemaRegistry {
         schema_name: &str,
         compiled: &CompiledSchema,
         document: &str,
+        limits: &Limits,
     ) -> Vec<ValidationError> {
         let _span = obs::span!("registry.validate", schema = schema_name);
         let timer = obs::Timer::start();
-        let errors = validator::validate_str_streaming(compiled, document);
+        let errors = validator::validate_str_streaming_with_limits(compiled, document, limits);
         if let Some(elapsed) = timer.stop() {
             obs::metrics()
                 .histogram_with(
@@ -176,6 +192,24 @@ impl SchemaRegistry {
         errors
     }
 
+    /// The error list a document skipped by an expired budget reports:
+    /// one position-free typed marker. Counts the trip and the rejection;
+    /// the caller counts the batch abort once.
+    fn skip_marker(limits: &Limits) -> Vec<ValidationError> {
+        // sticky by construction (cancellation latches, deadlines stay
+        // passed), but a racing clock could in principle disagree — fall
+        // back to Cancelled rather than panic
+        let kind = limits
+            .expired_kind()
+            .unwrap_or(ResourceErrorKind::Cancelled);
+        limits::record_trip(&kind);
+        limits::record_rejected();
+        vec![ValidationError {
+            kind: ValidationErrorKind::Resource(kind),
+            span: None,
+        }]
+    }
+
     /// Batch form of [`validate_streaming`](Self::validate_streaming) for
     /// page handlers that flush several rendered documents at once: one
     /// error list per document, in order. The schema handle is fetched
@@ -185,13 +219,38 @@ impl SchemaRegistry {
         schema_name: &str,
         documents: &[&str],
     ) -> Option<Vec<Vec<ValidationError>>> {
+        self.validate_batch_streaming_with_limits(schema_name, documents, &Limits::default())
+    }
+
+    /// [`validate_batch_streaming`](Self::validate_batch_streaming) under
+    /// an explicit resource budget. The deadline/cancellation state is
+    /// re-checked **between documents**: once it expires, every remaining
+    /// document is skipped with a one-element
+    /// [`ValidationErrorKind::Resource`] list instead of being validated,
+    /// and the abort is counted once in `batch_cancelled_total`.
+    pub fn validate_batch_streaming_with_limits(
+        &self,
+        schema_name: &str,
+        documents: &[&str],
+        limits: &Limits,
+    ) -> Option<Vec<Vec<ValidationError>>> {
         let compiled = self.get(schema_name)?;
-        Some(
-            documents
-                .iter()
-                .map(|doc| Self::validate_one(schema_name, &compiled, doc))
-                .collect(),
-        )
+        let mut cut = false;
+        let results = documents
+            .iter()
+            .map(|doc| {
+                if cut || limits.expired_kind().is_some() {
+                    cut = true;
+                    Self::skip_marker(limits)
+                } else {
+                    Self::validate_one(schema_name, &compiled, doc, limits)
+                }
+            })
+            .collect();
+        if cut {
+            limits::record_batch_cancelled();
+        }
+        Some(results)
     }
 
     /// Parallel form of
@@ -207,12 +266,36 @@ impl SchemaRegistry {
         documents: &[&str],
         pool: &ThreadPool,
     ) -> Option<Vec<Vec<ValidationError>>> {
+        self.validate_batch_streaming_parallel_with_limits(
+            schema_name,
+            documents,
+            pool,
+            &Limits::default(),
+        )
+    }
+
+    /// [`validate_batch_streaming_parallel`](Self::validate_batch_streaming_parallel)
+    /// under an explicit resource budget. Workers check the
+    /// deadline/cancellation state **between documents**
+    /// ([`ThreadPool::map_cancellable`]): documents already in flight
+    /// when the budget expires finish normally, every document not yet
+    /// started is skipped with a one-element
+    /// [`ValidationErrorKind::Resource`] list, and the abort is counted
+    /// once in `batch_cancelled_total`.
+    pub fn validate_batch_streaming_parallel_with_limits(
+        &self,
+        schema_name: &str,
+        documents: &[&str],
+        pool: &ThreadPool,
+        limits: &Limits,
+    ) -> Option<Vec<Vec<ValidationError>>> {
         let compiled = self.get(schema_name)?;
         Some(Self::batch_parallel(
             schema_name,
             &compiled,
             documents,
             pool,
+            limits,
         ))
     }
 
@@ -228,6 +311,20 @@ impl SchemaRegistry {
         documents: &[&str],
         pool: &ThreadPool,
     ) -> Option<Vec<Vec<ValidationError>>> {
+        self.validate_batch_parallel_with_limits(schema_name, documents, pool, &Limits::default())
+    }
+
+    /// [`validate_batch_parallel`](Self::validate_batch_parallel) under
+    /// an explicit resource budget, with the same between-documents
+    /// cancellation semantics as
+    /// [`validate_batch_streaming_parallel_with_limits`](Self::validate_batch_streaming_parallel_with_limits).
+    pub fn validate_batch_parallel_with_limits(
+        &self,
+        schema_name: &str,
+        documents: &[&str],
+        pool: &ThreadPool,
+        limits: &Limits,
+    ) -> Option<Vec<Vec<ValidationError>>> {
         let compiled = self.get(schema_name)?;
         compiled.warm();
         Some(Self::batch_parallel(
@@ -235,6 +332,7 @@ impl SchemaRegistry {
             &compiled,
             documents,
             pool,
+            limits,
         ))
     }
 
@@ -242,12 +340,14 @@ impl SchemaRegistry {
     /// jobs (the pool needs `'static` payloads); per-document latency is
     /// still recorded by [`validate_one`](Self::validate_one) on the
     /// worker, and the pool flushes its per-worker queue-wait/steal
-    /// metrics once when the batch completes.
+    /// metrics once when the batch completes. Budget expiry is observed
+    /// between documents via the pool's cancellation predicate.
     fn batch_parallel(
         schema_name: &str,
         compiled: &CompiledSchema,
         documents: &[&str],
         pool: &ThreadPool,
+        limits: &Limits,
     ) -> Vec<Vec<ValidationError>> {
         let _span = obs::span!(
             "registry.validate_batch_parallel",
@@ -258,7 +358,27 @@ impl SchemaRegistry {
         let name: Arc<str> = Arc::from(schema_name);
         let compiled = compiled.clone();
         let docs: Vec<Arc<str>> = documents.iter().map(|d| Arc::from(*d)).collect();
-        pool.map(docs, move |doc| Self::validate_one(&name, &compiled, &doc))
+        let clock = limits.clone();
+        let worker_limits = limits.clone();
+        let results = pool.map_cancellable(
+            docs,
+            move || clock.expired_kind().is_some(),
+            move |doc| Self::validate_one(&name, &compiled, &doc, &worker_limits),
+        );
+        let mut cancelled = false;
+        let out = results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    cancelled = true;
+                    Self::skip_marker(limits)
+                })
+            })
+            .collect();
+        if cancelled {
+            limits::record_batch_cancelled();
+        }
+        out
     }
 }
 
@@ -361,6 +481,71 @@ mod tests {
             reg.validate_batch_parallel("wml", &[], &pool).unwrap(),
             Vec::<Vec<ValidationError>>::new()
         );
+    }
+
+    #[test]
+    fn expired_budget_skips_batches_with_typed_markers() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let data = crate::DirectoryPageData {
+            sub_dirs: vec!["music".into()],
+            current_dir: "/media".into(),
+            parent_dir: "/".into(),
+        };
+        let good = crate::render_string(&data);
+        let docs: Vec<&str> = vec![&good, &good, &good];
+        let token = limits::CancelToken::new();
+        token.cancel();
+        let budget = Limits::default().with_cancel_token(&token);
+        let sequential = reg
+            .validate_batch_streaming_with_limits("wml", &docs, &budget)
+            .unwrap();
+        assert_eq!(sequential.len(), 3);
+        for errors in &sequential {
+            assert_eq!(errors.len(), 1, "{errors:#?}");
+            assert!(matches!(
+                errors[0].kind,
+                ValidationErrorKind::Resource(ResourceErrorKind::Cancelled)
+            ));
+            assert_eq!(errors[0].span, None);
+        }
+        let pool = ThreadPool::new(2);
+        let parallel = reg
+            .validate_batch_streaming_parallel_with_limits("wml", &docs, &pool, &budget)
+            .unwrap();
+        assert_eq!(parallel, sequential);
+        let warmed = reg
+            .validate_batch_parallel_with_limits("wml", &docs, &pool, &budget)
+            .unwrap();
+        assert_eq!(warmed, sequential);
+    }
+
+    #[test]
+    fn unexpired_budget_leaves_batches_untouched() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let data = crate::DirectoryPageData {
+            sub_dirs: vec!["music".into()],
+            current_dir: "/media".into(),
+            parent_dir: "/".into(),
+        };
+        let good = crate::render_string(&data);
+        let bad = crate::render_string_buggy(&data);
+        let docs: Vec<&str> = vec![&good, &bad];
+        let pool = ThreadPool::new(2);
+        let baseline = reg.validate_batch_parallel("wml", &docs, &pool).unwrap();
+        let unbounded = reg
+            .validate_batch_parallel_with_limits("wml", &docs, &pool, &Limits::unbounded())
+            .unwrap();
+        assert_eq!(baseline, unbounded);
+        let live_token = limits::CancelToken::new();
+        let governed = reg
+            .validate_batch_parallel_with_limits(
+                "wml",
+                &docs,
+                &pool,
+                &Limits::default().with_cancel_token(&live_token),
+            )
+            .unwrap();
+        assert_eq!(baseline, governed);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use limits::ResourceErrorKind;
 use xmlchars::{Position, UnescapeError};
 
 /// What went wrong while parsing.
@@ -46,6 +47,12 @@ pub enum ParseErrorKind {
     IllegalSequence(&'static str),
     /// DOCTYPE declarations are not supported by this pipeline.
     DoctypeUnsupported,
+    /// A resource budget tripped ([`xmlparse::Reader::with_limits`]) —
+    /// deliberately distinct from well-formedness errors: the document
+    /// was not proven malformed, the parse was *stopped*.
+    ///
+    /// [`xmlparse::Reader::with_limits`]: crate::Reader::with_limits
+    Resource(ResourceErrorKind),
 }
 
 /// A parse error: kind plus position.
@@ -102,6 +109,7 @@ impl fmt::Display for ParseErrorKind {
                     "DOCTYPE declarations are not supported (schema-based pipeline)"
                 )
             }
+            ParseErrorKind::Resource(kind) => write!(f, "resource budget exceeded: {kind}"),
         }
     }
 }

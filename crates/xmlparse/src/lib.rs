@@ -21,4 +21,4 @@ pub mod tree;
 pub use error::{ParseError, ParseErrorKind};
 pub use event::{AttributeEvent, BorrowedAttribute, BorrowedEvent, Event};
 pub use reader::Reader;
-pub use tree::{parse_document, parse_fragment};
+pub use tree::{parse_document, parse_document_with_limits, parse_fragment};

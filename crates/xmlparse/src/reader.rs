@@ -14,6 +14,7 @@
 
 use std::borrow::Cow;
 
+use limits::{Limits, ResourceErrorKind};
 use xmlchars::chars::{is_name_char, is_name_start_char, is_xml_char, is_xml_whitespace};
 use xmlchars::{unescape, Position, Span, UnescapeError};
 
@@ -80,6 +81,17 @@ pub struct Reader<'a> {
     owned_fallback: u64,
     /// Whether an event ended in a parse error (observability).
     errored: bool,
+    /// Resource budgets enforced while parsing ([`Limits::unbounded`]
+    /// for [`Reader::new`], so ungoverned callers are byte-identical to
+    /// pre-limits behavior).
+    limits: Limits,
+    /// Entity/character references resolved so far (budget accounting).
+    expansions: u64,
+    /// Cumulative bytes produced by reference expansion (budget
+    /// accounting; the amplification guard).
+    expansion_bytes: usize,
+    /// Whether the up-front input-size budget has been checked yet.
+    input_checked: bool,
 }
 
 /// Bytes consumed and events produced flush to the metrics registry once
@@ -125,8 +137,20 @@ impl Drop for Reader<'_> {
 }
 
 impl<'a> Reader<'a> {
-    /// Creates a reader for a complete document.
+    /// Creates a reader for a complete document, with no resource
+    /// budgets ([`Limits::unbounded`]) — behavior is byte-identical to
+    /// the pre-governance reader. Use [`Reader::with_limits`] on
+    /// untrusted input.
     pub fn new(src: &'a str) -> Self {
+        Reader::with_limits(src, Limits::unbounded())
+    }
+
+    /// Creates a reader that enforces `limits` while parsing: input
+    /// size, element depth, per-element attribute count, attribute-value
+    /// length, and entity-expansion volume. A tripped budget surfaces as
+    /// [`ParseErrorKind::Resource`] at the position where it tripped;
+    /// like every other reader error it is fatal.
+    pub fn with_limits(src: &'a str, limits: Limits) -> Self {
         Reader {
             src,
             pos: Position::START,
@@ -139,6 +163,10 @@ impl<'a> Reader<'a> {
             borrowed_events: 0,
             owned_fallback: 0,
             errored: false,
+            limits,
+            expansions: 0,
+            expansion_bytes: 0,
+            input_checked: false,
         }
     }
 
@@ -238,6 +266,49 @@ impl<'a> Reader<'a> {
         ParseError::new(kind, at)
     }
 
+    /// Builds a budget-violation error at `at`, counting the trip in
+    /// `limit_trips_total`.
+    fn resource_err(&self, kind: ResourceErrorKind, at: Position) -> ParseError {
+        limits::record_trip(&kind);
+        ParseError::new(ParseErrorKind::Resource(kind), at)
+    }
+
+    /// Budget accounting for one text or attribute run whose references
+    /// were actually expanded: `raw` is the pre-expansion slice (one `&`
+    /// per reference), `expanded` the bytes the expansion produced.
+    fn note_expansions(
+        &mut self,
+        raw: &str,
+        expanded: usize,
+        at: Position,
+    ) -> Result<(), ParseError> {
+        let refs = raw.bytes().filter(|&b| b == b'&').count() as u64;
+        if refs == 0 {
+            // an owned rewrite without references (attribute whitespace
+            // normalization) is not expansion; nothing to account
+            return Ok(());
+        }
+        self.expansions = self.expansions.saturating_add(refs);
+        if self.expansions > self.limits.max_entity_expansions {
+            return Err(self.resource_err(
+                ResourceErrorKind::TooManyExpansions {
+                    limit: self.limits.max_entity_expansions,
+                },
+                at,
+            ));
+        }
+        self.expansion_bytes = self.expansion_bytes.saturating_add(expanded);
+        if self.expansion_bytes > self.limits.max_expansion_bytes {
+            return Err(self.resource_err(
+                ResourceErrorKind::ExpansionTooLarge {
+                    limit: self.limits.max_expansion_bytes,
+                },
+                at,
+            ));
+        }
+        Ok(())
+    }
+
     fn read_name(&mut self) -> Result<&'a str, ParseError> {
         let start = self.pos.offset;
         match self.peek() {
@@ -332,6 +403,18 @@ impl<'a> Reader<'a> {
     }
 
     fn next_event_inner(&mut self) -> Result<RawEvent<'a>, ParseError> {
+        if !self.input_checked {
+            self.input_checked = true;
+            if self.src.len() > self.limits.max_input_bytes {
+                return Err(self.resource_err(
+                    ResourceErrorKind::InputTooLarge {
+                        limit: self.limits.max_input_bytes,
+                        actual: self.src.len(),
+                    },
+                    Position::START,
+                ));
+            }
+        }
         if let Some((name, span)) = self.pending_end.take() {
             self.finish_element(name)?;
             return Ok(RawEvent::End { name, span });
@@ -394,6 +477,14 @@ impl<'a> Reader<'a> {
             return Err(self.err_at(ParseErrorKind::TrailingContent, start));
         }
         let name = self.read_name()?;
+        if self.open.len() >= self.limits.max_depth {
+            return Err(self.resource_err(
+                ResourceErrorKind::DepthExceeded {
+                    limit: self.limits.max_depth,
+                },
+                start,
+            ));
+        }
         self.attr_buf.clear();
         loop {
             let had_space = matches!(self.peek(), Some(c) if is_xml_whitespace(c));
@@ -422,6 +513,14 @@ impl<'a> Reader<'a> {
                             what: "whitespace before attribute",
                             found: c,
                         }));
+                    }
+                    if self.attr_buf.len() >= self.limits.max_attributes {
+                        return Err(self.resource_err(
+                            ResourceErrorKind::TooManyAttributes {
+                                limit: self.limits.max_attributes,
+                            },
+                            self.pos,
+                        ));
                     }
                     let attr = self.read_attribute()?;
                     if self.attr_buf.iter().any(|a| a.name == attr.name) {
@@ -499,9 +598,22 @@ impl<'a> Reader<'a> {
             }
         }
         let raw = &self.src[start..self.pos.offset];
+        if raw.len() > self.limits.max_attr_value_bytes {
+            return Err(self.resource_err(
+                ResourceErrorKind::AttributeValueTooLong {
+                    limit: self.limits.max_attr_value_bytes,
+                    actual: raw.len(),
+                },
+                self.pos,
+            ));
+        }
         self.bump(); // closing quote
         let value =
             normalize_attr_value(raw).map_err(|e| self.err(ParseErrorKind::Reference(e)))?;
+        if let Cow::Owned(v) = &value {
+            let expanded = v.len();
+            self.note_expansions(raw, expanded, self.pos)?;
+        }
         Ok(BorrowedAttribute { name, value })
     }
 
@@ -548,6 +660,10 @@ impl<'a> Reader<'a> {
         }
         let raw = &self.src[begin..self.pos.offset];
         let text = unescape(raw).map_err(|e| self.err(ParseErrorKind::Reference(e)))?;
+        if let Cow::Owned(t) = &text {
+            let expanded = t.len();
+            self.note_expansions(raw, expanded, start)?;
+        }
         Ok(RawEvent::Text {
             text,
             span: Span::new(start, self.pos),
@@ -890,6 +1006,117 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    fn limited_events(src: &str, limits: Limits) -> Result<Vec<Event>, ParseError> {
+        let mut r = Reader::with_limits(src, limits);
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event()?;
+            let done = e == Event::Eof;
+            out.push(e);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    #[test]
+    fn input_size_budget_trips_before_parsing() {
+        let err = limited_events("<a>hello</a>", Limits::unbounded().with_max_input_bytes(4))
+            .unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Resource(ResourceErrorKind::InputTooLarge {
+                limit: 4,
+                actual: 12
+            })
+        ));
+        assert_eq!(err.position.offset, 0);
+    }
+
+    #[test]
+    fn depth_budget_trips_at_the_offending_tag() {
+        let err = limited_events("<a><b><c/></b></a>", Limits::unbounded().with_max_depth(2))
+            .unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Resource(ResourceErrorKind::DepthExceeded { limit: 2 })
+        ));
+        // the budget trips at <c>, which sits on line 1 past <a><b>
+        assert_eq!(err.position.offset, 6);
+    }
+
+    #[test]
+    fn depth_budget_ignores_siblings() {
+        // 100 self-closing siblings never accumulate depth
+        let src = format!("<a>{}</a>", "<b/>".repeat(100));
+        assert!(limited_events(&src, Limits::unbounded().with_max_depth(2)).is_ok());
+    }
+
+    #[test]
+    fn attribute_count_budget_trips() {
+        let src = "<a p=\"1\" q=\"2\" r=\"3\"/>";
+        let err = limited_events(src, Limits::unbounded().with_max_attributes(2)).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Resource(ResourceErrorKind::TooManyAttributes { limit: 2 })
+        ));
+        assert!(limited_events(src, Limits::unbounded().with_max_attributes(3)).is_ok());
+    }
+
+    #[test]
+    fn attribute_value_budget_trips_on_raw_length() {
+        let src = "<a v=\"0123456789\"/>";
+        let err =
+            limited_events(src, Limits::unbounded().with_max_attr_value_bytes(8)).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Resource(ResourceErrorKind::AttributeValueTooLong {
+                limit: 8,
+                actual: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn expansion_count_budget_trips() {
+        let src = format!("<a>{}</a>", "&amp;".repeat(10));
+        let err =
+            limited_events(&src, Limits::unbounded().with_max_entity_expansions(9)).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Resource(ResourceErrorKind::TooManyExpansions { limit: 9 })
+        ));
+        assert!(limited_events(&src, Limits::unbounded().with_max_entity_expansions(10)).is_ok());
+    }
+
+    #[test]
+    fn expansion_bytes_budget_counts_cumulative_output() {
+        // each run expands to 3 bytes ("a&b"); the third run crosses 8
+        let src = "<r><x>a&amp;b</x><x>a&amp;b</x><x>a&amp;b</x></r>";
+        let err = limited_events(src, Limits::unbounded().with_max_expansion_bytes(8)).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Resource(ResourceErrorKind::ExpansionTooLarge { limit: 8 })
+        ));
+        assert!(limited_events(src, Limits::unbounded().with_max_expansion_bytes(9)).is_ok());
+    }
+
+    #[test]
+    fn whitespace_normalization_is_not_expansion() {
+        // owned rewrite with zero references: no expansion accounting
+        let src = "<a v=\"x\ty\"/>";
+        assert!(limited_events(src, Limits::unbounded().with_max_expansion_bytes(0)).is_ok());
+    }
+
+    #[test]
+    fn default_limits_accept_ordinary_documents() {
+        let src = "<po date=\"1999-10-20\"><item part=\"a &amp; b\">2 &lt; 3</item></po>";
+        assert_eq!(
+            limited_events(src, Limits::default()).unwrap(),
+            events(src).unwrap()
+        );
     }
 
     #[test]

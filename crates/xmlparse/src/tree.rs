@@ -1,6 +1,7 @@
 //! Tree builder: turns the event stream into a [`dom::Document`].
 
 use dom::{Document, NodeId};
+use limits::Limits;
 
 use crate::error::{ParseError, ParseErrorKind};
 use crate::event::Event;
@@ -13,6 +14,14 @@ use crate::reader::Reader;
 /// text nodes themselves.
 pub fn parse_document(src: &str) -> Result<Document, ParseError> {
     build(Reader::new(src))
+}
+
+/// [`parse_document`] under a resource budget: the reader enforces
+/// `limits` (input size, depth, attributes, expansion volume) and a trip
+/// aborts the build with [`ParseErrorKind::Resource`] before the tree can
+/// grow past the budget.
+pub fn parse_document_with_limits(src: &str, limits: &Limits) -> Result<Document, ParseError> {
+    build(Reader::with_limits(src, limits.clone()))
 }
 
 /// Parses a fragment: a single element, optionally surrounded by

@@ -55,6 +55,30 @@ if grep -q "invalid, threads=32" <<<"$out" && ! grep -q " 0 invalid, threads=32"
   exit 1
 fi
 
+echo "==> hostile corpus pass (wall-clock bounded)"
+# Every committed adversarial document must be rejected with a typed
+# ResourceError inside its latency budget; `timeout` is a belt-and-braces
+# wall-clock ceiling on the whole battery in case a limit regresses into
+# a hang instead of a slow rejection.
+timeout 120 cargo test -q -p integration-tests --test hostile_corpus
+
+echo "==> governance gates (differential props + deterministic fuzz smoke)"
+# limits_prop holds default ≡ unbounded on legitimate corpora and
+# tight-budget runs ≡ prefix-plus-marker; fuzz_smoke drives fixed-seed
+# LCG-mangled documents through the governed validator (no panic, no
+# error-list overshoot, bounded per-document latency).
+timeout 300 cargo test -q -p integration-tests --test limits_prop --test fuzz_smoke
+
+echo "==> hardened batch smoke (typed rejection + cancellation metrics)"
+out="$(timeout 120 cargo run -q --release -p examples --bin hardened_batch)"
+for needle in "limit_trips_total" "docs_rejected_total" "batch_cancelled_total" \
+    "TooManyExpansions" "TooManyAttributes" "DepthExceeded"; do
+  if ! grep -q "$needle" <<<"$out"; then
+    echo "hardened_batch output is missing '$needle'" >&2
+    exit 1
+  fi
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
