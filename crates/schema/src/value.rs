@@ -207,14 +207,16 @@ impl Date {
             expected: "date (CCYY-MM-DD)",
         };
         let mut s = lexical;
-        // strip timezone suffix
+        // strip timezone suffix — only when it is lexically valid, so
+        // digit garbage after the day fails the date parse instead of
+        // vanishing silently
         if let Some(rest) = s.strip_suffix('Z') {
             s = rest;
         } else if s.len() > 6 {
             // s.get(): the offset may split a multi-byte char in mangled
             // input, which is merely not-a-timezone, not a panic
             if let Some(tail) = s.get(s.len() - 6..) {
-                if (tail.starts_with('+') || tail.starts_with('-')) && tail.as_bytes()[3] == b':' {
+                if valid_tz(tail) {
                     s = &s[..s.len() - 6];
                 }
             }
@@ -229,12 +231,25 @@ impl Date {
         if y.len() < 4 || m.len() != 2 || d.len() != 2 {
             return Err(err());
         }
-        let year: i32 = y.parse().map_err(|_| err())?;
-        let year = if negative_year { -year } else { year };
-        if year == 0 && y.len() == 4 {
-            // year 0000 is not a valid XSD 1.0 year
+        // digits only: `str::parse` alone would admit an embedded sign
+        // ("+2024-01-01", "2024-+1-01")
+        if ![y, m, d]
+            .iter()
+            .all(|part| part.bytes().all(|b| b.is_ascii_digit()))
+        {
             return Err(err());
         }
+        let year: i32 = y.parse().map_err(|_| err())?;
+        if year == 0 {
+            // year 0000 is not a valid XSD 1.0 year, however many digits
+            // it is written with
+            return Err(err());
+        }
+        if y.len() > 4 && y.starts_with('0') {
+            // 5+-digit years must not carry leading zeros
+            return Err(err());
+        }
+        let year = if negative_year { -year } else { year };
         let month: u8 = m.parse().map_err(|_| err())?;
         let day: u8 = d.parse().map_err(|_| err())?;
         if !(1..=12).contains(&month) {
@@ -251,6 +266,22 @@ impl fmt::Display for Date {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
     }
+}
+
+/// A lexically valid `±hh:mm` timezone suffix: sign, two digits, colon,
+/// two digits, with the offset in range (`hh ≤ 13` with any minutes, or
+/// exactly `14:00` — the XSD extreme).
+fn valid_tz(tail: &str) -> bool {
+    let b = tail.as_bytes();
+    if b.len() != 6 || !(b[0] == b'+' || b[0] == b'-') || b[3] != b':' {
+        return false;
+    }
+    if ![b[1], b[2], b[4], b[5]].iter().all(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    let hh = (b[1] - b'0') * 10 + (b[2] - b'0');
+    let mm = (b[4] - b'0') * 10 + (b[5] - b'0');
+    (hh < 14 && mm <= 59) || (hh == 14 && mm == 0)
 }
 
 fn is_leap_year(year: i32) -> bool {
@@ -339,6 +370,36 @@ mod tests {
         // multi-byte char straddling the would-be timezone offset must
         // reject, not panic on a non-boundary slice (found by fuzz_smoke)
         assert!(Date::parse("1999-\u{FFFD}5-21").is_err());
+    }
+
+    #[test]
+    fn date_year_rejects_signs_and_zero_padding() {
+        // a leading '+' is not part of the XSD date lexical space, even
+        // though str::parse::<i32> would swallow it
+        assert!(Date::parse("+2024-01-01").is_err());
+        assert!(Date::parse("2024-+1-01").is_err());
+        assert!(Date::parse("2024-01-+1").is_err());
+        // year zero doesn't exist, no matter how it's padded
+        assert!(Date::parse("00000-01-01").is_err());
+        assert!(Date::parse("000000-01-01").is_err());
+        // 5+-digit years must not carry leading zeros
+        assert!(Date::parse("02024-01-01").is_err());
+        assert!(Date::parse("-02024-01-01").is_err());
+        // but genuine 5-digit years and negative years are fine
+        assert_eq!(Date::parse("12024-01-01").unwrap().year, 12024);
+        assert_eq!(Date::parse("-0044-03-15").unwrap().year, -44);
+    }
+
+    #[test]
+    fn date_timezone_suffix_must_be_digits_in_range() {
+        assert!(Date::parse("2024-01-01+ab:cd").is_err());
+        assert!(Date::parse("2024-01-01+15:00").is_err());
+        assert!(Date::parse("2024-01-01-14:01").is_err());
+        assert!(Date::parse("2024-01-01+13:60").is_err());
+        assert!(Date::parse("2024-01-01+14:00").is_ok());
+        assert!(Date::parse("2024-01-01-14:00").is_ok());
+        assert!(Date::parse("2024-01-01-00:00").is_ok());
+        assert!(Date::parse("2024-01-01+05:59").is_ok());
     }
 
     #[test]

@@ -32,7 +32,11 @@ use schema::{AttributeUse, CompiledSchema, ContentModel, TypeDef, TypeRef};
 use xmlchars::Span;
 
 pub use error::{ValidationError, ValidationErrorKind};
-pub use stream::{validate_str_streaming, validate_str_streaming_with_limits, StreamingValidator};
+pub use stream::{
+    validate_chunks_streaming, validate_chunks_streaming_with_limits, validate_read_streaming,
+    validate_read_streaming_with_limits, validate_str_streaming,
+    validate_str_streaming_with_limits, StreamingValidator,
+};
 
 /// The parser-recorded span of `node`, if there is one.
 ///

@@ -36,7 +36,7 @@ use limits::Limits;
 use schema::{CompiledSchema, ContentPlan, ElemPlan, RootPlan, SymIndex};
 use symbols::Sym;
 use xmlchars::Span;
-use xmlparse::{BorrowedEvent, Event, ParseErrorKind, Reader};
+use xmlparse::{BorrowedEvent, Event, FeedReader, ParseError, ParseErrorKind, Reader};
 
 use crate::error::{ValidationError, ValidationErrorKind};
 use crate::{check_attributes_declared, AttrView};
@@ -238,6 +238,33 @@ impl<'a, 'src> StreamingValidator<'a, 'src> {
             } => self.on_start(name, attributes, span),
             BorrowedEvent::EndElement { .. } => self.on_end(),
             BorrowedEvent::Text { text, span } => self.on_text(TextRun::Zero(text), span),
+            BorrowedEvent::Comment { .. }
+            | BorrowedEvent::ProcessingInstruction { .. }
+            | BorrowedEvent::Eof => {}
+        }
+        self.enforce_error_cap();
+    }
+
+    /// Consumes one zero-copy event whose source buffer does *not*
+    /// outlive the validator — the chunked-feed path, where events
+    /// borrow a window that mutates between chunks. Leaf text of
+    /// simple-content frames is copied when buffered (everything else
+    /// stays allocation-free), which is the price of not holding the
+    /// feed buffer alive; complex-content documents still validate with
+    /// zero per-event allocations.
+    pub fn feed_transient(&mut self, event: &BorrowedEvent<'_, '_>) {
+        if self.gate(borrowed_event_span(event)) {
+            return;
+        }
+        match event {
+            BorrowedEvent::StartElement {
+                name,
+                attributes,
+                span,
+                ..
+            } => self.on_start(name, attributes, *span),
+            BorrowedEvent::EndElement { .. } => self.on_end(),
+            BorrowedEvent::Text { text, span } => self.on_text(TextRun::Copy(text), *span),
             BorrowedEvent::Comment { .. }
             | BorrowedEvent::ProcessingInstruction { .. }
             | BorrowedEvent::Eof => {}
@@ -696,31 +723,176 @@ fn validate_str_streaming_inner(
                     return validator.into_errors();
                 }
             }
-            Err(e) => {
-                // into_errors() has already flushed the validator's own
-                // tallies; the synthesized terminal error must be
-                // recorded separately or it would go unmetered
-                let mut errors = validator.into_errors();
-                let span = Span {
-                    start: e.position,
-                    end: e.position,
-                };
-                let terminal = match e.kind {
-                    // the reader already counted the trip; surface it
-                    // typed rather than as a well-formedness failure
-                    ParseErrorKind::Resource(kind) => {
-                        ValidationError::at(ValidationErrorKind::Resource(kind), span)
-                    }
-                    kind => ValidationError::at(
-                        ValidationErrorKind::NotWellFormed(kind.to_string()),
-                        span,
-                    ),
-                };
-                crate::record_errors("streaming", std::slice::from_ref(&terminal));
-                errors.push(terminal);
-                return errors;
-            }
+            Err(e) => return terminal_parse_error(validator, e),
         }
+    }
+}
+
+/// Ends a streaming run on a fatal parse error: appends the terminal
+/// error — typed, for resource trips; `NotWellFormed` otherwise — to
+/// whatever violations the valid prefix already produced.
+/// `into_errors()` has already flushed the validator's own tallies; the
+/// synthesized terminal error must be recorded separately or it would go
+/// unmetered.
+fn terminal_parse_error(
+    validator: StreamingValidator<'_, '_>,
+    e: ParseError,
+) -> Vec<ValidationError> {
+    let mut errors = validator.into_errors();
+    let span = Span {
+        start: e.position,
+        end: e.position,
+    };
+    let terminal = match e.kind {
+        // the reader already counted the trip; surface it typed rather
+        // than as a well-formedness failure
+        ParseErrorKind::Resource(kind) => {
+            ValidationError::at(ValidationErrorKind::Resource(kind), span)
+        }
+        kind => ValidationError::at(ValidationErrorKind::NotWellFormed(kind.to_string()), span),
+    };
+    crate::record_errors("streaming", std::slice::from_ref(&terminal));
+    errors.push(terminal);
+    errors
+}
+
+/// Validates input arriving as byte chunks — same checks, same error
+/// list (kinds *and* spans) as [`validate_str_streaming`] over the
+/// chunks' concatenation, but in memory bounded by element depth plus
+/// one in-flight token: the chunked-parse path for documents larger
+/// than memory. Runs under [`Limits::default`].
+pub fn validate_chunks_streaming<'c>(
+    compiled: &CompiledSchema,
+    chunks: impl IntoIterator<Item = &'c [u8]>,
+) -> Vec<ValidationError> {
+    validate_chunks_streaming_with_limits(compiled, chunks, &Limits::default())
+}
+
+/// [`validate_chunks_streaming`] under an explicit resource budget.
+/// `max_input_bytes` governs the *cumulative* fed byte count, so the
+/// budget holds even though no single chunk exceeds it.
+pub fn validate_chunks_streaming_with_limits<'c>(
+    compiled: &CompiledSchema,
+    chunks: impl IntoIterator<Item = &'c [u8]>,
+    limits: &Limits,
+) -> Vec<ValidationError> {
+    let _span = obs::span!("validate.stream.chunks");
+    let timer = obs::Timer::start();
+    let mut feeder = FeedReader::with_limits(limits.clone());
+    let mut validator = StreamingValidator::with_limits(compiled, limits.clone());
+    let mut outcome: Result<bool, ParseError> = Ok(true);
+    for chunk in chunks {
+        outcome = feeder.feed(chunk, |event| {
+            validator.feed_transient(event);
+            !validator.tripped()
+        });
+        if !matches!(outcome, Ok(true)) {
+            break;
+        }
+    }
+    if let Ok(true) = outcome {
+        outcome = feeder
+            .finish(|event| {
+                validator.feed_transient(event);
+                !validator.tripped()
+            })
+            .map(|_| true);
+    }
+    let errors = conclude_feed(validator, outcome);
+    record_stream_metrics(timer, &errors);
+    errors
+}
+
+/// How many bytes [`validate_read_streaming`] pulls per `read` call.
+/// Large enough that per-chunk resume overhead vanishes against scan
+/// cost, small enough that the window stays cache-friendly.
+const READ_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Validates a byte stream pulled from `input` — [`validate_chunks_streaming`]
+/// over [`READ_CHUNK_BYTES`]-sized reads, so a multi-gigabyte file (or
+/// socket) validates in O(depth) memory without ever being resident.
+/// I/O errors are the caller's problem and propagate as `Err`; parse and
+/// validation problems come back in the usual error list.
+pub fn validate_read_streaming<R: std::io::Read>(
+    compiled: &CompiledSchema,
+    input: R,
+) -> std::io::Result<Vec<ValidationError>> {
+    validate_read_streaming_with_limits(compiled, input, &Limits::default())
+}
+
+/// [`validate_read_streaming`] under an explicit resource budget.
+pub fn validate_read_streaming_with_limits<R: std::io::Read>(
+    compiled: &CompiledSchema,
+    mut input: R,
+    limits: &Limits,
+) -> std::io::Result<Vec<ValidationError>> {
+    let _span = obs::span!("validate.stream.read");
+    let timer = obs::Timer::start();
+    let mut feeder = FeedReader::with_limits(limits.clone());
+    let mut validator = StreamingValidator::with_limits(compiled, limits.clone());
+    let mut buf = vec![0u8; READ_CHUNK_BYTES];
+    let mut outcome: Result<bool, ParseError> = Ok(true);
+    loop {
+        let n = match input.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        outcome = feeder.feed(&buf[..n], |event| {
+            validator.feed_transient(event);
+            !validator.tripped()
+        });
+        if !matches!(outcome, Ok(true)) {
+            break;
+        }
+    }
+    if let Ok(true) = outcome {
+        outcome = feeder
+            .finish(|event| {
+                validator.feed_transient(event);
+                !validator.tripped()
+            })
+            .map(|_| true);
+    }
+    let errors = conclude_feed(validator, outcome);
+    record_stream_metrics(timer, &errors);
+    Ok(errors)
+}
+
+/// Turns a feed run's outcome into the final error list: a completed
+/// document finishes the validator (root checks included), a stopped or
+/// tripped stream keeps what it found, a parse error appends its
+/// terminal marker.
+fn conclude_feed(
+    validator: StreamingValidator<'_, '_>,
+    outcome: Result<bool, ParseError>,
+) -> Vec<ValidationError> {
+    match outcome {
+        Ok(true) if !validator.tripped() => validator.finish(),
+        Ok(_) => validator.into_errors(),
+        Err(e) => terminal_parse_error(validator, e),
+    }
+}
+
+/// The per-run observability flush shared by the chunked entry points
+/// (the whole-input path does the same inline).
+fn record_stream_metrics(timer: obs::Timer, errors: &[ValidationError]) {
+    if let Some(elapsed) = timer.stop() {
+        obs::metrics()
+            .histogram(
+                "validator_stream_seconds",
+                "Streaming (parse + validate) latency per document.",
+                obs::DURATION_BUCKETS,
+            )
+            .observe_duration(elapsed);
+    }
+    if obs::enabled()
+        && errors
+            .iter()
+            .any(|e| matches!(e.kind, ValidationErrorKind::Resource(_)))
+    {
+        limits::record_rejected();
     }
 }
 
@@ -1091,6 +1263,69 @@ mod tests {
         assert!(!errors
             .iter()
             .any(|e| matches!(e.kind, ValidationErrorKind::NotWellFormed(_))));
+    }
+
+    #[test]
+    fn chunked_validation_matches_whole_input() {
+        // every error list — kinds and spans — must be identical to the
+        // whole-input run, whatever the chunk granularity
+        let compiled = po();
+        for src in [
+            PURCHASE_ORDER_XML.to_string(),
+            PURCHASE_ORDER_XML.replace("<zip>90952</zip>", "<zip>not a zip</zip>"),
+            PURCHASE_ORDER_XML.replace("orderDate=\"1999-10-20\"", "orderDate=\"soon\""),
+            error_flood(30),
+        ] {
+            let whole = validate_str_streaming(&compiled, &src);
+            for size in [1, 3, 7, 64, 4096] {
+                let chunks: Vec<&[u8]> = src.as_bytes().chunks(size).collect();
+                assert_eq!(
+                    validate_chunks_streaming(&compiled, chunks),
+                    whole,
+                    "chunk size {size} diverged on:\n{src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_validation_reports_malformed_input() {
+        let compiled = po();
+        let src = "<purchaseOrder><shipTo></purchaseOrder>";
+        let whole = validate_str_streaming(&compiled, src);
+        let chunks: Vec<&[u8]> = src.as_bytes().chunks(5).collect();
+        assert_eq!(validate_chunks_streaming(&compiled, chunks), whole);
+        // a truncated stream is an UnexpectedEof the whole-input parse
+        // of the prefix would also report
+        let errors = validate_chunks_streaming(&compiled, [&b"<purchaseOrder><shipTo"[..]]);
+        assert!(matches!(
+            errors.last().unwrap().kind,
+            ValidationErrorKind::NotWellFormed(_)
+        ));
+    }
+
+    #[test]
+    fn read_streaming_matches_whole_input() {
+        let compiled = po();
+        let whole = validate_str_streaming(&compiled, PURCHASE_ORDER_XML);
+        let via_read = validate_read_streaming(&compiled, PURCHASE_ORDER_XML.as_bytes()).unwrap();
+        assert_eq!(via_read, whole);
+    }
+
+    #[test]
+    fn chunked_input_budget_is_cumulative() {
+        let compiled = po();
+        let budget = Limits::default().with_max_input_bytes(64);
+        let big = error_flood(100);
+        let chunks: Vec<&[u8]> = big.as_bytes().chunks(16).collect();
+        let errors = validate_chunks_streaming_with_limits(&compiled, chunks, &budget);
+        assert!(
+            matches!(
+                errors.last().unwrap().kind,
+                ValidationErrorKind::Resource(ResourceErrorKind::InputTooLarge { limit: 64, .. })
+            ),
+            "{errors:#?}"
+        );
     }
 
     #[test]

@@ -168,6 +168,46 @@ impl SchemaRegistry {
         Some(Self::validate_one(schema_name, &compiled, document, limits))
     }
 
+    /// Streaming-validates a byte stream pulled from `input` against the
+    /// schema registered under `schema_name`, in O(depth) memory — the
+    /// serving-path entry point for documents too large to hold resident
+    /// (spooled uploads, proxied bodies). `None` when no such schema is
+    /// registered; I/O errors propagate, validation problems come back
+    /// in the error list.
+    pub fn validate_streaming_reader<R: std::io::Read>(
+        &self,
+        schema_name: &str,
+        input: R,
+    ) -> Option<std::io::Result<Vec<ValidationError>>> {
+        self.validate_streaming_reader_with_limits(schema_name, input, &Limits::default())
+    }
+
+    /// [`validate_streaming_reader`](Self::validate_streaming_reader)
+    /// under an explicit resource budget; `max_input_bytes` caps the
+    /// cumulative bytes read, so an unbounded stream cannot run away.
+    pub fn validate_streaming_reader_with_limits<R: std::io::Read>(
+        &self,
+        schema_name: &str,
+        input: R,
+        limits: &Limits,
+    ) -> Option<std::io::Result<Vec<ValidationError>>> {
+        let compiled = self.get(schema_name)?;
+        let _span = obs::span!("registry.validate_reader", schema = schema_name);
+        let timer = obs::Timer::start();
+        let result = validator::validate_read_streaming_with_limits(&compiled, input, limits);
+        if let Some(elapsed) = timer.stop() {
+            obs::metrics()
+                .histogram_with(
+                    "registry_validate_seconds",
+                    "Streaming validation latency through the registry, per schema.",
+                    &[("schema", schema_name)],
+                    obs::DURATION_BUCKETS,
+                )
+                .observe_duration(elapsed);
+        }
+        Some(result)
+    }
+
     /// One timed streaming validation, feeding the per-schema latency
     /// histogram.
     fn validate_one(
@@ -393,6 +433,44 @@ mod tests {
         assert!(reg.get("wml").is_some());
         assert!(reg.get("purchase-order").is_some());
         assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn reader_validation_matches_in_memory() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let page = crate::render_order_string(&crate::generate_order(7, 40));
+        let whole = reg.validate_streaming("purchase-order", &page).unwrap();
+        let via_reader = reg
+            .validate_streaming_reader("purchase-order", page.as_bytes())
+            .unwrap()
+            .unwrap();
+        assert_eq!(via_reader, whole);
+        assert!(reg
+            .validate_streaming_reader("nope", page.as_bytes())
+            .is_none());
+    }
+
+    #[test]
+    fn reader_validation_enforces_cumulative_input_budget() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let page = crate::render_order_string(&crate::generate_order(7, 40));
+        let errors = reg
+            .validate_streaming_reader_with_limits(
+                "purchase-order",
+                page.as_bytes(),
+                &Limits::default().with_max_input_bytes(64),
+            )
+            .unwrap()
+            .unwrap();
+        assert!(
+            matches!(
+                errors.last().unwrap().kind,
+                validator::ValidationErrorKind::Resource(
+                    limits::ResourceErrorKind::InputTooLarge { limit: 64, .. }
+                )
+            ),
+            "{errors:#?}"
+        );
     }
 
     #[test]

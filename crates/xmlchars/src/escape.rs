@@ -12,8 +12,11 @@ use crate::chars::is_xml_char;
 /// Escapes `text` for use as element character data.
 ///
 /// Replaces `&`, `<` and `>` (the latter for `]]>` safety and symmetry
-/// with common serializers). Returns a borrowed value when no escaping is
-/// needed, avoiding allocation on the fast path.
+/// with common serializers), and `\r` as `&#13;` — a literal carriage
+/// return cannot survive a conforming parser's XML 1.0 §2.11 end-of-line
+/// normalization, so round-tripping serializers must write the character
+/// reference. Returns a borrowed value when no escaping is needed,
+/// avoiding allocation on the fast path.
 pub fn escape_text(text: &str) -> Cow<'_, str> {
     escape_with(text, false)
 }
@@ -28,8 +31,8 @@ pub fn escape_attribute(value: &str) -> Cow<'_, str> {
 
 fn needs_escape(c: char, attr: bool) -> bool {
     match c {
-        '&' | '<' | '>' => true,
-        '"' | '\t' | '\n' | '\r' if attr => true,
+        '&' | '<' | '>' | '\r' => true,
+        '"' | '\t' | '\n' if attr => true,
         _ => false,
     }
 }
@@ -49,7 +52,7 @@ fn escape_with(text: &str, attr: bool) -> Cow<'_, str> {
             '"' if attr => out.push_str("&quot;"),
             '\t' if attr => out.push_str("&#9;"),
             '\n' if attr => out.push_str("&#10;"),
-            '\r' if attr => out.push_str("&#13;"),
+            '\r' => out.push_str("&#13;"),
             c => out.push(c),
         }
     }

@@ -53,6 +53,14 @@ pub enum ParseErrorKind {
     ///
     /// [`xmlparse::Reader::with_limits`]: crate::Reader::with_limits
     Resource(ResourceErrorKind),
+    /// Chunked input ([`crate::FeedReader`]) ended mid-token: the parse
+    /// is suspended, not failed — feed more bytes (or call `finish` to
+    /// turn a truncated document into a hard error). Never produced by
+    /// whole-input readers.
+    NeedMoreData,
+    /// Chunked input is not valid UTF-8 (whole-input entry points take
+    /// `&str`, so only [`crate::FeedReader`] can see raw bytes).
+    InvalidUtf8,
 }
 
 /// A parse error: kind plus position.
@@ -110,6 +118,10 @@ impl fmt::Display for ParseErrorKind {
                 )
             }
             ParseErrorKind::Resource(kind) => write!(f, "resource budget exceeded: {kind}"),
+            ParseErrorKind::NeedMoreData => {
+                write!(f, "input chunk ended mid-token; more data required")
+            }
+            ParseErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
         }
     }
 }

@@ -130,10 +130,11 @@ pub enum BorrowedEvent<'src, 'buf> {
         /// Source span of the run.
         span: Span,
     },
-    /// `<!-- … -->` without the delimiters (always borrowed).
+    /// `<!-- … -->` without the delimiters; borrowed unless end-of-line
+    /// normalization rewrote a `\r`.
     Comment {
         /// Comment body.
-        text: &'src str,
+        text: Cow<'src, str>,
         /// Source span.
         span: Span,
     },
@@ -141,8 +142,9 @@ pub enum BorrowedEvent<'src, 'buf> {
     ProcessingInstruction {
         /// PI target.
         target: &'src str,
-        /// PI data, possibly empty.
-        data: &'src str,
+        /// PI data, possibly empty; borrowed unless end-of-line
+        /// normalization rewrote a `\r`.
+        data: Cow<'src, str>,
         /// Source span.
         span: Span,
     },
@@ -177,13 +179,13 @@ impl BorrowedEvent<'_, '_> {
                 span,
             },
             BorrowedEvent::Comment { text, span } => Event::Comment {
-                text: text.to_string(),
+                text: text.into_owned(),
                 span,
             },
             BorrowedEvent::ProcessingInstruction { target, data, span } => {
                 Event::ProcessingInstruction {
                     target: target.to_string(),
-                    data: data.to_string(),
+                    data: data.into_owned(),
                     span,
                 }
             }
@@ -192,14 +194,17 @@ impl BorrowedEvent<'_, '_> {
     }
 
     /// Whether every string in the event borrows the source buffer (the
-    /// zero-allocation case; `false` means entity expansion forced an
-    /// owned copy somewhere).
+    /// zero-allocation case; `false` means entity expansion or
+    /// normalization forced an owned copy somewhere).
     pub fn is_fully_borrowed(&self) -> bool {
         match self {
             BorrowedEvent::StartElement { attributes, .. } => attributes
                 .iter()
                 .all(|a| matches!(a.value, Cow::Borrowed(_))),
-            BorrowedEvent::Text { text, .. } => matches!(text, Cow::Borrowed(_)),
+            BorrowedEvent::Text { text, .. } | BorrowedEvent::Comment { text, .. } => {
+                matches!(text, Cow::Borrowed(_))
+            }
+            BorrowedEvent::ProcessingInstruction { data, .. } => matches!(data, Cow::Borrowed(_)),
             _ => true,
         }
     }

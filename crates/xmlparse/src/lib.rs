@@ -15,10 +15,13 @@
 
 pub mod error;
 pub mod event;
+pub mod feed;
 pub mod reader;
+pub mod scan;
 pub mod tree;
 
 pub use error::{ParseError, ParseErrorKind};
 pub use event::{AttributeEvent, BorrowedAttribute, BorrowedEvent, Event};
+pub use feed::FeedReader;
 pub use reader::Reader;
 pub use tree::{parse_document, parse_document_with_limits, parse_fragment};

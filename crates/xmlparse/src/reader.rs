@@ -3,14 +3,26 @@
 //!
 //! The reader is zero-copy: [`Reader::next_event_borrowed`] yields
 //! [`BorrowedEvent`]s whose names and text are slices of the input, with
-//! `Cow` values that only become owned when entity resolution or
-//! attribute-value normalization actually rewrote something. The owned
-//! [`Reader::next_event`] is a thin `.into_owned()` over the same stream.
-//! Scan loops over character data and attribute values sweep plain ASCII
-//! byte-wise (a run of bytes in `0x20..0x80` is a run of one-column
-//! characters, so position tracking stays exact) and fall back to
-//! per-character decoding only at markup, references, controls, or
-//! non-ASCII.
+//! `Cow` values that only become owned when entity resolution,
+//! attribute-value normalization, or end-of-line normalization actually
+//! rewrote something. The owned [`Reader::next_event`] is a thin
+//! `.into_owned()` over the same stream.
+//!
+//! Scan loops over character data, attribute values, comments, CDATA,
+//! and PI data run the [`crate::scan`] SWAR classifier: a run of
+//! printable-ASCII non-stop bytes is consumed eight bytes per iteration
+//! (every such byte is one column, one byte, never a line break, so
+//! position tracking stays exact without decoding), and only markup,
+//! references, controls, or non-ASCII drop to the per-character slow
+//! lane.
+//!
+//! End-of-line handling is XML 1.0 §2.11-conformant: `\r\n` and lone
+//! `\r` reach the application as a single `\n` in character content (and
+//! in comments and PI data), count as exactly one line break in
+//! positions, and collapse to a single space in attribute values (§2.11
+//! runs before §3.3.3). Documents without a `\r` — the common case —
+//! stay on the zero-copy path; a `\r` forces the owned lane for that one
+//! run, counted by `owned_fallback_total`.
 
 use std::borrow::Cow;
 
@@ -20,6 +32,7 @@ use xmlchars::{unescape, Position, Span, UnescapeError};
 
 use crate::error::{ParseError, ParseErrorKind};
 use crate::event::{BorrowedAttribute, BorrowedEvent, Event};
+use crate::scan;
 
 /// The produced event before the attribute buffer is attached — an
 /// internal form that does not borrow the reader, so bookkeeping can run
@@ -39,15 +52,44 @@ enum RawEvent<'src> {
         span: Span,
     },
     Comment {
-        text: &'src str,
+        text: Cow<'src, str>,
         span: Span,
     },
     Pi {
         target: &'src str,
-        data: &'src str,
+        data: Cow<'src, str>,
         span: Span,
     },
     Eof,
+}
+
+/// The cross-chunk tokenizer state a suspended reader carries between
+/// [`crate::FeedReader::feed`] calls: everything that outlives the
+/// buffer the next chunk will be parsed from. Open-element names are
+/// owned copies — the borrowed originals die when the consumed prefix
+/// of the feed buffer is compacted away.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Suspended {
+    pub(crate) open: Vec<String>,
+    pub(crate) root_seen: bool,
+    pub(crate) root_closed: bool,
+    pub(crate) pos: Position,
+    pub(crate) prev_cr: bool,
+    pub(crate) expansions: u64,
+    pub(crate) expansion_bytes: usize,
+}
+
+/// The state a feed-mode parse attempt must rewind on
+/// [`ParseErrorKind::NeedMoreData`]: the cursor plus the budget
+/// counters that may have advanced mid-token (attribute expansions run
+/// before the start tag completes). Everything else — the open stack,
+/// root flags, pending end — only mutates when an event completes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Checkpoint {
+    pos: Position,
+    prev_cr: bool,
+    expansions: u64,
+    expansion_bytes: usize,
 }
 
 /// A pull parser over a complete in-memory document.
@@ -57,13 +99,18 @@ enum RawEvent<'src> {
 /// The reader enforces well-formedness: tag nesting, attribute
 /// uniqueness, character legality, a single root element, and reference
 /// syntax. Errors are fatal; after an error the reader should be
-/// discarded.
+/// discarded. For input that arrives in chunks, see
+/// [`crate::FeedReader`], which resumes this tokenizer across buffers.
 pub struct Reader<'a> {
     src: &'a str,
+    /// Absolute document offset of `src[0]` — always 0 for whole-input
+    /// readers; the consumed-and-compacted byte count for feed-mode
+    /// resumption, so positions and spans stay document-absolute.
+    base: usize,
     pos: Position,
-    /// Stack of open element names (slices of the source) for nesting
-    /// checks.
-    open: Vec<&'a str>,
+    /// Stack of open element names for nesting checks: borrowed slices
+    /// of the source normally, owned copies when resumed across chunks.
+    open: Vec<Cow<'a, str>>,
     /// Whether the root element has been seen and closed.
     root_closed: bool,
     /// Whether any root element has been opened yet.
@@ -76,8 +123,9 @@ pub struct Reader<'a> {
     events_seen: u64,
     /// Events whose every string borrowed the source (observability).
     borrowed_events: u64,
-    /// Events that needed an owned copy — entity expansion or attribute
-    /// normalization rewrote something (observability).
+    /// Events that needed an owned copy — entity expansion, attribute
+    /// normalization, or EOL normalization rewrote something
+    /// (observability).
     owned_fallback: u64,
     /// Whether an event ended in a parse error (observability).
     errored: bool,
@@ -92,6 +140,17 @@ pub struct Reader<'a> {
     expansion_bytes: usize,
     /// Whether the up-front input-size budget has been checked yet.
     input_checked: bool,
+    /// Whether the previously consumed character was `\r` — the one bit
+    /// of lookbehind §2.11 needs so a following `\n` extends the same
+    /// line break instead of opening a second one.
+    prev_cr: bool,
+    /// Feed mode: more input may arrive after `src`, so running off the
+    /// end of the buffer means [`ParseErrorKind::NeedMoreData`], not a
+    /// hard `UnexpectedEof` / `Eof`.
+    feed_mode: bool,
+    /// `pos.offset` at construction; metrics report the delta so a
+    /// resumed reader counts only the bytes it consumed itself.
+    start_offset: usize,
 }
 
 /// Bytes consumed and events produced flush to the metrics registry once
@@ -111,7 +170,7 @@ impl Drop for Reader<'_> {
                 "xmlparse_bytes_total",
                 "Source bytes consumed by the parser.",
             )
-            .inc_by(self.pos.offset as u64);
+            .inc_by((self.pos.offset - self.start_offset) as u64);
         metrics
             .counter(
                 "borrowed_events_total",
@@ -121,8 +180,8 @@ impl Drop for Reader<'_> {
         metrics
             .counter(
                 "owned_fallback_total",
-                "Events that required an owned copy (entity expansion or \
-                 attribute-value normalization).",
+                "Events that required an owned copy (entity expansion, \
+                 attribute-value normalization, or EOL normalization).",
             )
             .inc_by(self.owned_fallback);
         if self.errored {
@@ -153,6 +212,7 @@ impl<'a> Reader<'a> {
     pub fn with_limits(src: &'a str, limits: Limits) -> Self {
         Reader {
             src,
+            base: 0,
             pos: Position::START,
             open: Vec::new(),
             root_closed: false,
@@ -167,6 +227,9 @@ impl<'a> Reader<'a> {
             expansions: 0,
             expansion_bytes: 0,
             input_checked: false,
+            prev_cr: false,
+            feed_mode: false,
+            start_offset: 0,
         }
     }
 
@@ -179,21 +242,103 @@ impl<'a> Reader<'a> {
         Reader::new(src)
     }
 
+    /// Rebuilds a reader over the current feed buffer from suspended
+    /// cross-chunk state. `base` is the absolute document offset of
+    /// `src[0]`; positions keep counting from the document start. The
+    /// input-size budget is the feed driver's job (it sees the
+    /// cumulative byte count), so it is marked already-checked here.
+    pub(crate) fn resume(
+        src: &'a str,
+        base: usize,
+        state: Suspended,
+        limits: Limits,
+        feed_mode: bool,
+    ) -> Reader<'a> {
+        Reader {
+            src,
+            base,
+            pos: state.pos,
+            open: state.open.into_iter().map(Cow::Owned).collect(),
+            root_closed: state.root_closed,
+            root_seen: state.root_seen,
+            pending_end: None,
+            attr_buf: Vec::new(),
+            events_seen: 0,
+            borrowed_events: 0,
+            owned_fallback: 0,
+            errored: false,
+            limits,
+            expansions: state.expansions,
+            expansion_bytes: state.expansion_bytes,
+            input_checked: true,
+            prev_cr: state.prev_cr,
+            feed_mode,
+            start_offset: state.pos.offset,
+        }
+    }
+
+    /// Extracts the cross-chunk state (consuming the reader; metrics
+    /// still flush via `Drop`). Open-element names are copied out — the
+    /// buffer they borrow is about to be compacted.
+    pub(crate) fn suspend(mut self) -> Suspended {
+        debug_assert!(
+            self.pending_end.is_none(),
+            "suspended with a queued end event; the pump must drain it"
+        );
+        Suspended {
+            open: std::mem::take(&mut self.open)
+                .into_iter()
+                .map(Cow::into_owned)
+                .collect(),
+            root_seen: self.root_seen,
+            root_closed: self.root_closed,
+            pos: self.pos,
+            prev_cr: self.prev_cr,
+            expansions: self.expansions,
+            expansion_bytes: self.expansion_bytes,
+        }
+    }
+
+    /// Snapshots the rewindable cursor state before a feed-mode parse
+    /// attempt.
+    pub(crate) fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            pos: self.pos,
+            prev_cr: self.prev_cr,
+            expansions: self.expansions,
+            expansion_bytes: self.expansion_bytes,
+        }
+    }
+
+    /// Rewinds to `cp` after [`ParseErrorKind::NeedMoreData`] so the
+    /// interrupted token reparses from its first byte once more input
+    /// arrives.
+    pub(crate) fn rollback(&mut self, cp: Checkpoint) {
+        self.pos = cp.pos;
+        self.prev_cr = cp.prev_cr;
+        self.expansions = cp.expansions;
+        self.expansion_bytes = cp.expansion_bytes;
+    }
+
     /// Current position (for error reporting by embedding tools).
     pub fn position(&self) -> Position {
         self.pos
     }
 
-    /// Names of currently open elements, outermost first (slices of the
-    /// source).
-    pub fn open_elements(&self) -> &[&'a str] {
-        &self.open
+    /// Names of currently open elements, outermost first.
+    pub fn open_elements(&self) -> impl Iterator<Item = &str> {
+        self.open.iter().map(|s| s.as_ref())
     }
 
     // ---- low-level cursor helpers --------------------------------------
 
     fn rest(&self) -> &'a str {
-        &self.src[self.pos.offset..]
+        &self.src[self.pos.offset - self.base..]
+    }
+
+    /// The absolute-offset slice `[start, end)` of the source.
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        &self.src[start - self.base..end - self.base]
     }
 
     fn peek(&self) -> Option<char> {
@@ -202,29 +347,36 @@ impl<'a> Reader<'a> {
 
     fn bump(&mut self) -> Option<char> {
         let c = self.peek()?;
-        self.pos.advance(c);
+        self.pos.offset += c.len_utf8();
+        match c {
+            // the \n of a \r\n pair: the \r already opened the new line
+            '\n' if self.prev_cr => self.pos.column = 1,
+            '\n' | '\r' => {
+                self.pos.line += 1;
+                self.pos.column = 1;
+            }
+            _ => self.pos.column += 1,
+        }
+        self.prev_cr = c == '\r';
         Some(c)
     }
 
-    /// Advances over a run of plain ASCII bytes — `0x20..0x80`, none of
-    /// `stops`. Every byte in such a run is exactly one column and one
-    /// byte and never a newline, so position tracking stays exact without
-    /// decoding; anything outside the run (markup, controls, non-ASCII)
-    /// is left for the caller's per-character path.
+    /// Advances over a run of plain ASCII bytes — printable
+    /// (`0x20..0x80`), none of `stops` — via the SWAR word scan. Every
+    /// byte in such a run is exactly one column and one byte and never a
+    /// line break, so position tracking stays exact without decoding;
+    /// anything outside the run (markup, controls including `\r`,
+    /// non-ASCII) is left for the caller's per-character path.
     #[inline]
-    fn skip_plain_ascii(&mut self, stops: &[u8]) {
-        let bytes = self.src.as_bytes();
-        let mut i = self.pos.offset;
-        while i < bytes.len() {
-            let b = bytes[i];
-            if !(0x20..0x80).contains(&b) || stops.contains(&b) {
-                break;
-            }
-            i += 1;
+    fn skip_plain_ascii(&mut self, stops: [u8; 2]) {
+        let from = self.pos.offset - self.base;
+        let to = scan::scan_plain(self.src.as_bytes(), from, stops);
+        let run = to - from;
+        if run > 0 {
+            self.pos.offset += run;
+            self.pos.column += run as u32;
+            self.prev_cr = false;
         }
-        let run = i - self.pos.offset;
-        self.pos.offset = i;
-        self.pos.column += run as u32;
     }
 
     fn eat(&mut self, expected: char, what: &'static str) -> Result<(), ParseError> {
@@ -234,21 +386,39 @@ impl<'a> Reader<'a> {
                 Ok(())
             }
             Some(c) => Err(self.err(ParseErrorKind::Expected { what, found: c })),
-            None => Err(self.err(ParseErrorKind::UnexpectedEof { context: what })),
+            None => Err(self.eof_err(what)),
         }
     }
 
     fn eat_str(&mut self, expected: &str, what: &'static str) -> Result<(), ParseError> {
-        if self.rest().starts_with(expected) {
+        let rest = self.rest();
+        if rest.starts_with(expected) {
             for _ in expected.chars() {
                 self.bump();
             }
             Ok(())
+        } else if self.feed_mode && rest.len() < expected.len() && expected.starts_with(rest) {
+            Err(self.need_more())
         } else {
             match self.peek() {
                 Some(c) => Err(self.err(ParseErrorKind::Expected { what, found: c })),
-                None => Err(self.err(ParseErrorKind::UnexpectedEof { context: what })),
+                None => Err(self.eof_err(what)),
             }
+        }
+    }
+
+    /// Whether the input continues with `pat`. In feed mode, a buffer
+    /// that ends mid-`pat` is ambiguous — the rest of the delimiter may
+    /// be in the next chunk — so the attempt suspends with
+    /// [`ParseErrorKind::NeedMoreData`] instead of guessing.
+    fn lookahead(&self, pat: &'static str) -> Result<bool, ParseError> {
+        let rest = self.rest();
+        if rest.starts_with(pat) {
+            Ok(true)
+        } else if self.feed_mode && rest.len() < pat.len() && pat.starts_with(rest) {
+            Err(self.need_more())
+        } else {
+            Ok(false)
         }
     }
 
@@ -264,6 +434,20 @@ impl<'a> Reader<'a> {
 
     fn err_at(&self, kind: ParseErrorKind, at: Position) -> ParseError {
         ParseError::new(kind, at)
+    }
+
+    fn need_more(&self) -> ParseError {
+        ParseError::new(ParseErrorKind::NeedMoreData, self.pos)
+    }
+
+    /// End-of-input mid-construct: a hard error for a complete document,
+    /// a suspension request in feed mode.
+    fn eof_err(&self, context: &'static str) -> ParseError {
+        if self.feed_mode {
+            self.need_more()
+        } else {
+            self.err(ParseErrorKind::UnexpectedEof { context })
+        }
     }
 
     /// Builds a budget-violation error at `at`, counting the trip in
@@ -285,7 +469,7 @@ impl<'a> Reader<'a> {
         let refs = raw.bytes().filter(|&b| b == b'&').count() as u64;
         if refs == 0 {
             // an owned rewrite without references (attribute whitespace
-            // normalization) is not expansion; nothing to account
+            // or EOL normalization) is not expansion; nothing to account
             return Ok(());
         }
         self.expansions = self.expansions.saturating_add(refs);
@@ -322,13 +506,13 @@ impl<'a> Reader<'a> {
                 }))
             }
             None => {
-                return Err(self.err(ParseErrorKind::UnexpectedEof { context: "name" }));
+                return Err(self.eof_err("name"));
             }
         }
         while matches!(self.peek(), Some(c) if is_name_char(c)) {
             self.bump();
         }
-        Ok(&self.src[start..self.pos.offset])
+        Ok(self.slice(start, self.pos.offset))
     }
 
     // ---- event production ----------------------------------------------
@@ -349,31 +533,29 @@ impl<'a> Reader<'a> {
         let raw = match self.next_event_inner() {
             Ok(raw) => raw,
             Err(e) => {
-                self.errored = true;
+                // a feed-mode suspension is not a document error
+                if !matches!(e.kind, ParseErrorKind::NeedMoreData) {
+                    self.errored = true;
+                }
                 return Err(e);
             }
         };
-        match &raw {
-            RawEvent::Eof => {}
-            RawEvent::Text {
-                text: Cow::Owned(_),
-                ..
-            } => {
-                self.events_seen += 1;
-                self.owned_fallback += 1;
-            }
-            RawEvent::Start { .. }
-                if self
-                    .attr_buf
-                    .iter()
-                    .any(|a| matches!(a.value, Cow::Owned(_))) =>
-            {
-                self.events_seen += 1;
-                self.owned_fallback += 1;
-            }
-            _ => {
-                self.events_seen += 1;
+        let fully_borrowed = match &raw {
+            RawEvent::Text { text, .. }
+            | RawEvent::Comment { text, .. }
+            | RawEvent::Pi { data: text, .. } => matches!(text, Cow::Borrowed(_)),
+            RawEvent::Start { .. } => !self
+                .attr_buf
+                .iter()
+                .any(|a| matches!(a.value, Cow::Owned(_))),
+            _ => true,
+        };
+        if !matches!(raw, RawEvent::Eof) {
+            self.events_seen += 1;
+            if fully_borrowed {
                 self.borrowed_events += 1;
+            } else {
+                self.owned_fallback += 1;
             }
         }
         Ok(self.materialize(raw))
@@ -436,6 +618,10 @@ impl<'a> Reader<'a> {
     }
 
     fn finish_document(&mut self) -> Result<RawEvent<'a>, ParseError> {
+        if self.feed_mode {
+            // quiescent between chunks — not the end of the document
+            return Err(self.need_more());
+        }
         if !self.open.is_empty() {
             return Err(self.err(ParseErrorKind::UnclosedElements(
                 self.open.iter().map(|s| s.to_string()).collect(),
@@ -454,11 +640,11 @@ impl<'a> Reader<'a> {
             Some('?') => self.read_pi(start),
             Some('!') => {
                 self.bump();
-                if self.rest().starts_with("--") {
+                if self.lookahead("--")? {
                     self.read_comment(start)
-                } else if self.rest().starts_with("[CDATA[") {
+                } else if self.lookahead("[CDATA[")? {
                     self.read_cdata(start)
-                } else if self.rest().starts_with("DOCTYPE") {
+                } else if self.lookahead("DOCTYPE")? {
                     Err(self.err_at(ParseErrorKind::DoctypeUnsupported, start))
                 } else {
                     Err(self.err(ParseErrorKind::IllegalSequence("<!")))
@@ -468,6 +654,7 @@ impl<'a> Reader<'a> {
                 self.bump();
                 self.read_end_tag(start)
             }
+            None => Err(self.eof_err("markup")),
             _ => self.read_start_tag(start),
         }
     }
@@ -498,7 +685,7 @@ impl<'a> Reader<'a> {
                     self.bump();
                     self.eat('>', "self-closing tag")?;
                     let span = Span::new(start, self.pos);
-                    self.open.push(name);
+                    self.open.push(Cow::Borrowed(name));
                     self.root_seen = true;
                     self.pending_end = Some((name, span));
                     return Ok(RawEvent::Start {
@@ -537,14 +724,12 @@ impl<'a> Reader<'a> {
                     }))
                 }
                 None => {
-                    return Err(self.err(ParseErrorKind::UnexpectedEof {
-                        context: "start tag",
-                    }))
+                    return Err(self.eof_err("start tag"));
                 }
             }
         }
         let span = Span::new(start, self.pos);
-        self.open.push(name);
+        self.open.push(Cow::Borrowed(name));
         self.root_seen = true;
         Ok(RawEvent::Start {
             name,
@@ -570,14 +755,12 @@ impl<'a> Reader<'a> {
                 }))
             }
             None => {
-                return Err(self.err(ParseErrorKind::UnexpectedEof {
-                    context: "attribute value",
-                }))
+                return Err(self.eof_err("attribute value"));
             }
         };
         let start = self.pos.offset;
         loop {
-            self.skip_plain_ascii(&[quote as u8, b'<']);
+            self.skip_plain_ascii([quote as u8, b'<']);
             match self.peek() {
                 Some(c) if c == quote => break,
                 Some('<') => {
@@ -591,13 +774,11 @@ impl<'a> Reader<'a> {
                     self.bump();
                 }
                 None => {
-                    return Err(self.err(ParseErrorKind::UnexpectedEof {
-                        context: "attribute value",
-                    }))
+                    return Err(self.eof_err("attribute value"));
                 }
             }
         }
-        let raw = &self.src[start..self.pos.offset];
+        let raw = self.slice(start, self.pos.offset);
         if raw.len() > self.limits.max_attr_value_bytes {
             return Err(self.resource_err(
                 ResourceErrorKind::AttributeValueTooLong {
@@ -635,7 +816,7 @@ impl<'a> Reader<'a> {
                 Ok(())
             }
             Some(open) => Err(self.err(ParseErrorKind::MismatchedTag {
-                open: open.to_string(),
+                open: open.into_owned(),
                 close: name.to_string(),
             })),
             None => Err(self.err(ParseErrorKind::UnmatchedEndTag(name.to_string()))),
@@ -645,12 +826,27 @@ impl<'a> Reader<'a> {
     fn read_text(&mut self) -> Result<RawEvent<'a>, ParseError> {
         let start = self.pos;
         let begin = self.pos.offset;
+        let mut saw_cr = false;
         loop {
-            self.skip_plain_ascii(b"<]");
+            self.skip_plain_ascii([b'<', b']']);
             match self.peek() {
-                Some('<') | None => break,
-                Some(']') if self.rest().starts_with("]]>") => {
-                    return Err(self.err(ParseErrorKind::IllegalSequence("]]>")));
+                Some('<') => break,
+                None => {
+                    if self.feed_mode {
+                        // the run may continue in the next chunk; hold it
+                        return Err(self.need_more());
+                    }
+                    break;
+                }
+                Some(']') => {
+                    if self.lookahead("]]>")? {
+                        return Err(self.err(ParseErrorKind::IllegalSequence("]]>")));
+                    }
+                    self.bump();
+                }
+                Some('\r') => {
+                    saw_cr = true;
+                    self.bump();
                 }
                 Some(c) if !is_xml_char(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
                 Some(_) => {
@@ -658,8 +854,19 @@ impl<'a> Reader<'a> {
                 }
             }
         }
-        let raw = &self.src[begin..self.pos.offset];
-        let text = unescape(raw).map_err(|e| self.err(ParseErrorKind::Reference(e)))?;
+        let raw = self.slice(begin, self.pos.offset);
+        let text = if saw_cr {
+            // §2.11 slow lane: \r\n / \r become \n before references
+            // resolve, so &#13; still yields a literal carriage return
+            let normalized = normalize_eol(raw);
+            Cow::Owned(
+                unescape(&normalized)
+                    .map_err(|e| self.err(ParseErrorKind::Reference(e)))?
+                    .into_owned(),
+            )
+        } else {
+            unescape(raw).map_err(|e| self.err(ParseErrorKind::Reference(e)))?
+        };
         if let Cow::Owned(t) = &text {
             let expanded = t.len();
             self.note_expansions(raw, expanded, start)?;
@@ -673,23 +880,33 @@ impl<'a> Reader<'a> {
     fn read_comment(&mut self, start: Position) -> Result<RawEvent<'a>, ParseError> {
         self.eat_str("--", "comment opener")?;
         let begin = self.pos.offset;
+        let mut saw_cr = false;
         loop {
-            self.skip_plain_ascii(b"-");
-            if self.rest().starts_with("-->") {
+            self.skip_plain_ascii([b'-', b'-']);
+            if self.lookahead("-->")? {
                 break;
             }
             if self.rest().starts_with("--") {
                 return Err(self.err(ParseErrorKind::IllegalSequence("-- inside comment")));
             }
             match self.peek() {
+                Some('\r') => {
+                    saw_cr = true;
+                    self.bump();
+                }
                 Some(c) if is_xml_char(c) => {
                     self.bump();
                 }
                 Some(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
-                None => return Err(self.err(ParseErrorKind::UnexpectedEof { context: "comment" })),
+                None => return Err(self.eof_err("comment")),
             }
         }
-        let text = &self.src[begin..self.pos.offset];
+        let raw = self.slice(begin, self.pos.offset);
+        let text = if saw_cr {
+            Cow::Owned(normalize_eol(raw))
+        } else {
+            Cow::Borrowed(raw)
+        };
         self.eat_str("-->", "comment closer")?;
         Ok(RawEvent::Comment {
             text,
@@ -703,27 +920,35 @@ impl<'a> Reader<'a> {
             return Err(self.err_at(ParseErrorKind::TrailingContent, start));
         }
         let begin = self.pos.offset;
+        let mut saw_cr = false;
         loop {
-            self.skip_plain_ascii(b"]");
-            if self.rest().starts_with("]]>") {
+            self.skip_plain_ascii([b']', b']']);
+            if self.lookahead("]]>")? {
                 break;
             }
             match self.peek() {
+                Some('\r') => {
+                    saw_cr = true;
+                    self.bump();
+                }
                 Some(c) if is_xml_char(c) => {
                     self.bump();
                 }
                 Some(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
                 None => {
-                    return Err(self.err(ParseErrorKind::UnexpectedEof {
-                        context: "CDATA section",
-                    }))
+                    return Err(self.eof_err("CDATA section"));
                 }
             }
         }
-        let text = &self.src[begin..self.pos.offset];
+        let raw = self.slice(begin, self.pos.offset);
+        let text = if saw_cr {
+            Cow::Owned(normalize_eol(raw))
+        } else {
+            Cow::Borrowed(raw)
+        };
         self.eat_str("]]>", "CDATA closer")?;
         Ok(RawEvent::Text {
-            text: Cow::Borrowed(text),
+            text,
             span: Span::new(start, self.pos),
         })
     }
@@ -739,24 +964,32 @@ impl<'a> Reader<'a> {
         }
         self.skip_whitespace();
         let begin = self.pos.offset;
+        let mut saw_cr = false;
         loop {
-            self.skip_plain_ascii(b"?");
-            if self.rest().starts_with("?>") {
+            self.skip_plain_ascii([b'?', b'?']);
+            if self.lookahead("?>")? {
                 break;
             }
             match self.peek() {
+                Some('\r') => {
+                    saw_cr = true;
+                    self.bump();
+                }
                 Some(c) if is_xml_char(c) => {
                     self.bump();
                 }
                 Some(c) => return Err(self.err(ParseErrorKind::IllegalChar(c))),
                 None => {
-                    return Err(self.err(ParseErrorKind::UnexpectedEof {
-                        context: "processing instruction",
-                    }))
+                    return Err(self.eof_err("processing instruction"));
                 }
             }
         }
-        let data = &self.src[begin..self.pos.offset];
+        let raw = self.slice(begin, self.pos.offset);
+        let data = if saw_cr {
+            Cow::Owned(normalize_eol(raw))
+        } else {
+            Cow::Borrowed(raw)
+        };
         self.eat_str("?>", "PI closer")?;
         let span = Span::new(start, self.pos);
         if target.eq_ignore_ascii_case("xml") {
@@ -768,22 +1001,64 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Attribute-value normalization (XML 1.0 §3.3.3): tabs and newlines
-/// become spaces, then references are resolved. Borrows when the value
-/// needed neither — the zero-copy fast path. The whitespace substitution
-/// is byte-for-byte, so reference-error offsets are unaffected by it.
+/// XML 1.0 §2.11 end-of-line normalization: every `\r\n` pair and every
+/// lone `\r` becomes a single `\n`. Runs on raw source slices *before*
+/// reference resolution, so `&#13;` still delivers a literal `\r`.
+fn normalize_eol(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = String::with_capacity(raw.len());
+    let mut seg = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\r' {
+            out.push_str(&raw[seg..i]);
+            out.push('\n');
+            i += 1;
+            if i < bytes.len() && bytes[i] == b'\n' {
+                i += 1;
+            }
+            seg = i;
+        } else {
+            i += 1;
+        }
+    }
+    out.push_str(&raw[seg..]);
+    out
+}
+
+/// Attribute-value normalization (XML 1.0 §3.3.3 after §2.11): line
+/// breaks — `\r\n` counting as *one* — and tabs become single spaces,
+/// then references are resolved. Borrows when the value needed neither —
+/// the zero-copy fast path. Because §2.11 runs first, a literal `\r\n`
+/// in a value yields one space, while `&#13;`/`&#10;` still deliver the
+/// control characters themselves.
 fn normalize_attr_value(raw: &str) -> Result<Cow<'_, str>, UnescapeError> {
     if raw.bytes().any(|b| matches!(b, b'\t' | b'\n' | b'\r')) {
-        let normalized: String = raw
-            .chars()
-            .map(|c| {
-                if matches!(c, '\t' | '\n' | '\r') {
-                    ' '
-                } else {
-                    c
+        let bytes = raw.as_bytes();
+        let mut normalized = String::with_capacity(raw.len());
+        let mut seg = 0;
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\r' => {
+                    normalized.push_str(&raw[seg..i]);
+                    normalized.push(' ');
+                    i += 1;
+                    if i < bytes.len() && bytes[i] == b'\n' {
+                        i += 1;
+                    }
+                    seg = i;
                 }
-            })
-            .collect();
+                b'\t' | b'\n' => {
+                    normalized.push_str(&raw[seg..i]);
+                    normalized.push(' ');
+                    i += 1;
+                    seg = i;
+                }
+                _ => i += 1,
+            }
+        }
+        normalized.push_str(&raw[seg..]);
         return Ok(Cow::Owned(unescape(&normalized)?.into_owned()));
     }
     unescape(raw)
@@ -843,6 +1118,101 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn crlf_in_attribute_value_is_one_space() {
+        // §2.11 before §3.3.3: the pair is one line break, so one space
+        let evs = events("<a v=\"x\r\ny\" w=\"p\rq\" u=\"m\r\n\nn\"/>").unwrap();
+        match &evs[0] {
+            Event::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "x y");
+                assert_eq!(attributes[1].value, "p q");
+                assert_eq!(attributes[2].value, "m  n"); // \r\n then \n: two breaks
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn char_refs_to_whitespace_survive_attr_normalization() {
+        // §3.3.3: references to #xD/#xA/#x9 are NOT normalized
+        let evs = events("<a v=\"x&#13;&#10;&#9;y\"/>").unwrap();
+        match &evs[0] {
+            Event::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "x\r\n\ty");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eol_normalized_in_text() {
+        assert_eq!(names("<a>x\r\ny\rz\n</a>"), ["+a", "\"x\ny\nz\n\"", "-a"]);
+    }
+
+    #[test]
+    fn eol_normalized_in_cdata() {
+        assert_eq!(
+            names("<a><![CDATA[x\r\ny\rz]]></a>"),
+            ["+a", "\"x\ny\nz\"", "-a"]
+        );
+    }
+
+    #[test]
+    fn eol_normalized_in_comments_and_pis() {
+        let evs = events("<a><!--l1\r\nl2\rl3--><?pi d1\r\nd2?></a>").unwrap();
+        assert!(
+            matches!(&evs[1], Event::Comment { text, .. } if text == "l1\nl2\nl3"),
+            "{evs:#?}"
+        );
+        assert!(
+            matches!(&evs[2], Event::ProcessingInstruction { data, .. } if data == "d1\nd2"),
+            "{evs:#?}"
+        );
+    }
+
+    #[test]
+    fn char_ref_cr_survives_in_text() {
+        // &#13; resolves after §2.11, so the literal CR reaches content
+        assert_eq!(names("<a>x&#13;y</a>"), ["+a", "\"x\ry\"", "-a"]);
+    }
+
+    #[test]
+    fn cr_only_document_counts_lines() {
+        // classic-Mac line endings: every error position used to say line 1
+        let err = events("<a>\r  <b>\r</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedTag { .. }));
+        assert_eq!(err.position.line, 3);
+    }
+
+    #[test]
+    fn crlf_counts_one_line_break() {
+        let err = events("<a>\r\n<b>\r\n</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedTag { .. }));
+        assert_eq!(err.position.line, 3);
+        // and the column restarts after the pair
+        let evs = events("<a>\r\nxy</a>").unwrap();
+        match &evs[1] {
+            Event::Text { span, .. } => assert_eq!((span.end.line, span.end.column), (2, 3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cr_text_falls_back_to_owned_and_is_counted() {
+        let src = "<a>line1\r\nline2</a>";
+        let mut r = Reader::new(src);
+        r.next_event_borrowed().unwrap();
+        match r.next_event_borrowed().unwrap() {
+            BorrowedEvent::Text { text, .. } => {
+                assert!(matches!(text, Cow::Owned(_)));
+                assert_eq!(text, "line1\nline2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        while !matches!(r.next_event_borrowed().unwrap(), BorrowedEvent::Eof) {}
+        assert_eq!(r.owned_fallback, 1);
     }
 
     #[test]
@@ -1008,6 +1378,23 @@ mod tests {
         }
     }
 
+    #[test]
+    fn long_text_runs_cross_word_boundaries_cleanly() {
+        // runs longer than the 16-byte SWAR stride, with stops planted
+        // at every alignment relative to the run start
+        for pad in 0..17 {
+            let text = format!("{}&amp;{}", "x".repeat(pad), "y".repeat(40));
+            let src = format!("<a>{text}</a>");
+            let evs = events(&src).unwrap();
+            match &evs[1] {
+                Event::Text { text: t, .. } => {
+                    assert_eq!(*t, text.replace("&amp;", "&"), "pad {pad}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
     fn limited_events(src: &str, limits: Limits) -> Result<Vec<Event>, ParseError> {
         let mut r = Reader::with_limits(src, limits);
         let mut out = Vec::new();
@@ -1111,6 +1498,12 @@ mod tests {
     }
 
     #[test]
+    fn eol_normalization_is_not_expansion() {
+        let src = "<a>x\r\ny</a>";
+        assert!(limited_events(src, Limits::unbounded().with_max_expansion_bytes(0)).is_ok());
+    }
+
+    #[test]
     fn default_limits_accept_ordinary_documents() {
         let src = "<po date=\"1999-10-20\"><item part=\"a &amp; b\">2 &lt; 3</item></po>";
         assert_eq!(
@@ -1127,6 +1520,27 @@ mod tests {
             &evs[0],
             Event::StartElement { name, attributes, .. }
                 if name == "purchaseOrder" && attributes[0].value == "1999-10-20"
+        ));
+    }
+
+    #[test]
+    fn normalize_eol_unit() {
+        assert_eq!(normalize_eol("a\r\nb"), "a\nb");
+        assert_eq!(normalize_eol("a\rb"), "a\nb");
+        assert_eq!(normalize_eol("\r\r\n\r"), "\n\n\n");
+        assert_eq!(normalize_eol("plain"), "plain");
+        assert_eq!(normalize_eol("a\r\n\nb"), "a\n\nb");
+    }
+
+    #[test]
+    fn normalize_attr_value_unit() {
+        assert_eq!(normalize_attr_value("a\r\nb").unwrap(), "a b");
+        assert_eq!(normalize_attr_value("a\rb").unwrap(), "a b");
+        assert_eq!(normalize_attr_value("a\r\n\nb").unwrap(), "a  b");
+        assert_eq!(normalize_attr_value("a\t\r\n\rb").unwrap(), "a   b");
+        assert!(matches!(
+            normalize_attr_value("plain").unwrap(),
+            Cow::Borrowed(_)
         ));
     }
 }

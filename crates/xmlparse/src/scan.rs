@@ -1,0 +1,209 @@
+//! Word-at-a-time classification of "plain" bytes — the reader's inner
+//! scan loops, widened from one byte per iteration to eight.
+//!
+//! A byte is *plain* for a given context when it is printable ASCII
+//! (`0x20..0x80`) and not one of up to two context-specific stop bytes
+//! (`<` and `]` in character data, the quote and `<` in attribute
+//! values, `-`/`]`/`?` in comments/CDATA/PIs). Everything the reader has
+//! to look at — markup, stops, controls (including `\r`, which
+//! end-of-line normalization must rewrite), and non-ASCII — falls out of
+//! the plain class, so [`scan_plain`] returns the index of the first
+//! byte the per-character slow lane must decode.
+//!
+//! The classifier is u64 SWAR (SIMD within a register), std-only and
+//! safe: the workspace forbids `unsafe`, which rules out the
+//! `std::arch` SSE2/AVX2 intrinsic paths (their unaligned loads require
+//! raw pointers), so the portable eight-lane word trick is the widest
+//! scan available. Two words are processed per iteration to keep the
+//! loop ahead of the byte-shuffling overhead; `u64::from_le_bytes` on a
+//! copied 8-byte array compiles to a single unaligned load on every
+//! target that matters.
+//!
+//! The bit tricks (Hacker's Delight §6-1, the classic `haszero` /
+//! `hasless` idioms) can raise false positives in lanes *more
+//! significant* than a true hit when the subtraction borrows across a
+//! lane boundary — but never in lanes before one, and never a false
+//! negative. Since the scanner only consumes bytes strictly before the
+//! first set lane (`trailing_zeros` on the little-endian word order),
+//! those spurious upper-lane bits are harmless: the returned index is
+//! exact. `tests::swar_matches_scalar` holds the word path to the
+//! byte-loop reference on exhaustive two-byte windows and randomized
+//! buffers.
+
+/// All-ones-per-lane and lane-high-bit masks for the SWAR tricks.
+const ONES: u64 = 0x0101_0101_0101_0101;
+const HIGHS: u64 = 0x8080_8080_8080_8080;
+
+/// Lane-high-bit mask of lanes equal to zero (plus possible spurious
+/// bits in lanes above a true hit — see the module docs).
+#[inline(always)]
+fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(ONES) & !x & HIGHS
+}
+
+/// Lane-high-bit mask of lanes less than `n` (`n <= 0x80`), with the
+/// same upper-lane false-positive caveat.
+#[inline(always)]
+fn lt_lanes(x: u64, n: u8) -> u64 {
+    x.wrapping_sub(ONES * n as u64) & !x & HIGHS
+}
+
+/// Lane-high-bit mask of the non-plain lanes in `word`: controls
+/// (`< 0x20`, which includes `\t`, `\n`, and `\r`), non-ASCII
+/// (`>= 0x80`), and the two stop bytes.
+#[inline(always)]
+fn classify(word: u64, stop_a: u64, stop_b: u64) -> u64 {
+    (word & HIGHS) | lt_lanes(word, 0x20) | zero_lanes(word ^ stop_a) | zero_lanes(word ^ stop_b)
+}
+
+/// Returns the index of the first byte at or after `start` that is not
+/// plain — not printable ASCII, or one of the two `stops` bytes —
+/// or `bytes.len()` if the rest of the buffer is plain. Both stop bytes
+/// must be ASCII (callers pass markup delimiters); pass the same byte
+/// twice when the context has only one stop.
+#[inline]
+pub fn scan_plain(bytes: &[u8], start: usize, stops: [u8; 2]) -> usize {
+    let stop_a = ONES * stops[0] as u64;
+    let stop_b = ONES * stops[1] as u64;
+    let mut i = start;
+    // main lane: two unrolled 8-byte words per iteration
+    while i + 16 <= bytes.len() {
+        let w0 = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        let m0 = classify(w0, stop_a, stop_b);
+        if m0 != 0 {
+            return i + (m0.trailing_zeros() / 8) as usize;
+        }
+        let w1 = u64::from_le_bytes(bytes[i + 8..i + 16].try_into().unwrap());
+        let m1 = classify(w1, stop_a, stop_b);
+        if m1 != 0 {
+            return i + 8 + (m1.trailing_zeros() / 8) as usize;
+        }
+        i += 16;
+    }
+    if i + 8 <= bytes.len() {
+        let w = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        let m = classify(w, stop_a, stop_b);
+        if m != 0 {
+            return i + (m.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    // tail: at most 7 bytes, byte at a time
+    while i < bytes.len() && is_plain(bytes[i], stops) {
+        i += 1;
+    }
+    i
+}
+
+/// The scalar definition of the plain class — the reference the SWAR
+/// path is tested against, and the pre-SWAR per-byte loop the B12 bench
+/// measures the widening against.
+#[inline(always)]
+pub fn is_plain(b: u8, stops: [u8; 2]) -> bool {
+    (0x20..0x80).contains(&b) && b != stops[0] && b != stops[1]
+}
+
+/// [`scan_plain`], one byte per iteration: the PR 4 byte-sweep loop,
+/// kept as the differential-test oracle and the B12 baseline.
+#[inline]
+pub fn scan_plain_scalar(bytes: &[u8], start: usize, stops: [u8; 2]) -> usize {
+    let mut i = start;
+    while i < bytes.len() && is_plain(bytes[i], stops) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_all_plain() {
+        assert_eq!(scan_plain(b"", 0, [b'<', b']']), 0);
+        let plain = b"abcdefghijklmnopqrstuvwxyz 0123456789";
+        assert_eq!(scan_plain(plain, 0, [b'<', b']']), plain.len());
+        assert_eq!(scan_plain(plain, 10, [b'<', b']']), plain.len());
+    }
+
+    #[test]
+    fn stops_found_at_every_alignment() {
+        // slide a stop byte across two full words plus a tail
+        for at in 0..24 {
+            let mut buf = vec![b'x'; 24];
+            buf[at] = b'<';
+            assert_eq!(scan_plain(&buf, 0, [b'<', b']']), at, "offset {at}");
+            buf[at] = b']';
+            assert_eq!(scan_plain(&buf, 0, [b'<', b']']), at, "offset {at}");
+            buf[at] = b'\r';
+            assert_eq!(scan_plain(&buf, 0, [b'<', b']']), at, "offset {at}");
+            buf[at] = 0xC3; // non-ASCII lead byte
+            assert_eq!(scan_plain(&buf, 0, [b'<', b']']), at, "offset {at}");
+        }
+    }
+
+    #[test]
+    fn boundary_bytes_classify_exactly() {
+        // 0x1F control, 0x20 space, 0x7F DEL, 0x80 non-ASCII
+        assert!(!is_plain(0x1F, [b'<', b'<']));
+        assert!(is_plain(0x20, [b'<', b'<']));
+        assert!(is_plain(0x7F, [b'<', b'<']));
+        assert!(!is_plain(0x80, [b'<', b'<']));
+        assert_eq!(scan_plain(&[b'a', 0x1F, b'b'], 0, [b'<', b'<']), 1);
+        assert_eq!(scan_plain(&[b'a', 0x7F, 0x80], 0, [b'<', b'<']), 2);
+    }
+
+    #[test]
+    fn adjacent_control_does_not_shadow_a_space() {
+        // the hasless borrow chain: a control directly before a space
+        // must not flag the space (the documented upper-lane false
+        // positive is past the first hit, so the index stays exact)
+        let buf = b"aaaaaaa\n bbbbbbbb";
+        assert_eq!(scan_plain(buf, 0, [b'<', b'<']), 7);
+        assert_eq!(scan_plain(buf, 8, [b'<', b'<']), buf.len());
+    }
+
+    #[test]
+    fn swar_matches_scalar() {
+        // exhaustive two-byte windows at a word boundary, plus an LCG
+        // sweep of longer buffers with mixed byte classes
+        let stops = [b'<', b'"'];
+        for a in 0..=255u8 {
+            for b in [0x00, 0x0D, 0x1F, 0x20, b'<', b'"', 0x7F, 0x80, 0xFF] {
+                let mut buf = vec![b'p'; 7];
+                buf.push(a);
+                buf.push(b);
+                buf.extend_from_slice(b"ppppppppp");
+                assert_eq!(
+                    scan_plain(&buf, 0, stops),
+                    scan_plain_scalar(&buf, 0, stops),
+                    "a={a:#x} b={b:#x}"
+                );
+            }
+        }
+        let mut state = 0x5eed_cafe_u64;
+        for len in [1usize, 7, 8, 9, 15, 16, 17, 31, 64, 257] {
+            for _ in 0..64 {
+                let buf: Vec<u8> = (0..len)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        // bias toward plain bytes so runs actually form
+                        match state >> 60 {
+                            0 => (state >> 33) as u8,
+                            _ => 0x20 + ((state >> 33) % 0x5F) as u8,
+                        }
+                    })
+                    .collect();
+                for start in [0, len / 2, len.saturating_sub(1)] {
+                    assert_eq!(
+                        scan_plain(&buf, start, stops),
+                        scan_plain_scalar(&buf, start, stops),
+                        "len={len} start={start} buf={buf:?}"
+                    );
+                }
+            }
+        }
+    }
+}

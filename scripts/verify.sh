@@ -66,8 +66,18 @@ echo "==> governance gates (differential props + deterministic fuzz smoke)"
 # limits_prop holds default ≡ unbounded on legitimate corpora and
 # tight-budget runs ≡ prefix-plus-marker; fuzz_smoke drives fixed-seed
 # LCG-mangled documents through the governed validator (no panic, no
-# error-list overshoot, bounded per-document latency).
+# error-list overshoot, bounded per-document latency) and re-feeds every
+# mangled document chunk-wise at LCG-chosen cut points, asserting the
+# chunked verdict matches the whole-input one.
 timeout 300 cargo test -q -p integration-tests --test limits_prop --test fuzz_smoke
+
+echo "==> EOL conformance pass (CRLF/CR corpora + chunk-boundary props)"
+# eol_prop re-encodes the corpora and generated documents with CRLF and
+# lone-CR line endings and holds parse/validation results identical to
+# the LF originals (XML 1.0 §2.11), then splits documents at random byte
+# positions — inside tags, entities, \r\n pairs, UTF-8 sequences — and
+# holds the FeedReader event stream equal to the whole-input parse.
+timeout 300 cargo test -q -p integration-tests --test eol_prop
 
 echo "==> hardened batch smoke (typed rejection + cancellation metrics)"
 out="$(timeout 120 cargo run -q --release -p examples --bin hardened_batch)"

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use schema::corpus::{PURCHASE_ORDER_XML, PURCHASE_ORDER_XSD, WML_XSD};
 use schema::CompiledSchema;
-use validator::validate_str_streaming;
+use validator::{validate_chunks_streaming, validate_str_streaming};
 
 /// Knuth's MMIX multiplier; full-period over u64, seeded per corpus so
 /// every run of every checkout mutates identically.
@@ -85,6 +85,26 @@ fn per_doc_budget() -> Duration {
     }
 }
 
+/// Splits `doc` into 1–9 chunks at LCG-chosen *byte* positions — cuts
+/// may land inside multi-byte sequences, CRLF pairs, or tags, which is
+/// exactly what the feed path must absorb.
+fn random_chunks<'d>(rng: &mut Lcg, doc: &'d str) -> Vec<&'d [u8]> {
+    let bytes = doc.as_bytes();
+    let mut cuts: Vec<usize> = (0..rng.below(9))
+        .map(|_| rng.below(bytes.len() + 1))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut chunks = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0;
+    for cut in cuts {
+        chunks.push(&bytes[prev..cut]);
+        prev = cut;
+    }
+    chunks.push(&bytes[prev..]);
+    chunks
+}
+
 fn smoke(compiled: &CompiledSchema, seed_doc: &str, seed: u64, cases: usize) {
     let max_errors = limits::Limits::default().max_errors;
     let mut rng = Lcg(seed);
@@ -102,6 +122,13 @@ fn smoke(compiled: &CompiledSchema, seed_doc: &str, seed: u64, cases: usize) {
             elapsed < per_doc_budget(),
             "case {case}: {elapsed:?} on {} bytes:\n{doc}",
             doc.len()
+        );
+        // the same mangled document fed chunk-wise must neither panic
+        // nor change the verdict, wherever the cuts land
+        let chunked = validate_chunks_streaming(compiled, random_chunks(&mut rng, &doc));
+        assert_eq!(
+            chunked, errors,
+            "case {case}: chunked validation diverged on:\n{doc}"
         );
     }
 }
