@@ -45,6 +45,7 @@
 
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -83,6 +84,14 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Whether [`span!`] sites should arm: true when either the metrics/sink
+/// layer ([`enabled`]) or the flight recorder ([`trace::enabled`]) is on.
+/// Two relaxed loads when everything is off.
+#[inline]
+pub fn span_enabled() -> bool {
+    enabled() || trace::enabled()
+}
+
 /// Installs `sink` as the process-wide span sink and enables
 /// instrumentation (spans *and* metrics). Replaces any previous sink.
 pub fn install(sink: Arc<dyn SpanSink>) {
@@ -118,9 +127,10 @@ fn record_span(record: SpanRecord) {
     }
 }
 
-/// A live span: records its wall time to the installed sink when
-/// dropped. Construct via [`span!`](crate::span!); a guard created while
-/// instrumentation is off is inert and free to drop.
+/// A live span: records its wall time to the installed sink — and a
+/// begin/end pair to the flight recorder ([`trace`]) when one is flying —
+/// when dropped. Construct via [`span!`](crate::span!); a guard created
+/// while instrumentation is off is inert and free to drop.
 #[must_use = "a span measures the scope it is bound to; bind it to a variable"]
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
@@ -130,16 +140,21 @@ struct ActiveSpan {
     name: &'static str,
     fields: Vec<(&'static str, String)>,
     start: Instant,
+    trace: Option<trace::SpanHandle>,
 }
 
 impl SpanGuard {
-    /// An armed guard; the clock starts now. Prefer [`span!`](crate::span!).
+    /// An armed guard; the clock starts now (one read, shared with the
+    /// trace begin record). Prefer [`span!`](crate::span!).
     pub fn enter(name: &'static str, fields: Vec<(&'static str, String)>) -> SpanGuard {
+        let start = Instant::now();
+        let trace = trace::begin_span(name, start);
         SpanGuard {
             active: Some(ActiveSpan {
                 name,
                 fields,
-                start: Instant::now(),
+                start,
+                trace,
             }),
         }
     }
@@ -148,16 +163,35 @@ impl SpanGuard {
     pub fn noop() -> SpanGuard {
         SpanGuard { active: None }
     }
+
+    /// Closes the span and returns its wall time — from **one** end-of-
+    /// scope clock read shared by the trace end record, the sink record,
+    /// and the returned duration, so a histogram fed from the return
+    /// value can never disagree with the trace about a phase's length.
+    /// Returns `None` for an inert guard.
+    pub fn finish(mut self) -> Option<Duration> {
+        self.active.take().map(Self::close)
+    }
+
+    fn close(active: ActiveSpan) -> Duration {
+        let end = Instant::now();
+        if let Some(handle) = active.trace {
+            trace::end_span(active.name, handle, end);
+        }
+        let duration = end.saturating_duration_since(active.start);
+        record_span(SpanRecord {
+            name: active.name,
+            fields: active.fields,
+            duration,
+        });
+        duration
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
-            record_span(SpanRecord {
-                name: active.name,
-                fields: active.fields,
-                duration: active.start.elapsed(),
-            });
+            Self::close(active);
         }
     }
 }
@@ -174,11 +208,12 @@ impl Drop for SpanGuard {
 /// ```
 ///
 /// Field values are captured with `ToString` **only when instrumentation
-/// is enabled**; when it is off the whole expansion is one atomic load.
+/// is enabled** (sink or flight recorder); when everything is off the
+/// whole expansion is two relaxed atomic loads.
 #[macro_export]
 macro_rules! span {
     ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
-        if $crate::enabled() {
+        if $crate::span_enabled() {
             $crate::SpanGuard::enter(
                 $name,
                 ::std::vec![$((stringify!($key), ::std::string::ToString::to_string(&$value))),*],
@@ -218,13 +253,17 @@ impl Timer {
     }
 }
 
+/// Serializes every test that flips process-global observability state
+/// (the sink flag or the flight recorder): a `span!` fired by one test
+/// while another test is recording would pollute that test's rings.
+#[cfg(test)]
+pub(crate) static GLOBAL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // The global enabled flag is process-wide, so the tests that flip it
-    // serialize on this lock (other obs tests use local registries).
-    static INSTALL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    use crate::GLOBAL_TEST_LOCK as INSTALL_LOCK;
 
     #[test]
     fn disabled_by_default_and_span_is_inert() {

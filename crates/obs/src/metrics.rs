@@ -138,6 +138,40 @@ impl Histogram {
         }
         out
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket containing the target rank — the same estimate
+    /// `histogram_quantile` makes in PromQL, with the same caveat: the
+    /// answer is bucket-resolution, not exact. Observations landing in
+    /// the `+Inf` bucket clamp to the largest finite bound. Returns 0.0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let buckets = self.cumulative_buckets();
+        let total = buckets.last().map(|&(_, c)| c).unwrap_or(0);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut prev_bound = 0.0;
+        let mut prev_count = 0u64;
+        for &(bound, count) in &buckets {
+            if (count as f64) >= rank {
+                if bound.is_infinite() {
+                    // no upper edge to interpolate toward; clamp
+                    return prev_bound;
+                }
+                let in_bucket = (count - prev_count) as f64;
+                if in_bucket == 0.0 {
+                    return bound;
+                }
+                let frac = (rank - prev_count as f64) / in_bucket;
+                return prev_bound + (bound - prev_bound) * frac.clamp(0.0, 1.0);
+            }
+            prev_bound = bound;
+            prev_count = count;
+        }
+        prev_bound
+    }
 }
 
 /// Canonical label key: pairs sorted by label name.
@@ -404,6 +438,46 @@ impl Registry {
         }
         out
     }
+
+    /// Renders p50/p90/p99 estimates for every histogram series, derived
+    /// from the fixed bucket counts ([`Histogram::quantile`]). Duration
+    /// histograms (`*_seconds`) are scaled for reading; empty when no
+    /// histograms have observations.
+    pub fn render_quantiles(&self) -> String {
+        let families = self.families.lock().expect("metric registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let FamilyKind::Histogram { series, .. } = &family.kind else {
+                continue;
+            };
+            let seconds = name.ends_with("_seconds");
+            for (labels, histogram) in series {
+                if histogram.count() == 0 {
+                    continue;
+                }
+                if out.is_empty() {
+                    out.push_str("== quantile estimates (from histogram buckets) ==\n");
+                }
+                let fmt = |v: f64| {
+                    if seconds {
+                        fmt_seconds(v)
+                    } else {
+                        format!("{v:.1}")
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{name}{} p50≈{} p90≈{} p99≈{} (n={})",
+                    render_labels(labels),
+                    fmt(histogram.quantile(0.50)),
+                    fmt(histogram.quantile(0.90)),
+                    fmt(histogram.quantile(0.99)),
+                    histogram.count(),
+                );
+            }
+        }
+        out
+    }
 }
 
 /// `{k="v",…}` with Prometheus label-value escaping; empty for no labels.
@@ -576,6 +650,95 @@ mod tests {
             "help must escape backslash and newline:\n{out}"
         );
         assert!(out.contains("# TYPE esc_total counter"), "{out}");
+    }
+
+    #[test]
+    fn prometheus_escaping_survives_hostile_label_values() {
+        // Order of operations matters: backslash must be escaped first,
+        // or the backslashes introduced by the quote/newline escapes get
+        // double-escaped. These values are chosen to catch that.
+        let reg = Registry::new();
+        for (i, (value, expected)) in [
+            // a value that is nothing but a newline
+            ("\n", r"\n"),
+            // trailing backslash — must not eat the closing quote
+            ("end\\", r"end\\"),
+            // literal backslash-n sequence must stay distinguishable
+            // from a real newline: \ + n → \\ + n, not \n
+            ("a\\nb", r"a\\nb"),
+            // quote + backslash + newline stacked together
+            ("\"\\\n", r#"\"\\\n"#),
+            // escape-order trap: backslash followed by a real quote
+            ("\\\"", r#"\\\""#),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let name = format!("hostile_{i}_total");
+            reg.counter_with(&name, "Hostile.", &[("v", value)]).inc();
+            let out = reg.render_prometheus();
+            // the sample must render as exactly this complete line — a
+            // raw newline or eaten quote would split or corrupt it
+            let want = format!("{name}{{v=\"{expected}\"}} 1");
+            assert!(
+                out.lines().any(|l| l == want),
+                "for {value:?} wanted line {want:?} in:\n{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_help_escaping_hostile_values() {
+        // HELP text escapes backslash and newline only — double quotes
+        // are legal there and must pass through raw.
+        let reg = Registry::new();
+        reg.counter("h1_total", "Say \"hi\" with\na \\ backslash.")
+            .inc();
+        let out = reg.render_prometheus();
+        assert!(
+            out.contains("# HELP h1_total Say \"hi\" with\\na \\\\ backslash."),
+            "{out}"
+        );
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.starts_with("# HELP h1_total"))
+                .count(),
+            1,
+            "help must render as exactly one line:\n{out}"
+        );
+    }
+
+    #[test]
+    fn quantile_estimates_interpolate_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("q", "Q.", &[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram → 0");
+        // 10 observations in (1, 2]: all quantiles land in that bucket
+        for _ in 0..10 {
+            h.observe(1.5);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((1.0..=2.0).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 <= 2.0 && p99 >= p50, "p99={p99}");
+        // an overflow observation lives in +Inf → clamps to top bound
+        h.observe(100.0);
+        assert_eq!(h.quantile(1.0), 4.0, "+Inf clamps to largest finite bound");
+    }
+
+    #[test]
+    fn render_quantiles_lists_active_histograms_only() {
+        let reg = Registry::new();
+        reg.counter("not_a_histogram_total", "C.").inc();
+        reg.histogram("empty_seconds", "Never observed.", &[0.5]);
+        assert_eq!(reg.render_quantiles(), "", "nothing to estimate yet");
+        reg.histogram_with("lat_seconds", "L.", &[("op", "x")], &[0.001, 0.01])
+            .observe(0.005);
+        let out = reg.render_quantiles();
+        assert!(out.contains("lat_seconds{op=\"x\"} p50≈"), "{out}");
+        assert!(out.contains("(n=1)"), "{out}");
+        assert!(!out.contains("empty_seconds"), "{out}");
+        assert!(!out.contains("not_a_histogram"), "{out}");
     }
 
     #[test]

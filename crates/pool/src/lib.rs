@@ -296,7 +296,10 @@ impl ThreadPool {
         if n == 0 {
             return Vec::new();
         }
-        let batch_timer = obs::Timer::start();
+        let batch_span = obs::span!("pool.batch", docs = n, threads = self.threads());
+        // Captured while the batch span is open, so worker-side spans
+        // parent to it — across threads — when the flight recorder flies.
+        let trace_ctx = obs::trace::TraceCtx::current();
         let instrument = obs::enabled();
         let stats = Arc::new(BatchStats::new(self.threads()));
         let f = Arc::new(f);
@@ -308,16 +311,25 @@ impl ThreadPool {
             let tx = tx.clone();
             let stats = stats.clone();
             self.push(Box::new(move |ctx| {
+                let _attach = trace_ctx.attach();
                 let result = if cancelled() {
                     None
-                } else if instrument {
-                    let wait = ctx.queued.elapsed();
-                    let started = Instant::now();
-                    let result = f(item);
-                    stats.record(ctx, wait, started.elapsed());
-                    Some(result)
                 } else {
-                    Some(f(item))
+                    if obs::trace::enabled() {
+                        // the wait began on the submitting thread; record
+                        // it as a completed interval under the batch span
+                        obs::trace::complete_from("pool.queue_wait", ctx.queued);
+                    }
+                    let wait = instrument.then(|| ctx.queued.elapsed());
+                    let run_span = obs::span!("pool.run", worker = ctx.worker, stolen = ctx.stolen);
+                    let result = f(item);
+                    // one end-of-job clock read, shared by the trace
+                    // record and the job-latency histogram
+                    let elapsed = run_span.finish();
+                    if let (Some(wait), Some(elapsed)) = (wait, elapsed) {
+                        stats.record(ctx, wait, elapsed);
+                    }
+                    Some(result)
                 };
                 // The receiver outlives the batch; a send only fails if
                 // the submitting thread already panicked, in which case
@@ -332,13 +344,14 @@ impl ThreadPool {
             out[idx] = result;
             received += 1;
         }
+        let batch_elapsed = batch_span.finish();
         if instrument {
             stats.flush();
             let metrics = obs::metrics();
             metrics
                 .counter("pool_batches_total", "Batches run through the pool.")
                 .inc();
-            if let Some(elapsed) = batch_timer.stop() {
+            if let Some(elapsed) = batch_elapsed {
                 metrics
                     .histogram(
                         "pool_batch_seconds",

@@ -112,17 +112,20 @@ impl CompiledSchema {
 
     /// Parses, checks and compiles schema text in one step.
     pub fn parse(source: &str) -> Result<CompiledSchema, SchemaError> {
-        let _span = obs::span!("schema.compile");
-        let timer = obs::Timer::start();
+        let span = obs::span!("schema.compile");
         let result = CompiledSchema::new(crate::reader::parse_schema(source)?);
-        if let Some(elapsed) = timer.stop() {
-            obs::metrics()
-                .histogram(
-                    "schema_compile_seconds",
-                    "Wall time to parse + check a schema.",
-                    obs::DURATION_BUCKETS,
-                )
-                .observe_duration(elapsed);
+        // one clock read shared by the trace record and the histogram
+        let elapsed = span.finish();
+        if obs::enabled() {
+            if let Some(elapsed) = elapsed {
+                obs::metrics()
+                    .histogram(
+                        "schema_compile_seconds",
+                        "Wall time to parse + check a schema.",
+                        obs::DURATION_BUCKETS,
+                    )
+                    .observe_duration(elapsed);
+            }
         }
         result
     }
@@ -239,8 +242,7 @@ impl CompiledSchema {
     /// expansion limit) are skipped here and keep reporting their error
     /// on the per-document path, exactly as without warming.
     pub fn warm(&self) -> usize {
-        let _span = obs::span!("schema.warm");
-        let timer = obs::Timer::start();
+        let span = obs::span!("schema.warm");
         let mut ready = 0;
         for (name, def) in &self.schema.types {
             if !matches!(def, TypeDef::Complex(_)) {
@@ -259,14 +261,18 @@ impl CompiledSchema {
         // build the symbol-keyed dispatch plans while we're still ahead
         // of traffic (this also interns every declared QName)
         let _ = self.sym_index();
-        if let Some(elapsed) = timer.stop() {
-            obs::metrics()
-                .histogram(
-                    "schema_warm_seconds",
-                    "Wall time to precompile a schema's DFAs and attribute tables.",
-                    obs::DURATION_BUCKETS,
-                )
-                .observe_duration(elapsed);
+        // one clock read shared by the trace record and the histogram
+        let elapsed = span.finish();
+        if obs::enabled() {
+            if let Some(elapsed) = elapsed {
+                obs::metrics()
+                    .histogram(
+                        "schema_warm_seconds",
+                        "Wall time to precompile a schema's DFAs and attribute tables.",
+                        obs::DURATION_BUCKETS,
+                    )
+                    .observe_duration(elapsed);
+            }
         }
         ready
     }

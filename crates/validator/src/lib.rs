@@ -111,8 +111,7 @@ pub fn validate_document_with_limits(
     doc: &Document,
     limits: &Limits,
 ) -> Vec<ValidationError> {
-    let _span = obs::span!("validate.tree");
-    let timer = obs::Timer::start();
+    let span = obs::span!("validate.tree");
     let (errors, tripped) = match limits.expired_kind() {
         Some(kind) => {
             limits::record_trip(&kind);
@@ -129,14 +128,19 @@ pub fn validate_document_with_limits(
             (errors, tripped)
         }
     };
-    if let Some(elapsed) = timer.stop() {
-        obs::metrics()
-            .histogram(
-                "validator_tree_seconds",
-                "Whole-document tree validation latency.",
-                obs::DURATION_BUCKETS,
-            )
-            .observe_duration(elapsed);
+    // one end-of-run clock read shared by the trace record and the
+    // histogram, so the two surfaces always agree on the duration
+    let elapsed = span.finish();
+    if obs::enabled() {
+        if let Some(elapsed) = elapsed {
+            obs::metrics()
+                .histogram(
+                    "validator_tree_seconds",
+                    "Whole-document tree validation latency.",
+                    obs::DURATION_BUCKETS,
+                )
+                .observe_duration(elapsed);
+        }
     }
     record_errors("tree", &errors);
     if tripped {

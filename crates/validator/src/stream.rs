@@ -360,6 +360,12 @@ impl<'a, 'src> StreamingValidator<'a, 'src> {
         self.stack.len()
     }
 
+    /// Deepest element nesting seen so far — the number the per-document
+    /// wide event and the `validator_stream_max_depth` histogram report.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
     /// Finishes the document and returns all violations. Reports
     /// [`ValidationErrorKind::NoRootElement`] if no element was ever fed,
     /// mirroring the tree validator on an empty document. A tripped
@@ -683,47 +689,59 @@ pub fn validate_str_streaming_with_limits(
     src: &str,
     limits: &Limits,
 ) -> Vec<ValidationError> {
-    let _span = obs::span!("validate.stream");
-    let timer = obs::Timer::start();
-    let errors = validate_str_streaming_inner(compiled, src, limits);
-    if let Some(elapsed) = timer.stop() {
-        obs::metrics()
-            .histogram(
-                "validator_stream_seconds",
-                "Streaming (parse + validate) latency per document.",
-                obs::DURATION_BUCKETS,
-            )
-            .observe_duration(elapsed);
-    }
-    if obs::enabled()
-        && errors
-            .iter()
-            .any(|e| matches!(e.kind, ValidationErrorKind::Resource(_)))
-    {
-        limits::record_rejected();
-    }
+    let span = obs::span!("validate.stream");
+    let (errors, tally) = validate_str_streaming_inner(compiled, src, limits);
+    // one end-of-run clock read, shared by the trace record, the latency
+    // histogram, and the wide event's total
+    let elapsed = span.finish();
+    record_stream_run("stream", elapsed, tally, &errors);
     errors
+}
+
+/// What a streaming run knew about its document besides the error list —
+/// the raw material for its wide event, captured just before the reader
+/// and validator are consumed.
+struct DocTally {
+    stats: xmlparse::ReaderStats,
+    max_depth: u64,
 }
 
 fn validate_str_streaming_inner(
     compiled: &CompiledSchema,
     src: &str,
     limits: &Limits,
-) -> Vec<ValidationError> {
+) -> (Vec<ValidationError>, DocTally) {
     let mut reader = Reader::with_limits(src, limits.clone());
     let mut validator = StreamingValidator::with_limits(compiled, limits.clone());
     loop {
-        match reader.next_event_borrowed() {
-            Ok(BorrowedEvent::Eof) => return validator.finish(),
+        let outcome = reader.next_event_borrowed();
+        match outcome {
+            Ok(BorrowedEvent::Eof) => {
+                let tally = DocTally {
+                    stats: reader.stats(),
+                    max_depth: validator.max_depth() as u64,
+                };
+                return (validator.finish(), tally);
+            }
             Ok(event) => {
                 validator.feed_borrowed(event);
                 if validator.tripped() {
                     // the budget marker is already the last error; stop
                     // pulling events so a hostile tail costs nothing
-                    return validator.into_errors();
+                    let tally = DocTally {
+                        stats: reader.stats(),
+                        max_depth: validator.max_depth() as u64,
+                    };
+                    return (validator.into_errors(), tally);
                 }
             }
-            Err(e) => return terminal_parse_error(validator, e),
+            Err(e) => {
+                let tally = DocTally {
+                    stats: reader.stats(),
+                    max_depth: validator.max_depth() as u64,
+                };
+                return (terminal_parse_error(validator, e), tally);
+            }
         }
     }
 }
@@ -776,8 +794,7 @@ pub fn validate_chunks_streaming_with_limits<'c>(
     chunks: impl IntoIterator<Item = &'c [u8]>,
     limits: &Limits,
 ) -> Vec<ValidationError> {
-    let _span = obs::span!("validate.stream.chunks");
-    let timer = obs::Timer::start();
+    let span = obs::span!("validate.stream.chunks");
     let mut feeder = FeedReader::with_limits(limits.clone());
     let mut validator = StreamingValidator::with_limits(compiled, limits.clone());
     let mut outcome: Result<bool, ParseError> = Ok(true);
@@ -798,8 +815,13 @@ pub fn validate_chunks_streaming_with_limits<'c>(
             })
             .map(|_| true);
     }
+    let tally = DocTally {
+        stats: feeder.stats(),
+        max_depth: validator.max_depth() as u64,
+    };
     let errors = conclude_feed(validator, outcome);
-    record_stream_metrics(timer, &errors);
+    let elapsed = span.finish();
+    record_stream_run("stream.chunks", elapsed, tally, &errors);
     errors
 }
 
@@ -826,8 +848,7 @@ pub fn validate_read_streaming_with_limits<R: std::io::Read>(
     mut input: R,
     limits: &Limits,
 ) -> std::io::Result<Vec<ValidationError>> {
-    let _span = obs::span!("validate.stream.read");
-    let timer = obs::Timer::start();
+    let span = obs::span!("validate.stream.read");
     let mut feeder = FeedReader::with_limits(limits.clone());
     let mut validator = StreamingValidator::with_limits(compiled, limits.clone());
     let mut buf = vec![0u8; READ_CHUNK_BYTES];
@@ -855,8 +876,13 @@ pub fn validate_read_streaming_with_limits<R: std::io::Read>(
             })
             .map(|_| true);
     }
+    let tally = DocTally {
+        stats: feeder.stats(),
+        max_depth: validator.max_depth() as u64,
+    };
     let errors = conclude_feed(validator, outcome);
-    record_stream_metrics(timer, &errors);
+    let elapsed = span.finish();
+    record_stream_run("stream.read", elapsed, tally, &errors);
     Ok(errors)
 }
 
@@ -875,24 +901,64 @@ fn conclude_feed(
     }
 }
 
-/// The per-run observability flush shared by the chunked entry points
-/// (the whole-input path does the same inline).
-fn record_stream_metrics(timer: obs::Timer, errors: &[ValidationError]) {
-    if let Some(elapsed) = timer.stop() {
-        obs::metrics()
-            .histogram(
-                "validator_stream_seconds",
-                "Streaming (parse + validate) latency per document.",
-                obs::DURATION_BUCKETS,
-            )
-            .observe_duration(elapsed);
+/// The per-run observability flush shared by every streaming entry
+/// point: latency histogram and rejection counter when metrics are on,
+/// a per-document wide event when the flight recorder is on. `elapsed`
+/// comes from the entry point's single span-finish clock read, so every
+/// surface reports the same duration.
+fn record_stream_run(
+    entry: &'static str,
+    elapsed: Option<std::time::Duration>,
+    tally: DocTally,
+    errors: &[ValidationError],
+) {
+    let limit_trips = errors
+        .iter()
+        .filter(|e| matches!(e.kind, ValidationErrorKind::Resource(_)))
+        .count() as u64;
+    if obs::enabled() {
+        if let Some(elapsed) = elapsed {
+            obs::metrics()
+                .histogram(
+                    "validator_stream_seconds",
+                    "Streaming (parse + validate) latency per document.",
+                    obs::DURATION_BUCKETS,
+                )
+                .observe_duration(elapsed);
+        }
+        if limit_trips > 0 {
+            limits::record_rejected();
+        }
     }
-    if obs::enabled()
-        && errors
+    if obs::trace::enabled() {
+        let outcome = if limit_trips > 0 {
+            obs::trace::Outcome::ResourceTripped
+        } else if errors
             .iter()
-            .any(|e| matches!(e.kind, ValidationErrorKind::Resource(_)))
-    {
-        limits::record_rejected();
+            .any(|e| matches!(e.kind, ValidationErrorKind::NotWellFormed(_)))
+        {
+            obs::trace::Outcome::Malformed
+        } else if !errors.is_empty() {
+            obs::trace::Outcome::Invalid
+        } else {
+            obs::trace::Outcome::Valid
+        };
+        let total = elapsed.unwrap_or_default();
+        obs::trace::record_wide_event(obs::trace::WideEvent {
+            entry,
+            bytes: tally.stats.bytes,
+            events: tally.stats.events,
+            max_depth: tally.max_depth,
+            borrowed_events: tally.stats.borrowed_events,
+            owned_events: tally.stats.owned_events,
+            error_count: errors.len() as u64,
+            limit_trips,
+            outcome,
+            // parse and validation are fused on the streaming path, so
+            // the run is one phase; the trace tree has the fine structure
+            phases: vec![(entry, total)],
+            total,
+        });
     }
 }
 

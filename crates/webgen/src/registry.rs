@@ -192,18 +192,21 @@ impl SchemaRegistry {
         limits: &Limits,
     ) -> Option<std::io::Result<Vec<ValidationError>>> {
         let compiled = self.get(schema_name)?;
-        let _span = obs::span!("registry.validate_reader", schema = schema_name);
-        let timer = obs::Timer::start();
+        let span = obs::span!("registry.validate_reader", schema = schema_name);
         let result = validator::validate_read_streaming_with_limits(&compiled, input, limits);
-        if let Some(elapsed) = timer.stop() {
-            obs::metrics()
-                .histogram_with(
-                    "registry_validate_seconds",
-                    "Streaming validation latency through the registry, per schema.",
-                    &[("schema", schema_name)],
-                    obs::DURATION_BUCKETS,
-                )
-                .observe_duration(elapsed);
+        // one clock read shared by the trace record and the histogram
+        let elapsed = span.finish();
+        if obs::enabled() {
+            if let Some(elapsed) = elapsed {
+                obs::metrics()
+                    .histogram_with(
+                        "registry_validate_seconds",
+                        "Streaming validation latency through the registry, per schema.",
+                        &[("schema", schema_name)],
+                        obs::DURATION_BUCKETS,
+                    )
+                    .observe_duration(elapsed);
+            }
         }
         Some(result)
     }
@@ -216,18 +219,21 @@ impl SchemaRegistry {
         document: &str,
         limits: &Limits,
     ) -> Vec<ValidationError> {
-        let _span = obs::span!("registry.validate", schema = schema_name);
-        let timer = obs::Timer::start();
+        let span = obs::span!("registry.validate", schema = schema_name);
         let errors = validator::validate_str_streaming_with_limits(compiled, document, limits);
-        if let Some(elapsed) = timer.stop() {
-            obs::metrics()
-                .histogram_with(
-                    "registry_validate_seconds",
-                    "Streaming validation latency through the registry, per schema.",
-                    &[("schema", schema_name)],
-                    obs::DURATION_BUCKETS,
-                )
-                .observe_duration(elapsed);
+        // one clock read shared by the trace record and the histogram
+        let elapsed = span.finish();
+        if obs::enabled() {
+            if let Some(elapsed) = elapsed {
+                obs::metrics()
+                    .histogram_with(
+                        "registry_validate_seconds",
+                        "Streaming validation latency through the registry, per schema.",
+                        &[("schema", schema_name)],
+                        obs::DURATION_BUCKETS,
+                    )
+                    .observe_duration(elapsed);
+            }
         }
         errors
     }

@@ -37,7 +37,7 @@ use limits::{Limits, ResourceErrorKind};
 
 use crate::error::{ParseError, ParseErrorKind};
 use crate::event::BorrowedEvent;
-use crate::reader::{Reader, Suspended};
+use crate::reader::{Reader, ReaderStats, Suspended};
 
 /// How a pump pass over the buffered input ended.
 enum Pump {
@@ -93,6 +93,9 @@ pub struct FeedReader {
     stopped: bool,
     /// Terminal error, latched so every later call re-reports it.
     error: Option<ParseError>,
+    /// Cumulative throughput counters across every resumed tokenizer
+    /// pass (each pass reports only its own delta).
+    stats: ReaderStats,
 }
 
 impl FeedReader {
@@ -116,6 +119,7 @@ impl FeedReader {
             total_bytes: 0,
             stopped: false,
             error: None,
+            stats: ReaderStats::default(),
         }
     }
 
@@ -129,6 +133,13 @@ impl FeedReader {
     /// in-flight token plus the latest chunk).
     pub fn buffered_bytes(&self) -> usize {
         self.buf.len() + self.utf8_tail.len()
+    }
+
+    /// Cumulative throughput counters over every chunk so far — the
+    /// chunked analogue of [`Reader::stats`](crate::Reader::stats),
+    /// carried by the flight recorder's wide events.
+    pub fn stats(&self) -> ReaderStats {
+        self.stats
     }
 
     /// Appends a chunk and delivers every event it completes to
@@ -161,22 +172,27 @@ impl FeedReader {
     /// Marks the end of input: delivers the remaining events (including
     /// `Eof`) and runs the end-of-document checks a whole-input reader
     /// would — a mid-token truncation is now a hard `UnexpectedEof`, an
-    /// unterminated element a hard `UnclosedElements`.
-    pub fn finish<F>(mut self, mut on_event: F) -> Result<(), ParseError>
+    /// unterminated element a hard `UnclosedElements`. The reader stays
+    /// usable for post-mortem queries ([`stats`](Self::stats),
+    /// [`position`](Self::position)) afterwards; a second `finish` is a
+    /// no-op (or re-reports the latched error).
+    pub fn finish<F>(&mut self, mut on_event: F) -> Result<(), ParseError>
     where
         F: FnMut(&BorrowedEvent<'_, '_>) -> bool,
     {
-        if let Some(e) = self.error {
-            return Err(e);
+        if let Some(e) = &self.error {
+            return Err(e.clone());
         }
         if self.stopped {
             return Ok(());
         }
         if !self.utf8_tail.is_empty() {
             // the document ended inside a multi-byte sequence
-            return Err(ParseError::new(ParseErrorKind::InvalidUtf8, self.state.pos));
+            return Err(self.latch(ParseErrorKind::InvalidUtf8));
         }
-        self.pump(true, &mut on_event).map(|_| ())
+        let result = self.pump(true, &mut on_event).map(|_| ());
+        self.stopped = true;
+        result
     }
 
     /// Stitches `chunk` onto the buffer, carrying an incomplete trailing
@@ -245,12 +261,15 @@ impl FeedReader {
                     break Pump::Suspended;
                 }
                 Err(e) => {
+                    self.stats.absorb(reader.stats());
                     drop(reader);
                     self.error = Some(e.clone());
                     return Err(e);
                 }
             }
         };
+        // each resumed pass reports only its own delta; total them here
+        self.stats.absorb(reader.stats());
         match outcome {
             Pump::Stopped | Pump::Done => {
                 drop(reader);

@@ -23,5 +23,5 @@ pub mod tree;
 pub use error::{ParseError, ParseErrorKind};
 pub use event::{AttributeEvent, BorrowedAttribute, BorrowedEvent, Event};
 pub use feed::FeedReader;
-pub use reader::Reader;
+pub use reader::{Reader, ReaderStats};
 pub use tree::{parse_document, parse_document_with_limits, parse_fragment};

@@ -195,6 +195,33 @@ impl Drop for Reader<'_> {
     }
 }
 
+/// A point-in-time snapshot of one reader's throughput counters — the
+/// per-document numbers the flight recorder's wide events carry, read
+/// without waiting for the metrics flush at drop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReaderStats {
+    /// Source bytes consumed so far.
+    pub bytes: u64,
+    /// Events produced so far.
+    pub events: u64,
+    /// Events whose every string borrowed the source.
+    pub borrowed_events: u64,
+    /// Events that needed an owned copy (entity expansion, attribute or
+    /// EOL normalization).
+    pub owned_events: u64,
+}
+
+impl ReaderStats {
+    /// Accumulates another snapshot into this one — how
+    /// [`crate::FeedReader`] totals the readers it resumes per chunk.
+    pub fn absorb(&mut self, other: ReaderStats) {
+        self.bytes += other.bytes;
+        self.events += other.events;
+        self.borrowed_events += other.borrowed_events;
+        self.owned_events += other.owned_events;
+    }
+}
+
 impl<'a> Reader<'a> {
     /// Creates a reader for a complete document, with no resource
     /// budgets ([`Limits::unbounded`]) — behavior is byte-identical to
@@ -240,6 +267,18 @@ impl<'a> Reader<'a> {
     /// state their intent and fragment-specific rules have a home.
     pub fn fragment(src: &'a str) -> Self {
         Reader::new(src)
+    }
+
+    /// This reader's throughput counters so far. For a reader resumed
+    /// from a checkpoint the byte count covers only this reader's own
+    /// consumption (the same delta its metrics flush reports).
+    pub fn stats(&self) -> ReaderStats {
+        ReaderStats {
+            bytes: (self.pos.offset - self.start_offset) as u64,
+            events: self.events_seen,
+            borrowed_events: self.borrowed_events,
+            owned_events: self.owned_fallback,
+        }
     }
 
     /// Rebuilds a reader over the current feed buffer from suspended

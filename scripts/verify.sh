@@ -33,6 +33,30 @@ for needle in "xmlparse_events_total" "schema_compile_seconds" \
   fi
 done
 
+echo "==> xmldiag smoke run (flight recorder + Chrome trace golden gate)"
+# xmldiag self-validates its Chrome export before writing it (strict B/E
+# nesting per thread, required ph/ts/pid/tid fields, zero orphaned
+# parent links) and asserts every pool-worker span parents into the
+# export, so the smoke run IS the trace-format gate; the greps below
+# pin the wide-event and summary surfaces on top.
+trace_out="$(mktemp /tmp/xmldiag_trace.XXXXXX.json)"
+out="$(cargo run -q --release -p examples --bin xmldiag -- --chrome "$trace_out")"
+for needle in "wide event: entry=stream" "outcome=valid" "outcome=malformed" \
+    "== trace phases (top-down) ==" "pool.queue_wait" "validate.stream" \
+    "== quantile estimates (from histogram buckets) ==" \
+    "chrome trace OK"; do
+  if ! grep -q "$needle" <<<"$out"; then
+    echo "xmldiag output is missing '$needle'" >&2
+    exit 1
+  fi
+done
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$trace_out" 2>/dev/null \
+  || { echo "exported Chrome trace is not valid JSON" >&2; exit 1; }
+rm -f "$trace_out"
+
+echo "==> trace export gate (ctx propagation at 1/2/8 threads + wraparound + golden)"
+cargo test -q -p integration-tests --test trace_export
+
 echo "==> parallel stress pass (RUST_TEST_THREADS=8)"
 # Run the concurrency-sensitive suites with 8 test threads so the
 # parallel validator, the DFA intern table, and the obs aggregation race
