@@ -1,0 +1,154 @@
+//! **B14 — HTTP serving throughput** (group `B14-http-load`).
+//!
+//! End-to-end requests/sec through the std-only HTTP front end: loopback
+//! TCP, real request parsing, the streaming validator, and JSON verdict
+//! rendering all on the measured path. Traffic is the mixed profile the
+//! service is built for — mostly valid purchase orders, some invalid
+//! documents (still answered 200), and hostile deep-nesting documents
+//! that trip the depth budget into a typed 422 — because a production
+//! mix is never all-clean. Client fan-in scales 1→8 concurrent
+//! keep-alive connections against the default 8 connection workers; a
+//! separate single-connection benchmark isolates per-request latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serve::{Server, ServerConfig};
+use webgen::SchemaRegistry;
+
+/// Concurrent keep-alive client connections.
+const CLIENTS: &[usize] = &[1, 2, 4, 8];
+/// Requests per client per measured iteration.
+const PER_CLIENT: usize = 20;
+
+fn boot() -> Server {
+    let registry = Arc::new(SchemaRegistry::with_corpus().expect("corpus registry"));
+    registry.get("purchase-order").unwrap().warm();
+    Server::start(registry, "127.0.0.1:0", ServerConfig::default()).expect("bind")
+}
+
+/// The 8:1:1 valid/invalid/hostile request mix, pre-rendered to raw
+/// request bytes (keep-alive) so only the wire + server are measured.
+fn request_mix() -> Vec<Vec<u8>> {
+    let frame = |doc: &str| {
+        format!(
+            "POST /v1/validate/purchase-order HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
+            doc.len(),
+            doc
+        )
+        .into_bytes()
+    };
+    let hostile = format!("{}{}", "<d>".repeat(2_000), "</d>".repeat(2_000));
+    let mut mix = Vec::with_capacity(10);
+    for seed in 0..8u64 {
+        mix.push(frame(&webgen::render_order_string(
+            &webgen::generate_order(seed, 3),
+        )));
+    }
+    mix.push(frame("<order><junk/></order>"));
+    mix.push(frame(&hostile));
+    mix
+}
+
+/// Sends one raw request on an open connection and reads the response
+/// to completion; returns the status code.
+fn exchange(stream: &mut TcpStream, raw: &[u8]) -> u16 {
+    stream.write_all(raw).expect("write request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut len = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            len = v.trim().parse().expect("content-length");
+        }
+    }
+    // BufReader may have buffered body bytes past the headers; consume
+    // exactly the body through the same reader
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    black_box(&body);
+    status
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+fn bench_http_load(c: &mut Criterion) {
+    let server = boot();
+    let addr = server.addr();
+    let mix = request_mix();
+
+    let mut group = c.benchmark_group("B14-http-load");
+    group.sample_size(10);
+
+    // fan-in scaling: N clients, each PER_CLIENT mixed requests per
+    // iteration over its own keep-alive connection
+    for &clients in CLIENTS {
+        group.throughput(Throughput::Elements((clients * PER_CLIENT) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("mixed-traffic/clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for c in 0..clients {
+                            let mix = &mix;
+                            scope.spawn(move || {
+                                let mut stream = connect(addr);
+                                for i in 0..PER_CLIENT {
+                                    let raw = &mix[(c + i) % mix.len()];
+                                    let status = exchange(&mut stream, raw);
+                                    assert!(
+                                        status == 200 || status == 422,
+                                        "unexpected status {status} under load"
+                                    );
+                                }
+                            });
+                        }
+                    })
+                });
+            },
+        );
+    }
+
+    // per-request latency on one persistent connection, no contention:
+    // the floor the fan-in numbers are paying wire + parse + validate on
+    let valid = request_mix().remove(0);
+    let persistent = RefCell::new(connect(addr));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single-connection-latency", |b| {
+        b.iter(|| {
+            let status = exchange(&mut persistent.borrow_mut(), &valid);
+            assert_eq!(status, 200);
+        });
+    });
+    drop(persistent);
+    group.finish();
+    server.drain();
+}
+
+criterion_group!(benches, bench_http_load);
+criterion_main!(benches);

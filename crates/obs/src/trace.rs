@@ -450,6 +450,11 @@ pub struct WideEvent {
     pub phases: Vec<(&'static str, Duration)>,
     /// End-to-end wall time.
     pub total: Duration,
+    /// Free-form context attributes beyond the fixed pipeline counters —
+    /// an HTTP front end records `method`/`path`/`status`/`tenant` here,
+    /// so one record still tells the whole story of a request. Empty for
+    /// the library entry points.
+    pub attrs: Vec<(&'static str, String)>,
 }
 
 impl fmt::Display for WideEvent {
@@ -476,6 +481,9 @@ impl fmt::Display for WideEvent {
                 name,
                 crate::metrics::fmt_seconds(d.as_secs_f64())
             )?;
+        }
+        for (name, value) in &self.attrs {
+            write!(f, " {name}={value}")?;
         }
         Ok(())
     }
@@ -1234,6 +1242,7 @@ mod tests {
             outcome,
             phases: vec![(entry, Duration::from_micros(total_us))],
             total: Duration::from_micros(total_us),
+            attrs: Vec::new(),
         }
     }
 

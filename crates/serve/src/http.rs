@@ -1,0 +1,537 @@
+//! The wire layer: a hand-rolled, std-only HTTP/1.1 implementation.
+//!
+//! This is deliberately not a general-purpose HTTP library — it is the
+//! minimal, *hostile-input-hardened* subset the validation service
+//! needs: request-line and header parsing with hard size caps,
+//! `Content-Length` and `chunked` body framing exposed as an
+//! [`std::io::Read`] so bodies stream straight into the chunked
+//! validation path without ever being buffered whole, absolute
+//! per-request read deadlines (a slowloris client dripping one byte per
+//! write runs out of *deadline*, not out of server patience), and
+//! keep-alive with pipelining (unread pipelined requests simply wait in
+//! the connection buffer).
+//!
+//! Every protocol violation maps to a typed [`HttpError`] so the
+//! connection handler can answer 400/408 deterministically; nothing in
+//! this module panics on any byte sequence a socket can deliver.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Hard cap on the request line, in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 << 10;
+/// Hard cap on a single header line, in bytes.
+pub const MAX_HEADER_LINE: usize = 8 << 10;
+/// Hard cap on the number of headers per request.
+pub const MAX_HEADERS: usize = 100;
+/// Hard cap on a chunk-size line (hex digits plus extensions).
+pub const MAX_CHUNK_LINE: usize = 1 << 10;
+
+/// How reading a request failed; decides the response (if any).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes violate the protocol; answer 400 and close.
+    Malformed(&'static str),
+    /// The per-request read deadline passed; answer 408 and close.
+    Timeout,
+    /// The peer closed the connection; nothing to answer.
+    Closed,
+    /// Transport failure; nothing to answer.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// Converts into the `io::Error` a body [`Read`] must surface.
+    fn into_io(self) -> io::Error {
+        match self {
+            HttpError::Malformed(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
+            HttpError::Timeout => io::ErrorKind::TimedOut.into(),
+            HttpError::Closed => io::ErrorKind::UnexpectedEof.into(),
+            HttpError::Io(e) => e,
+        }
+    }
+}
+
+/// One accepted connection: the stream plus its read buffer. The buffer
+/// outlives individual requests, which is what makes pipelining work —
+/// bytes of the *next* request read together with the current one just
+/// wait their turn.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl Conn {
+    /// Wraps an accepted stream; `write_deadline` bounds every write for
+    /// the connection's lifetime.
+    pub fn new(stream: TcpStream, write_deadline: Duration) -> Conn {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(write_deadline.max(Duration::from_millis(1))));
+        Conn {
+            stream,
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// The unconsumed buffered bytes.
+    pub fn buffered(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        debug_assert!(self.start <= self.buf.len());
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 << 10 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// One read from the socket into the buffer, waiting at most
+    /// `slice`. `Ok(0)` is EOF; a timeout is `Err(HttpError::Timeout)`.
+    fn fill_once(&mut self, slice: Duration) -> Result<usize, HttpError> {
+        self.stream
+            .set_read_timeout(Some(slice.max(Duration::from_millis(1))))
+            .map_err(HttpError::Io)?;
+        let mut tmp = [0u8; 8 << 10];
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(0),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&tmp[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(HttpError::Timeout)
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionReset
+                        || e.kind() == io::ErrorKind::ConnectionAborted
+                        || e.kind() == io::ErrorKind::BrokenPipe =>
+                {
+                    return Err(HttpError::Closed)
+                }
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+    }
+
+    /// One read bounded by the absolute `deadline`.
+    fn fill(&mut self, deadline: Instant) -> Result<usize, HttpError> {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(HttpError::Timeout)?;
+        self.fill_once(remaining)
+    }
+
+    /// Waits for the next request's first byte: up to `idle` total, in
+    /// short slices so a drain flag flipped mid-wait is noticed within
+    /// ~100ms. Returns `true` when bytes are available; `false` on EOF,
+    /// idle expiry, or drain (already-buffered bytes still count as
+    /// available — a request accepted before the drain began is served).
+    pub fn wait_for_data(&mut self, idle: Duration, draining: &AtomicBool) -> bool {
+        if !self.buffered().is_empty() {
+            return true;
+        }
+        let end = Instant::now() + idle;
+        loop {
+            match self.fill_once(Duration::from_millis(100)) {
+                Ok(0) => return false,
+                Ok(_) => return true,
+                Err(HttpError::Timeout) => {
+                    if draining.load(Ordering::Acquire) || Instant::now() >= end {
+                        return false;
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Reads one CRLF- (or bare-LF-) terminated line, excluding the
+    /// terminator, enforcing `max` bytes.
+    fn read_line(&mut self, max: usize, deadline: Instant) -> Result<String, HttpError> {
+        loop {
+            if let Some(i) = self.buffered().iter().position(|&b| b == b'\n') {
+                if i > max {
+                    return Err(HttpError::Malformed("line too long"));
+                }
+                let mut line = self.buffered()[..i].to_vec();
+                self.consume(i + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map_err(|_| HttpError::Malformed("line is not UTF-8"));
+            }
+            if self.buffered().len() > max {
+                return Err(HttpError::Malformed("line too long"));
+            }
+            if self.fill(deadline)? == 0 {
+                return Err(HttpError::Closed);
+            }
+        }
+    }
+
+    /// Reads up to `out.len()` body bytes (buffer first, then socket).
+    /// `Ok(0)` only at EOF.
+    fn read_some(&mut self, out: &mut [u8], deadline: Instant) -> Result<usize, HttpError> {
+        if self.buffered().is_empty() && self.fill(deadline)? == 0 {
+            return Ok(0);
+        }
+        let avail = self.buffered();
+        let n = avail.len().min(out.len());
+        out[..n].copy_from_slice(&avail[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+
+    /// The write half, for responses.
+    pub fn writer(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+/// A parsed request head. Header names are lowercased at parse time.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verb, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the request target (query string stripped).
+    pub path: String,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
+    /// `(lowercased-name, value)` in arrival order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection may be reused after this exchange
+    /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection` header
+    /// overrides either way).
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'!' | b'#' | b'$' | b'%' | b'&')
+}
+
+/// Reads and parses one request head. The caller supplies the absolute
+/// per-request `deadline`; a client that cannot deliver its headers in
+/// time gets [`HttpError::Timeout`] no matter how steadily it drips.
+pub fn parse_request(conn: &mut Conn, deadline: Instant) -> Result<Request, HttpError> {
+    let line = conn.read_line(MAX_REQUEST_LINE, deadline)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::Malformed("bad request line")),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("bad method"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::Malformed("unsupported HTTP version")),
+    };
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed("bad request target"));
+    }
+    let path = target
+        .split(['?', '#'])
+        .next()
+        .unwrap_or(target)
+        .to_string();
+    let mut headers = Vec::new();
+    loop {
+        let line = conn.read_line(MAX_HEADER_LINE, deadline)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        // a space before the colon is the classic request-smuggling vector
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        http11,
+        headers,
+    })
+}
+
+/// How the request's body bytes are delimited on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// No body (no framing headers present).
+    None,
+    /// `Content-Length: n`.
+    Length(u64),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+}
+
+/// Determines the body framing, rejecting the ambiguous combinations
+/// (duplicate or conflicting framing headers) outright.
+pub fn framing(req: &Request) -> Result<Framing, HttpError> {
+    let lengths: Vec<&str> = req
+        .headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let te = req.header("transfer-encoding");
+    match (te, lengths.as_slice()) {
+        (Some(te), []) if te.eq_ignore_ascii_case("chunked") => Ok(Framing::Chunked),
+        (Some(_), _) => Err(HttpError::Malformed("bad transfer-encoding")),
+        (None, []) => Ok(Framing::None),
+        (None, [one]) => {
+            if one.is_empty() || !one.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::Malformed("bad content-length"));
+            }
+            one.parse::<u64>()
+                .map(Framing::Length)
+                .map_err(|_| HttpError::Malformed("bad content-length"))
+        }
+        (None, _) => Err(HttpError::Malformed("conflicting content-length")),
+    }
+}
+
+enum BodyState {
+    /// Fixed-length body: bytes left to deliver.
+    Length(u64),
+    /// Chunked body: bytes left in the current chunk (`0` = a size line
+    /// is due next; `first` suppresses the chunk-terminating CRLF read).
+    Chunk {
+        remaining: u64,
+        first: bool,
+    },
+    Done,
+}
+
+/// A request body as an [`io::Read`]: the adapter that lets a socket
+/// body stream straight into `validate_streaming_reader` without ever
+/// being resident. Timeouts surface as [`io::ErrorKind::TimedOut`],
+/// framing violations as [`io::ErrorKind::InvalidData`], a peer that
+/// vanished mid-body as [`io::ErrorKind::UnexpectedEof`].
+pub struct Body<'c> {
+    conn: &'c mut Conn,
+    deadline: Instant,
+    state: BodyState,
+    consumed: u64,
+}
+
+impl<'c> Body<'c> {
+    /// Wraps `conn` for one request's body under `framing`.
+    pub fn new(conn: &'c mut Conn, framing: Framing, deadline: Instant) -> Body<'c> {
+        let state = match framing {
+            Framing::None | Framing::Length(0) => BodyState::Done,
+            Framing::Length(n) => BodyState::Length(n),
+            Framing::Chunked => BodyState::Chunk {
+                remaining: 0,
+                first: true,
+            },
+        };
+        Body {
+            conn,
+            deadline,
+            state,
+            consumed: 0,
+        }
+    }
+
+    /// Whether every body byte has been consumed (connection reusable).
+    pub fn finished(&self) -> bool {
+        matches!(self.state, BodyState::Done)
+    }
+
+    /// Payload bytes delivered so far (framing overhead excluded).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Consumes the remaining body, up to `cap` bytes. Returns `true`
+    /// when the body ended within the cap — the connection can then
+    /// carry another request; `false` means the caller must close.
+    pub fn drain(&mut self, cap: usize) -> bool {
+        let mut left = cap;
+        let mut sink = [0u8; 4096];
+        while !self.finished() && left > 0 {
+            let want = sink.len().min(left);
+            match self.read(&mut sink[..want]) {
+                Ok(0) => break,
+                Ok(n) => left -= n,
+                Err(_) => return false,
+            }
+        }
+        self.finished()
+    }
+
+    /// Advances chunked framing to the next data chunk (or `Done`).
+    fn next_chunk(&mut self, first: bool) -> io::Result<()> {
+        if !first {
+            // the CRLF that terminates the previous chunk's data
+            let sep = self
+                .conn
+                .read_line(2, self.deadline)
+                .map_err(HttpError::into_io)?;
+            if !sep.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "missing chunk terminator",
+                ));
+            }
+        }
+        let line = self
+            .conn
+            .read_line(MAX_CHUNK_LINE, self.deadline)
+            .map_err(HttpError::into_io)?;
+        let size_part = line.split(';').next().unwrap_or("").trim();
+        if size_part.is_empty() || !size_part.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"));
+        }
+        let size = u64::from_str_radix(size_part, 16)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+        if size == 0 {
+            // trailer section: lines until the empty one
+            loop {
+                let line = self
+                    .conn
+                    .read_line(MAX_HEADER_LINE, self.deadline)
+                    .map_err(HttpError::into_io)?;
+                if line.is_empty() {
+                    break;
+                }
+            }
+            self.state = BodyState::Done;
+        } else {
+            self.state = BodyState::Chunk {
+                remaining: size,
+                first: false,
+            };
+        }
+        Ok(())
+    }
+}
+
+impl Read for Body<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.state {
+                BodyState::Done => return Ok(0),
+                BodyState::Length(remaining) => {
+                    let want = out.len().min(remaining.min(usize::MAX as u64) as usize);
+                    let n = self
+                        .conn
+                        .read_some(&mut out[..want], self.deadline)
+                        .map_err(HttpError::into_io)?;
+                    if n == 0 {
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                    self.consumed += n as u64;
+                    let left = remaining - n as u64;
+                    self.state = if left == 0 {
+                        BodyState::Done
+                    } else {
+                        BodyState::Length(left)
+                    };
+                    return Ok(n);
+                }
+                BodyState::Chunk {
+                    remaining: 0,
+                    first,
+                } => self.next_chunk(first)?,
+                BodyState::Chunk { remaining, .. } => {
+                    let want = out.len().min(remaining.min(usize::MAX as u64) as usize);
+                    let n = self
+                        .conn
+                        .read_some(&mut out[..want], self.deadline)
+                        .map_err(HttpError::into_io)?;
+                    if n == 0 {
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                    self.consumed += n as u64;
+                    self.state = BodyState::Chunk {
+                        remaining: remaining - n as u64,
+                        first: false,
+                    };
+                    return Ok(n);
+                }
+            }
+        }
+    }
+}
+
+/// The standard reason phrase for the codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response. Always emits `Content-Length` and an
+/// explicit `Connection` header, so the client never has to guess where
+/// the body ends or whether to reuse the socket.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}

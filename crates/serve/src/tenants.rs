@@ -1,0 +1,85 @@
+//! Per-tenant admission control: which [`Limits`] a request runs under.
+//!
+//! The serving layer is multi-party by design (the Distributed XML
+//! Design framing — validation as a service several parties call, not a
+//! library one program links). Each party gets its own resource budget:
+//! the `X-Tenant` request header selects a row in this table, and the
+//! whole validation pipeline below — parser ceilings, error caps,
+//! deadline — runs under that tenant's [`Limits`]. A request with no
+//! (or an unknown) tenant header runs under the default budget, so the
+//! table is admission *control*, never a routing requirement.
+
+use std::collections::HashMap;
+
+use limits::Limits;
+
+/// The request header that selects the tenant budget.
+pub const TENANT_HEADER: &str = "x-tenant";
+
+/// A header-keyed table of per-tenant resource budgets.
+#[derive(Debug, Clone)]
+pub struct TenantTable {
+    default_limits: Limits,
+    tenants: HashMap<String, Limits>,
+}
+
+impl Default for TenantTable {
+    fn default() -> TenantTable {
+        TenantTable::new(Limits::default())
+    }
+}
+
+impl TenantTable {
+    /// A table whose unmatched requests run under `default_limits`.
+    pub fn new(default_limits: Limits) -> TenantTable {
+        TenantTable {
+            default_limits,
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) tenant `name`'s budget.
+    pub fn insert(&mut self, name: impl Into<String>, limits: Limits) -> &mut Self {
+        self.tenants.insert(name.into(), limits);
+        self
+    }
+
+    /// Builder form of [`insert`](Self::insert).
+    pub fn with(mut self, name: impl Into<String>, limits: Limits) -> TenantTable {
+        self.insert(name, limits);
+        self
+    }
+
+    /// Resolves a request's `X-Tenant` header value to `(label, budget)`.
+    /// A missing or unknown tenant resolves to `("default", default
+    /// budget)` — the label is what the request's wide event records, so
+    /// it must stay low-cardinality even under hostile header values.
+    pub fn resolve(&self, tenant: Option<&str>) -> (&str, Limits) {
+        if let Some(name) = tenant {
+            if let Some((key, limits)) = self.tenants.get_key_value(name) {
+                return (key.as_str(), limits.clone());
+            }
+        }
+        ("default", self.default_limits.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_and_missing_tenants_get_the_default_budget() {
+        let table = TenantTable::new(Limits::default().with_max_depth(99))
+            .with("small", Limits::default().with_max_depth(3));
+        let (label, limits) = table.resolve(None);
+        assert_eq!(label, "default");
+        assert_eq!(limits.max_depth, 99);
+        let (label, limits) = table.resolve(Some("nope"));
+        assert_eq!(label, "default");
+        assert_eq!(limits.max_depth, 99);
+        let (label, limits) = table.resolve(Some("small"));
+        assert_eq!(label, "small");
+        assert_eq!(limits.max_depth, 3);
+    }
+}

@@ -958,6 +958,7 @@ fn record_stream_run(
             // the run is one phase; the trace tree has the fine structure
             phases: vec![(entry, total)],
             total,
+            attrs: Vec::new(),
         });
     }
 }

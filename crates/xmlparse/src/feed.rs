@@ -142,6 +142,22 @@ impl FeedReader {
         self.stats
     }
 
+    /// Re-arms the reader for a fresh document, keeping the configured
+    /// [`Limits`]. Everything per-document resets: the cumulative input
+    /// budget (`max_input_bytes` counts from zero again), the expansion
+    /// budgets, the tokenizer's cross-chunk state, buffered bytes,
+    /// positions, throughput counters, a latched terminal error, and a
+    /// sink-requested stop.
+    ///
+    /// Without this, a reader reused across requests on one keep-alive
+    /// connection keeps charging each request's bytes against the *same*
+    /// cumulative budget: the Nth request is rejected with
+    /// `InputTooLarge` even though each individual document is far under
+    /// the ceiling.
+    pub fn reset(&mut self) {
+        *self = FeedReader::with_limits(self.limits.clone());
+    }
+
     /// Appends a chunk and delivers every event it completes to
     /// `on_event`. Returns `Ok(true)` to keep feeding, `Ok(false)` if
     /// the sink stopped the stream, and `Err` on the first (terminal)
@@ -477,6 +493,64 @@ mod tests {
             );
         }
         feeder.feed(b"</list>", |_| true).unwrap();
+        feeder.finish(|_| true).unwrap();
+    }
+
+    #[test]
+    fn reset_rearms_the_cumulative_budgets() {
+        // regression: a reader reused across keep-alive requests used to
+        // keep charging every request against one cumulative budget, so
+        // documents individually under the ceiling were rejected once
+        // their *total* crossed it
+        let doc = b"<a>0123456789</a>"; // 17 bytes, under the 24-byte cap
+        let mut feeder = FeedReader::with_limits(Limits::unbounded().with_max_input_bytes(24));
+        // first request's body parses fine; no `finish` — the reader sits
+        // suspended between requests, as a reused connection buffer would
+        feeder.feed(doc, |_| true).unwrap();
+        // without reset the second document's bytes are charged against
+        // the same cumulative budget and trip it, even though each
+        // document alone is well under the ceiling
+        let err = feeder.feed(doc, |_| true).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Resource(ResourceErrorKind::InputTooLarge { limit: 24, .. })
+        ));
+        // reset clears the latched error and re-arms the byte budget; the
+        // same document now parses clean, repeatedly
+        for _ in 0..3 {
+            feeder.reset();
+            assert_eq!(feeder.buffered_bytes(), 0);
+            assert_eq!(feeder.position(), xmlchars::Position::START);
+            let events = {
+                let mut out = Vec::new();
+                feeder
+                    .feed(doc, |e| {
+                        out.push(e.clone().into_owned());
+                        true
+                    })
+                    .unwrap();
+                feeder.finish(|_| true).unwrap();
+                out
+            };
+            assert_eq!(
+                events,
+                whole_events("<a>0123456789</a>").unwrap()[..events.len()]
+            );
+        }
+    }
+
+    #[test]
+    fn reset_rearms_after_a_sink_stop_and_expansion_budget() {
+        let mut feeder = FeedReader::with_limits(Limits::unbounded().with_max_entity_expansions(4));
+        // stop the sink mid-document: further feeds are ignored…
+        assert!(!feeder.feed(b"<a><b/></a>", |_| false).unwrap());
+        assert!(!feeder.feed(b"<c/>", |_| true).unwrap());
+        // …until a reset re-opens the stream
+        feeder.reset();
+        feeder.feed(b"<a>&amp;&lt;&gt;", |_| true).unwrap();
+        feeder.reset();
+        // the expansion count restarts at zero: 3 references fit again
+        feeder.feed(b"<a>&amp;&lt;&gt;</a>", |_| true).unwrap();
         feeder.finish(|_| true).unwrap();
     }
 

@@ -113,6 +113,35 @@ for needle in "limit_trips_total" "docs_rejected_total" "batch_cancelled_total" 
   fi
 done
 
+echo "==> HTTP serving gate (socket-level conformance + torture + drain)"
+# The conformance battery holds HTTP verdicts byte-equivalent to the
+# library's streaming validator across the corpus; the torture battery
+# throws malformed requests, slowloris drips, chunk-boundary splits and
+# oversized lengths at the wire layer; the drain tests complete in-flight
+# work at 2 and 8 workers; the metrics binary reconciles exported
+# counters against the exact traffic sent.
+timeout 120 cargo test -q -p serve
+timeout 300 cargo test -q -p integration-tests \
+  --test http_e2e --test http_torture --test http_drain --test http_metrics
+
+echo "==> xmlserved smoke run (boot on an ephemeral port + scripted sweep)"
+# Boots the service end-to-end as a process and drives the request sweep
+# over loopback: valid/invalid/hostile documents, an oversized declared
+# length refused before the body is read, a batch, a schema hot-swap,
+# and a /metrics scrape — the binary exits non-zero on any unexpected
+# status, and `timeout` bounds the whole boot-serve-drain cycle.
+out="$(timeout 120 cargo run -q --release -p examples --bin xmlserved -- --self-test)"
+for needle in "hostile document typed rejection -> 422" \
+    "oversized declared length refused before read -> 413" \
+    "schema hot-swap -> 200" "malformed request line -> 400" \
+    'metrics export http_requests_total{code="200"}' \
+    "self-test ok: graceful drain" "xmlserved self-test OK"; do
+  if ! grep -qF "$needle" <<<"$out"; then
+    echo "xmlserved self-test output is missing '$needle'" >&2
+    exit 1
+  fi
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

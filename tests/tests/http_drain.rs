@@ -1,0 +1,173 @@
+//! Graceful-drain battery: a server with requests *in flight* is told to
+//! shut down; every in-flight request must complete normally, no new
+//! connection may be served afterwards, and nothing is cancelled —
+//! `batch_cancelled_total` stays untouched because a drain finishes work
+//! rather than killing it. Run at both 2 and 8 connection workers: the
+//! small pool forces some accepted connections to still be *queued*
+//! when the drain begins, and those must be served too (their bytes are
+//! already on the wire).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use serve::{Server, ServerConfig};
+use webgen::SchemaRegistry;
+
+fn read_response(stream: TcpStream) -> (u16, String) {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut len = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            len = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
+}
+
+/// One in-flight client: sends the request head plus the first half of
+/// the body, waits at the barrier (while the main thread starts the
+/// drain), then sends the rest and insists on a complete response.
+fn half_sent_client(
+    addr: SocketAddr,
+    path: &str,
+    body: Vec<u8>,
+    barrier: Arc<Barrier>,
+    resume: Arc<Barrier>,
+) -> thread::JoinHandle<(u16, String)> {
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        stream.write_all(head.as_bytes()).unwrap();
+        let half = body.len() / 2;
+        stream.write_all(&body[..half]).unwrap();
+        barrier.wait(); // in flight — main thread may drain now
+        resume.wait(); // drain has begun
+        stream.write_all(&body[half..]).unwrap();
+        read_response(stream)
+    })
+}
+
+fn drain_with_inflight(conn_workers: usize) {
+    let registry = Arc::new(SchemaRegistry::with_corpus().unwrap());
+    let cfg = ServerConfig {
+        conn_workers,
+        batch_threads: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(registry.clone(), "127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr();
+
+    let doc = webgen::render_order_string(&webgen::generate_order(9, 8));
+    let expected = serve::json::verdict_json(
+        "purchase-order",
+        &registry.validate_streaming("purchase-order", &doc).unwrap(),
+    );
+    let batch_docs = [
+        webgen::render_order_string(&webgen::generate_order(1, 2)),
+        webgen::render_order_string(&webgen::generate_order(2, 3)),
+    ];
+    let mut batch_body = String::new();
+    for d in &batch_docs {
+        batch_body.push_str(&format!("{}\n{}", d.len(), d));
+    }
+
+    const VALIDATORS: usize = 4;
+    // validators + one batch client + this thread
+    let barrier = Arc::new(Barrier::new(VALIDATORS + 2));
+    let resume = Arc::new(Barrier::new(VALIDATORS + 2));
+    let mut clients = Vec::new();
+    for _ in 0..VALIDATORS {
+        clients.push(half_sent_client(
+            addr,
+            "/v1/validate/purchase-order",
+            doc.clone().into_bytes(),
+            barrier.clone(),
+            resume.clone(),
+        ));
+    }
+    let batch_client = half_sent_client(
+        addr,
+        "/v1/batch/purchase-order",
+        batch_body.into_bytes(),
+        barrier.clone(),
+        resume.clone(),
+    );
+
+    barrier.wait(); // every client has half a request on the wire
+    server.shutdown();
+    assert!(server.is_draining());
+    thread::sleep(Duration::from_millis(100));
+    resume.wait(); // clients finish their bodies mid-drain
+
+    for (i, client) in clients.into_iter().enumerate() {
+        let (status, body) = client.join().unwrap();
+        assert_eq!(
+            status, 200,
+            "in-flight client {i} at {conn_workers} workers: {body}"
+        );
+        assert_eq!(
+            body, expected,
+            "in-flight client {i} got a degraded verdict during drain"
+        );
+    }
+    let (status, body) = batch_client.join().unwrap();
+    assert_eq!(status, 200, "in-flight batch during drain: {body}");
+    assert!(body.contains("\"docs\":2"), "{body}");
+
+    server.join(); // blocks until the last in-flight connection is done
+
+    // the listener is gone: no new connection gets served
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut s) => {
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut buf = [0u8; 1];
+            !matches!(s.read(&mut buf), Ok(n) if n > 0)
+        }
+    };
+    assert!(refused, "a drained server served a new connection");
+
+    // drain is completion, not cancellation
+    let metrics = obs::metrics().render_prometheus();
+    for line in metrics.lines() {
+        if line.starts_with("batch_cancelled_total") {
+            assert!(
+                line.ends_with(" 0"),
+                "drain cancelled in-flight work: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn drain_completes_inflight_work_with_two_workers() {
+    // fewer workers than clients: some connections are still queued in
+    // the pool when the drain flag flips, and must be served anyway
+    drain_with_inflight(2);
+}
+
+#[test]
+fn drain_completes_inflight_work_with_eight_workers() {
+    drain_with_inflight(8);
+}
