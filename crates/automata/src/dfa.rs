@@ -196,6 +196,26 @@ impl ContentDfa {
         }
     }
 
+    /// A matcher resumed at a previously observed state (see
+    /// [`DfaMatcher::state`]). Compiled P-XML templates use this to
+    /// restart content matching at a hole's entry state — the static
+    /// prefix of children was verified at plan time, so only the spliced
+    /// suffix needs stepping at render time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not a state id of this automaton.
+    pub fn resume(&self, state: usize) -> DfaMatcher {
+        assert!(
+            state < self.inner.transitions.len(),
+            "resume state {state} out of range"
+        );
+        DfaMatcher {
+            dfa: self.clone(),
+            state,
+        }
+    }
+
     /// Validates a complete child sequence in one call.
     pub fn accepts<'a>(&self, children: impl IntoIterator<Item = &'a str>) -> bool {
         let mut m = self.start();
@@ -383,6 +403,31 @@ mod tests {
         let before = m.state();
         assert!(!m.try_step_sym(symbols::intern("symtest-dfa-unknown")));
         assert_eq!(m.state(), before);
+    }
+
+    #[test]
+    fn resume_continues_from_a_snapshotted_state() {
+        let dfa = ContentDfa::compile(&po_model()).unwrap();
+        let mut m = dfa.start();
+        m.step("shipTo").unwrap();
+        m.step("billTo").unwrap();
+        let snapshot = m.state();
+        // a resumed matcher behaves exactly like the original
+        let mut r = dfa.resume(snapshot);
+        assert_eq!(r.expected(), ["comment", "items"]);
+        r.step("items").unwrap();
+        assert!(r.is_accepting());
+        // the original is unaffected by the resumed copy
+        m.step("comment").unwrap();
+        m.step("items").unwrap();
+        assert!(m.is_accepting());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn resume_rejects_foreign_states() {
+        let dfa = ContentDfa::compile(&po_model()).unwrap();
+        let _ = dfa.resume(usize::MAX);
     }
 
     #[test]

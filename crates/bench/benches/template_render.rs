@@ -1,0 +1,117 @@
+//! **B15 — compiled templates vs the interpreter.** The `pxml::plan`
+//! claim: once a template has passed the static check, rendering it is
+//! a memcpy of pre-escaped static bytes plus escaped hole fills — no
+//! DOM, no seal, no structural re-validation — so a compiled render
+//! should beat the `instantiate`-per-page interpreter by a wide margin
+//! while producing byte-identical pages.
+//!
+//! Compared per page, on the purchase-order and WML directory
+//! generators:
+//!
+//! * `interpreted` — `pxml::instantiate` per page (typed V-DOM build +
+//!   seal + serialize);
+//! * `compiled`    — `CompiledTemplate::render` per page;
+//! * `string`      — unchecked concatenation, the floor.
+//!
+//! A separate group drives the compiled order renderer through `pool`
+//! at 1 and 8 threads to show the per-page cost scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{po_schema, wml_schema};
+use pool::ThreadPool;
+use webgen::{CompiledDirectoryPage, DirectoryPageData, OrderTemplates, PxmlDirectoryPage};
+
+fn order_rendering(c: &mut Criterion) {
+    let compiled = po_schema();
+    let templates = OrderTemplates::new(&compiled).unwrap();
+    let mut group = c.benchmark_group("B15-template-render");
+    group.sample_size(20);
+    for &n in &[1usize, 10, 100] {
+        let order = webgen::generate_order(7, n);
+        // the three backends agree before we time them
+        let page = templates.render_compiled(&order).unwrap();
+        assert_eq!(page, templates.render_interpreted(&order).unwrap());
+        assert_eq!(page, webgen::render_order_string(&order));
+        group.bench_with_input(BenchmarkId::new("orders/string", n), &order, |b, order| {
+            b.iter(|| black_box(webgen::render_order_string(order)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("orders/interpreted", n),
+            &order,
+            |b, order| b.iter(|| black_box(templates.render_interpreted(order).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("orders/compiled", n),
+            &order,
+            |b, order| b.iter(|| black_box(templates.render_compiled(order).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn directory_rendering(c: &mut Criterion) {
+    let compiled = wml_schema();
+    let interpreted = PxmlDirectoryPage::new(&compiled).unwrap();
+    let compiled_page = CompiledDirectoryPage::new(&compiled).unwrap();
+    let mut group = c.benchmark_group("B15-template-render-wml");
+    group.sample_size(20);
+    for &dirs in &[4usize, 32] {
+        let data = DirectoryPageData {
+            sub_dirs: (0..dirs).map(|i| format!("dir{i}")).collect(),
+            current_dir: "/workspace/media".into(),
+            parent_dir: "/workspace".into(),
+        };
+        let page = compiled_page.render(&data).unwrap();
+        assert_eq!(page, interpreted.render(&data).unwrap());
+        assert_eq!(page, webgen::render_string(&data));
+        group.bench_with_input(BenchmarkId::new("wml/string", dirs), &data, |b, data| {
+            b.iter(|| black_box(webgen::render_string(data)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("wml/interpreted", dirs),
+            &data,
+            |b, data| b.iter(|| black_box(interpreted.render(data).unwrap())),
+        );
+        group.bench_with_input(BenchmarkId::new("wml/compiled", dirs), &data, |b, data| {
+            b.iter(|| black_box(compiled_page.render(data).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn parallel_order_rendering(c: &mut Criterion) {
+    let compiled = po_schema();
+    let templates = std::sync::Arc::new(OrderTemplates::new(&compiled).unwrap());
+    let orders: Vec<_> = (0..64)
+        .map(|seed| webgen::generate_order(seed, 10))
+        .collect();
+    let mut group = c.benchmark_group("B15-template-render-parallel");
+    group.sample_size(20);
+    for &threads in &[1usize, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("orders/compiled-batch64", threads),
+            &orders,
+            |b, orders| {
+                b.iter(|| {
+                    let templates = templates.clone();
+                    let jobs: Vec<_> = orders.to_vec();
+                    black_box(pool.map(jobs, move |order| {
+                        templates.render_compiled(&order).unwrap().len()
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    order_rendering,
+    directory_rendering,
+    parallel_order_rendering
+);
+criterion_main!(benches);

@@ -89,6 +89,12 @@ impl TypedDocument {
             .ok_or_else(|| VdomError::NotDeclared(name.to_string()))
     }
 
+    /// Whether `el`'s content model permits character data (mixed or
+    /// simple content).
+    pub(crate) fn allows_text(&self, el: TypedElement) -> Result<bool, VdomError> {
+        Ok(self.state(el)?.text_allowed)
+    }
+
     fn state(&self, el: TypedElement) -> Result<&ElementState, VdomError> {
         self.states.get(&el.node).ok_or(VdomError::BadHandle)
     }
@@ -278,7 +284,13 @@ impl TypedDocument {
                     .to_string(),
             });
         }
-        let t = self.doc.create_text(text.into());
+        let text = text.into();
+        if text.is_empty() {
+            // no node: "" contributes nothing to the text content, and an
+            // empty text node would force `<tag></tag>` over `<tag/>`
+            return Ok(());
+        }
+        let t = self.doc.create_text(text);
         self.doc
             .append_child(element.node, t)
             .map_err(|e| VdomError::Dom(e.to_string()))?;

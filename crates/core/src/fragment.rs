@@ -71,8 +71,9 @@ impl TypedDocument {
                 }
                 NodeKind::Text(t) => {
                     // whitespace-only text between elements of element-only
-                    // content is formatting, not data
-                    if t.trim().is_empty() {
+                    // content is formatting, not data; where text is
+                    // allowed it is significant and must be kept
+                    if t.trim().is_empty() && !self.allows_text(dst)? {
                         continue;
                     }
                     self.append_text(dst, t.clone())?;

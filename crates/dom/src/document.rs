@@ -250,6 +250,15 @@ impl Document {
         Ok(self.get(id)?.children.clone())
     }
 
+    /// The children of `id` as a borrowed slice (document order).
+    ///
+    /// Unlike [`children`](Self::children), this does not clone the
+    /// child list — the read-only walks of the P-XML engines use it to
+    /// traverse without per-element allocation.
+    pub fn child_slice(&self, id: NodeId) -> Result<&[NodeId], DomError> {
+        Ok(&self.get(id)?.children)
+    }
+
     /// Number of children of `id`.
     pub fn child_count(&self, id: NodeId) -> Result<usize, DomError> {
         Ok(self.get(id)?.children.len())

@@ -5,6 +5,8 @@
 //! identifiers plus the `.`/`[…]` selectors seen in the paper's
 //! `$subDirs[i]$`. A literal dollar sign is written `$$`.
 
+use std::borrow::Cow;
+
 use xmlchars::Position;
 
 /// One segment of text-with-holes.
@@ -14,6 +16,27 @@ pub enum Part {
     Text(String),
     /// A `$name$` hole.
     Hole(String),
+}
+
+/// A borrowing view of one segment of text-with-holes: the zero-copy
+/// twin of [`Part`] used by the instantiation and rendering hot paths.
+/// Literal text only becomes owned when a `$$` escape forces a rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartRef<'a> {
+    /// Literal text (borrowed unless a `$$` escape was rewritten).
+    Text(Cow<'a, str>),
+    /// A `$name$` hole; the name borrows the source segment.
+    Hole(&'a str),
+}
+
+impl PartRef<'_> {
+    /// Converts into an owned [`Part`].
+    pub fn into_owned(self) -> Part {
+        match self {
+            PartRef::Text(t) => Part::Text(t.into_owned()),
+            PartRef::Hole(n) => Part::Hole(n.to_string()),
+        }
+    }
 }
 
 /// An error in hole syntax.
@@ -37,28 +60,51 @@ fn is_ref_char(c: char) -> bool {
     c.is_alphanumeric() || matches!(c, '_' | '.' | '[' | ']')
 }
 
-/// Splits a text segment into literal and hole parts.
-pub fn split_holes(text: &str) -> Result<Vec<Part>, HoleSyntaxError> {
+/// Splits a text segment into literal and hole parts without copying:
+/// literals and hole names borrow `text` unless a `$$` escape forces a
+/// rewrite of one literal run.
+pub fn split_holes_ref(text: &str) -> Result<Vec<PartRef<'_>>, HoleSyntaxError> {
     let mut parts = Vec::new();
-    let mut literal = String::new();
+    // Current literal run: borrowed `text[lit_start..i]` until a `$$`
+    // escape forces `lit_owned` to take over.
+    let mut lit_start = 0usize;
+    let mut lit_owned: Option<String> = None;
     let mut chars = text.char_indices().peekable();
+
     while let Some((i, c)) = chars.next() {
         if c != '$' {
-            literal.push(c);
+            if let Some(owned) = lit_owned.as_mut() {
+                owned.push(c);
+            }
             continue;
         }
         // `$$` escapes a literal dollar
         if let Some(&(_, '$')) = chars.peek() {
             chars.next();
-            literal.push('$');
+            let owned = lit_owned.get_or_insert_with(|| text[lit_start..i].to_string());
+            owned.push('$');
+            lit_start = i + 2;
             continue;
         }
+        // flush the pending literal
+        match lit_owned.take() {
+            Some(owned) => {
+                if !owned.is_empty() {
+                    parts.push(PartRef::Text(Cow::Owned(owned)));
+                }
+            }
+            None => {
+                if lit_start < i {
+                    parts.push(PartRef::Text(Cow::Borrowed(&text[lit_start..i])));
+                }
+            }
+        }
         // read the reference up to the closing '$'
-        let mut name = String::new();
-        let mut closed = false;
-        for (_, rc) in chars.by_ref() {
+        let name_start = i + 1;
+        let mut name_end = None;
+        for (j, rc) in chars.by_ref() {
             if rc == '$' {
-                closed = true;
+                name_end = Some(j);
                 break;
             }
             if !is_ref_char(rc) {
@@ -67,29 +113,43 @@ pub fn split_holes(text: &str) -> Result<Vec<Part>, HoleSyntaxError> {
                     message: format!("illegal character {rc:?} in $…$ reference"),
                 });
             }
-            name.push(rc);
         }
-        if !closed {
+        let Some(name_end) = name_end else {
             return Err(HoleSyntaxError {
                 at: i,
                 message: "unterminated $…$ reference".to_string(),
             });
-        }
-        if name.is_empty() {
+        };
+        if name_start == name_end {
             return Err(HoleSyntaxError {
                 at: i,
                 message: "empty $…$ reference".to_string(),
             });
         }
-        if !literal.is_empty() {
-            parts.push(Part::Text(std::mem::take(&mut literal)));
-        }
-        parts.push(Part::Hole(name));
+        parts.push(PartRef::Hole(&text[name_start..name_end]));
+        lit_start = name_end + 1;
     }
-    if !literal.is_empty() {
-        parts.push(Part::Text(literal));
+    match lit_owned {
+        Some(owned) => {
+            if !owned.is_empty() {
+                parts.push(PartRef::Text(Cow::Owned(owned)));
+            }
+        }
+        None => {
+            if lit_start < text.len() {
+                parts.push(PartRef::Text(Cow::Borrowed(&text[lit_start..])));
+            }
+        }
     }
     Ok(parts)
+}
+
+/// Splits a text segment into owned literal and hole parts.
+pub fn split_holes(text: &str) -> Result<Vec<Part>, HoleSyntaxError> {
+    Ok(split_holes_ref(text)?
+        .into_iter()
+        .map(PartRef::into_owned)
+        .collect())
 }
 
 /// All hole names appearing in a segment, in order.
@@ -173,6 +233,19 @@ mod tests {
         assert!(split_holes("$$ok$$").is_ok());
         let err = split_holes("abc$").unwrap_err();
         assert_eq!(err.at, 3);
+    }
+
+    #[test]
+    fn ref_parts_borrow_unless_escaped() {
+        let parts = split_holes_ref("a $x$ b").unwrap();
+        assert!(matches!(&parts[0], PartRef::Text(Cow::Borrowed("a "))));
+        assert!(matches!(&parts[1], PartRef::Hole("x")));
+        assert!(matches!(&parts[2], PartRef::Text(Cow::Borrowed(" b"))));
+
+        let parts = split_holes_ref("$$5 and $n$").unwrap();
+        assert!(matches!(&parts[0], PartRef::Text(Cow::Owned(_))));
+        assert_eq!(parts[0], PartRef::Text(Cow::Borrowed("$5 and ")));
+        assert!(matches!(&parts[1], PartRef::Hole("n")));
     }
 
     #[test]

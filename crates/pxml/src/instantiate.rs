@@ -6,6 +6,11 @@
 //! structure — but for checked templates the only checks that can still
 //! fire are value-level ones on spliced runtime data (the paper's
 //! runtime-residue: facets and occurrence counts).
+//!
+//! This interpreter is also the differential oracle for the compiled
+//! path in [`crate::plan`]: `CompiledTemplate::render` must produce the
+//! same bytes (or the same typed rejection) as `instantiate` followed by
+//! [`Fragment::to_xml`].
 
 use std::collections::BTreeMap;
 
@@ -13,7 +18,7 @@ use dom::{Document, NodeId, NodeKind};
 use schema::{CompiledSchema, TypeRef};
 use vdom::{TypedDocument, TypedElement, VdomError};
 
-use crate::holes::{split_holes, Part};
+use crate::holes::{split_holes_ref, PartRef};
 use crate::template::{resolve_element_type, Template};
 
 /// A validated, sealed document fragment — the runtime value of a V-DOM
@@ -32,9 +37,39 @@ pub struct Fragment {
 
 impl Fragment {
     /// Serializes the fragment compactly.
-    pub fn to_xml(&self) -> String {
-        dom::serialize(&self.doc, self.root).unwrap_or_default()
+    pub fn to_xml(&self) -> Result<String, dom::DomError> {
+        dom::serialize(&self.doc, self.root)
     }
+
+    /// Serializes the fragment once into splice-ready bytes, applying
+    /// the same filtering the typed import applies (xmlns attributes
+    /// dropped, compact empty-element form), so a compiled template
+    /// splices the result byte-identically to splicing the fragment
+    /// itself — without re-walking the tree per render.
+    pub fn to_rendered(&self) -> Result<RenderedFragment, dom::DomError> {
+        let mut out = Vec::new();
+        crate::plan::write_filtered(&self.doc, self.root, &mut out)?;
+        Ok(RenderedFragment {
+            tag: self.tag.clone(),
+            type_ref: self.type_ref.clone(),
+            xml: String::from_utf8(out).expect("serializer emits UTF-8"),
+        })
+    }
+}
+
+/// A pre-serialized fragment: the output of [`Fragment::to_rendered`].
+///
+/// Compiled templates splice its bytes verbatim after the structural
+/// residue checks (declared child type, content-model step); the
+/// interpreter oracle re-parses the bytes through the typed import.
+#[derive(Debug, Clone)]
+pub struct RenderedFragment {
+    /// The fragment's root tag.
+    pub tag: String,
+    /// The root's schema type.
+    pub type_ref: TypeRef,
+    /// Compact, import-filtered serialization of the fragment.
+    pub xml: String,
 }
 
 /// A runtime binding value.
@@ -44,6 +79,13 @@ pub enum Value {
     Text(String),
     /// An element fragment spliced as a child element.
     Fragment(Fragment),
+    /// Zero or more fragments spliced in order — the natural value for
+    /// a repeated (`maxOccurs > 1`) or optional hole.
+    FragmentList(Vec<Fragment>),
+    /// A pre-serialized fragment spliced as a child element.
+    Rendered(RenderedFragment),
+    /// Zero or more pre-serialized fragments spliced in order.
+    RenderedList(Vec<RenderedFragment>),
 }
 
 /// Runtime bindings: variable name → value.
@@ -68,6 +110,55 @@ impl Bindings {
     pub fn fragment(mut self, name: impl Into<String>, fragment: Fragment) -> Bindings {
         self.values.insert(name.into(), Value::Fragment(fragment));
         self
+    }
+
+    /// Binds a list of element fragments (possibly empty).
+    pub fn fragment_list(mut self, name: impl Into<String>, fragments: Vec<Fragment>) -> Bindings {
+        self.values
+            .insert(name.into(), Value::FragmentList(fragments));
+        self
+    }
+
+    /// Binds a pre-serialized fragment.
+    pub fn rendered(mut self, name: impl Into<String>, fragment: RenderedFragment) -> Bindings {
+        self.values.insert(name.into(), Value::Rendered(fragment));
+        self
+    }
+
+    /// Binds a list of pre-serialized fragments (possibly empty).
+    pub fn rendered_list(
+        mut self,
+        name: impl Into<String>,
+        fragments: Vec<RenderedFragment>,
+    ) -> Bindings {
+        self.values
+            .insert(name.into(), Value::RenderedList(fragments));
+        self
+    }
+
+    /// Sets a text value in place — the hot-loop form of
+    /// [`text`](Self::text): when the name is already bound, only the
+    /// value is replaced (no key re-allocation, no tree rebalancing).
+    pub fn set_text(&mut self, name: &str, value: impl Into<String>) {
+        match self.values.get_mut(name) {
+            Some(slot) => *slot = Value::Text(value.into()),
+            None => {
+                self.values
+                    .insert(name.to_string(), Value::Text(value.into()));
+            }
+        }
+    }
+
+    /// Sets a pre-serialized fragment list in place — the hot-loop form
+    /// of [`rendered_list`](Self::rendered_list).
+    pub fn set_rendered_list(&mut self, name: &str, fragments: Vec<RenderedFragment>) {
+        match self.values.get_mut(name) {
+            Some(slot) => *slot = Value::RenderedList(fragments),
+            None => {
+                self.values
+                    .insert(name.to_string(), Value::RenderedList(fragments));
+            }
+        }
     }
 
     /// Looks up a binding.
@@ -155,6 +246,51 @@ fn instantiate_inner(
     })
 }
 
+pub(crate) fn unbound(name: &str) -> InstantiateError {
+    InstantiateError::Binding(format!("unbound variable ${name}$"))
+}
+
+fn splice(
+    td: &mut TypedDocument,
+    dst: TypedElement,
+    name: &str,
+    value: &Value,
+) -> Result<(), InstantiateError> {
+    match value {
+        Value::Text(text) => td.append_text(dst, text.as_str())?,
+        Value::Fragment(frag) => {
+            td.import_element(dst, &frag.doc, frag.root)?;
+        }
+        Value::FragmentList(frags) => {
+            for frag in frags {
+                td.import_element(dst, &frag.doc, frag.root)?;
+            }
+        }
+        Value::Rendered(r) => splice_rendered(td, dst, name, r)?,
+        Value::RenderedList(rs) => {
+            for r in rs {
+                splice_rendered(td, dst, name, r)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn splice_rendered(
+    td: &mut TypedDocument,
+    dst: TypedElement,
+    name: &str,
+    r: &RenderedFragment,
+) -> Result<(), InstantiateError> {
+    let (doc, root) = xmlparse::parse_fragment(&r.xml).map_err(|e| {
+        InstantiateError::Binding(format!(
+            "rendered fragment for ${name}$ does not reparse: {e}"
+        ))
+    })?;
+    td.import_element(dst, &doc, root)?;
+    Ok(())
+}
+
 fn fill(
     td: &mut TypedDocument,
     dst: TypedElement,
@@ -165,72 +301,59 @@ fn fill(
 ) -> Result<(), InstantiateError> {
     let doc = &template.doc;
     // attributes, with text holes substituted
-    for attr in doc.attributes(src).unwrap_or(&[]).to_vec() {
+    for attr in doc.attributes(src).unwrap_or(&[]) {
         if attr.name == "xmlns" || attr.name.starts_with("xmlns:") {
             continue;
         }
-        let parts = split_holes(&attr.value).map_err(|e| InstantiateError::Binding(e.message))?;
+        let parts =
+            split_holes_ref(&attr.value).map_err(|e| InstantiateError::Binding(e.message))?;
         let mut value = String::new();
         for part in parts {
             match part {
-                Part::Text(t) => value.push_str(&t),
-                Part::Hole(name) => match bindings.get(&name) {
+                PartRef::Text(t) => value.push_str(&t),
+                PartRef::Hole(name) => match bindings.get(name) {
                     Some(Value::Text(t)) => {
                         *holes += 1;
                         value.push_str(t);
                     }
-                    Some(Value::Fragment(_)) => {
+                    Some(_) => {
                         return Err(InstantiateError::Binding(format!(
                             "element variable ${name}$ used in attribute {}",
                             attr.name
                         )))
                     }
-                    None => {
-                        return Err(InstantiateError::Binding(format!(
-                            "unbound variable ${name}$"
-                        )))
-                    }
+                    None => return Err(unbound(name)),
                 },
             }
         }
         td.set_attribute(dst, &attr.name, value)?;
     }
     // children
-    for child in doc.child_vec(src).unwrap_or_default() {
+    for &child in doc.child_slice(src).unwrap_or(&[]) {
         match doc
             .kind(child)
             .map_err(|e| InstantiateError::Binding(e.to_string()))?
         {
             NodeKind::Element { .. } => {
-                let name = doc.tag_name(child).unwrap_or_default().to_string();
-                let new_el = td.append_element(dst, &name)?;
+                let name = doc.tag_name(child).unwrap_or_default();
+                let new_el = td.append_element(dst, name)?;
                 fill(td, new_el, template, child, bindings, holes)?;
             }
             NodeKind::Text(t) => {
-                let parts = split_holes(t).map_err(|e| InstantiateError::Binding(e.message))?;
+                let parts = split_holes_ref(t).map_err(|e| InstantiateError::Binding(e.message))?;
                 for part in parts {
                     match part {
-                        Part::Text(text) => {
+                        PartRef::Text(text) => {
                             if text.trim().is_empty() {
                                 continue; // template formatting whitespace
                             }
-                            td.append_text(dst, text)?;
+                            td.append_text(dst, text.into_owned())?;
                         }
-                        Part::Hole(name) => match bindings.get(&name) {
-                            Some(Value::Text(text)) => {
-                                *holes += 1;
-                                td.append_text(dst, text.clone())?;
-                            }
-                            Some(Value::Fragment(frag)) => {
-                                *holes += 1;
-                                td.import_element(dst, &frag.doc, frag.root)?;
-                            }
-                            None => {
-                                return Err(InstantiateError::Binding(format!(
-                                    "unbound variable ${name}$"
-                                )))
-                            }
-                        },
+                        PartRef::Hole(name) => {
+                            let value = bindings.get(name).ok_or_else(|| unbound(name))?;
+                            *holes += 1;
+                            splice(td, dst, name, value)?;
+                        }
                     }
                 }
             }

@@ -174,7 +174,7 @@ fn instantiation_produces_valid_fragments() {
     let t = Template::parse(SHIP_TO).unwrap();
     let frag = instantiate(&c, &t, &Bindings::new().fragment("n", name_frag)).unwrap();
     assert_eq!(
-        frag.to_xml(),
+        frag.to_xml().unwrap(),
         "<shipTo country=\"US\"><name>Alice Smith</name><street>123 Maple Street</street>\
          <city>Mill Valley</city><state>CA</state><zip>90952</zip></shipTo>"
     );
@@ -242,7 +242,7 @@ fn emitted_code_compiles_and_runs() {
     let t = Template::parse(SHIP_TO).unwrap();
     let name_frag2 = instantiate(&c, &name, &Bindings::new()).unwrap();
     let frag = instantiate(&c, &t, &Bindings::new().fragment("n", name_frag2)).unwrap();
-    assert_eq!(xml, frag.to_xml());
+    assert_eq!(xml, frag.to_xml().unwrap());
 }
 
 #[test]
@@ -295,7 +295,7 @@ fn attribute_interpolation() {
     )
     .unwrap();
     assert_eq!(
-        frag.to_xml(),
+        frag.to_xml().unwrap(),
         "<a href=\"http://example.com/media/a%20b\">x</a>"
     );
 }

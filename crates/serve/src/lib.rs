@@ -18,6 +18,8 @@
 //! | `POST /v1/validate/{schema}` | Stream the body through the chunked validator; JSON verdict. |
 //! | `POST /v1/batch/{schema}` | Length-prefixed frames fanned out across the batch pool. |
 //! | `PUT /v1/schemas/{name}` | Compile and hot-swap a schema registration. |
+//! | `GET /v1/page/orders/{seed}/{count}` | A synthetic purchase order rendered through compiled P-XML templates. |
+//! | `GET /v1/page/directory/{seed}/{breadth}/{depth}` | The Sect. 5 WML directory page, compiled-template path. |
 //! | `GET /metrics` | The process-global Prometheus exporter. |
 //! | `GET /healthz` | `ok` while serving, `draining` (503) once drain begins. |
 //!
@@ -48,14 +50,14 @@ pub mod tenants;
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use limits::{CancelToken, Limits, ResourceErrorKind};
 use pool::ThreadPool;
 use validator::{ValidationError, ValidationErrorKind};
-use webgen::SchemaRegistry;
+use webgen::{CompiledDirectoryPage, OrderTemplates, SchemaRegistry};
 
 use http::{Body, Conn, Framing, HttpError, Request};
 pub use tenants::{TenantTable, TENANT_HEADER};
@@ -122,6 +124,10 @@ struct Shared {
     draining: AtomicBool,
     active: AtomicUsize,
     batch_pool: ThreadPool,
+    /// Compiled page plans, built lazily from the registered schemas on
+    /// the first page request and dropped when the schema is hot-swapped.
+    order_templates: RwLock<Option<Arc<OrderTemplates>>>,
+    directory_page: RwLock<Option<Arc<CompiledDirectoryPage>>>,
 }
 
 /// A running validation service; see the crate docs for the endpoints.
@@ -154,6 +160,8 @@ impl Server {
             cfg,
             draining: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            order_templates: RwLock::new(None),
+            directory_page: RwLock::new(None),
         });
         let acceptor = {
             let shared = shared.clone();
@@ -474,7 +482,16 @@ fn route(shared: &Arc<Shared>, conn: &mut Conn, req: &Request, deadline: Instant
         }
         ("POST", ["v1", "batch", schema]) => handle_batch(shared, conn, req, deadline, schema),
         ("PUT", ["v1", "schemas", name]) => handle_put_schema(shared, conn, req, deadline, name),
-        (_, ["healthz" | "metrics"]) | (_, ["v1", "validate" | "batch" | "schemas", _]) => {
+        ("GET", ["v1", "page", "orders", seed, count]) => {
+            handle_order_page(shared, conn, req, deadline, seed, count)
+        }
+        ("GET", ["v1", "page", "directory", seed, breadth, depth]) => {
+            handle_directory_page(shared, conn, req, deadline, seed, breadth, depth)
+        }
+        (_, ["healthz" | "metrics"])
+        | (_, ["v1", "validate" | "batch" | "schemas", _])
+        | (_, ["v1", "page", "orders", _, _])
+        | (_, ["v1", "page", "directory", _, _, _]) => {
             // known route, wrong verb; an unread body forces a close
             let close = !matches!(http::framing(req), Ok(Framing::None));
             let body = json::error_json("method not allowed");
@@ -859,6 +876,189 @@ fn handle_batch(
     }
 }
 
+/// Counts one rendered page in the per-page counters.
+fn page_metrics(page: &str, bytes: usize) {
+    if obs::enabled() {
+        let metrics = obs::metrics();
+        metrics
+            .counter_with(
+                "http_pages_rendered_total",
+                "Pages rendered through compiled templates, by page.",
+                &[("page", page)],
+            )
+            .inc();
+        metrics
+            .counter_with(
+                "http_page_bytes_total",
+                "Bytes of compiled-template page output, by page.",
+                &[("page", page)],
+            )
+            .inc_by(bytes as u64);
+    }
+}
+
+/// The lazily-built compiled order plans; `Err` is `(status, message)`.
+fn order_templates(shared: &Shared) -> Result<Arc<OrderTemplates>, (u16, String)> {
+    if let Some(t) = shared.order_templates.read().expect("lock").as_ref() {
+        return Ok(t.clone());
+    }
+    let compiled = shared.registry.get("purchase-order").ok_or_else(|| {
+        (
+            404,
+            "no schema registered under \"purchase-order\"".to_string(),
+        )
+    })?;
+    let templates = OrderTemplates::new(&compiled).map_err(|errors| {
+        (
+            500,
+            format!(
+                "order templates rejected by the registered schema ({} error(s))",
+                errors.len()
+            ),
+        )
+    })?;
+    let templates = Arc::new(templates);
+    *shared.order_templates.write().expect("lock") = Some(templates.clone());
+    Ok(templates)
+}
+
+/// The lazily-built compiled WML directory page.
+fn directory_page(shared: &Shared) -> Result<Arc<CompiledDirectoryPage>, (u16, String)> {
+    if let Some(p) = shared.directory_page.read().expect("lock").as_ref() {
+        return Ok(p.clone());
+    }
+    let compiled = shared
+        .registry
+        .get("wml")
+        .ok_or_else(|| (404, "no schema registered under \"wml\"".to_string()))?;
+    let page = CompiledDirectoryPage::new(&compiled).map_err(|errors| {
+        (
+            500,
+            format!(
+                "directory templates rejected by the registered schema ({} error(s))",
+                errors.len()
+            ),
+        )
+    })?;
+    let page = Arc::new(page);
+    *shared.directory_page.write().expect("lock") = Some(page.clone());
+    Ok(page)
+}
+
+fn page_error(conn: &mut Conn, outcome: &mut ReqOutcome, status: u16, message: &str) {
+    outcome.status = status;
+    outcome.error_count += 1;
+    outcome.close = respond(
+        conn,
+        status,
+        "application/json",
+        &json::error_json(message),
+        false,
+    );
+}
+
+/// `GET /v1/page/orders/{seed}/{count}` — renders one synthetic
+/// purchase order through the compiled template path.
+fn handle_order_page(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    req: &Request,
+    deadline: Instant,
+    seed: &str,
+    count: &str,
+) -> ReqOutcome {
+    let (tenant, _) = request_limits(shared, req, deadline);
+    let mut outcome = ReqOutcome {
+        tenant,
+        ..ReqOutcome::plain(200, false)
+    };
+    let _span = obs::span!("http.page", page = "orders");
+    let (Ok(seed), Ok(count)) = (seed.parse::<u64>(), count.parse::<usize>()) else {
+        page_error(conn, &mut outcome, 400, "seed and count must be integers");
+        return outcome;
+    };
+    if count > shared.cfg.max_batch_docs {
+        page_error(conn, &mut outcome, 400, "item count exceeds the limit");
+        return outcome;
+    }
+    let templates = match order_templates(shared) {
+        Ok(t) => t,
+        Err((status, message)) => {
+            page_error(conn, &mut outcome, status, &message);
+            return outcome;
+        }
+    };
+    let order = webgen::generate_order(seed, count);
+    match templates.render_compiled(&order) {
+        Ok(page) => {
+            page_metrics("orders", page.len());
+            outcome.close = respond(conn, 200, "application/xml", &page, false);
+            outcome
+        }
+        Err(e) => {
+            page_error(conn, &mut outcome, 500, &format!("render failed: {e}"));
+            outcome
+        }
+    }
+}
+
+/// `GET /v1/page/directory/{seed}/{breadth}/{depth}` — renders the
+/// Sect. 5 WML directory page for a synthetic media archive through the
+/// compiled template path.
+fn handle_directory_page(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    req: &Request,
+    deadline: Instant,
+    seed: &str,
+    breadth: &str,
+    depth: &str,
+) -> ReqOutcome {
+    let (tenant, _) = request_limits(shared, req, deadline);
+    let mut outcome = ReqOutcome {
+        tenant,
+        ..ReqOutcome::plain(200, false)
+    };
+    let _span = obs::span!("http.page", page = "directory");
+    let (Ok(seed), Ok(breadth), Ok(depth)) = (
+        seed.parse::<u64>(),
+        breadth.parse::<usize>(),
+        depth.parse::<usize>(),
+    ) else {
+        page_error(
+            conn,
+            &mut outcome,
+            400,
+            "seed, breadth, and depth must be integers",
+        );
+        return outcome;
+    };
+    if breadth > 64 || depth > 6 {
+        page_error(conn, &mut outcome, 400, "archive size exceeds the limit");
+        return outcome;
+    }
+    let page = match directory_page(shared) {
+        Ok(p) => p,
+        Err((status, message)) => {
+            page_error(conn, &mut outcome, status, &message);
+            return outcome;
+        }
+    };
+    let archive = webgen::MediaArchive::generate(seed, breadth, depth);
+    let data = webgen::DirectoryPageData::from_media(&archive.root());
+    match page.render(&data) {
+        Ok(body) => {
+            page_metrics("directory", body.len());
+            outcome.close = respond(conn, 200, "text/vnd.wap.wml", &body, false);
+            outcome
+        }
+        Err(e) => {
+            page_error(conn, &mut outcome, 500, &format!("render failed: {e}"));
+            outcome
+        }
+    }
+}
+
 fn handle_put_schema(
     shared: &Arc<Shared>,
     conn: &mut Conn,
@@ -947,6 +1147,14 @@ fn handle_put_schema(
     };
     match shared.registry.register(name, &xsd) {
         Ok(previous) => {
+            // compiled page plans were lowered against the replaced
+            // schema — drop them so the next page request recompiles
+            if name == "purchase-order" {
+                *shared.order_templates.write().expect("lock") = None;
+            }
+            if name == "wml" {
+                *shared.directory_page.write().expect("lock") = None;
+            }
             let status = if previous.is_some() { 200 } else { 201 };
             let mut body = String::from("{\"schema\":");
             json::escape_into(&mut body, name);
@@ -1022,6 +1230,54 @@ mod tests {
         assert!(body.contains("\"valid\":true"), "{body}");
         let (status, _) = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
         assert_eq!(status, 404);
+        server.drain();
+    }
+
+    #[test]
+    fn page_endpoints_render_compiled_templates() {
+        let server = corpus_server(ServerConfig::default());
+        let addr = server.addr();
+        // the order page byte-equals the in-process compiled renderer
+        let (status, body) =
+            roundtrip(addr, "GET /v1/page/orders/42/3 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200, "{body}");
+        let compiled = Arc::new(
+            SchemaRegistry::with_corpus()
+                .unwrap()
+                .get("purchase-order")
+                .unwrap(),
+        );
+        let expected = OrderTemplates::new(&compiled)
+            .unwrap()
+            .render_compiled(&webgen::generate_order(42, 3))
+            .unwrap();
+        assert_eq!(body, expected);
+        // and it validates against the registered schema
+        let request = format!(
+            "POST /v1/validate/purchase-order HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let (status, verdict) = roundtrip(addr, &request);
+        assert_eq!(status, 200);
+        assert!(verdict.contains("\"valid\":true"), "{verdict}");
+        // directory page
+        let (status, wml) = roundtrip(
+            addr,
+            "GET /v1/page/directory/7/3/2 HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 200, "{wml}");
+        assert!(wml.starts_with("<wml><card id=\"dirs\">"), "{wml}");
+        // bad parameters and wrong verbs are typed failures
+        let (status, _) = roundtrip(addr, "GET /v1/page/orders/x/3 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _) = roundtrip(
+            addr,
+            "GET /v1/page/orders/1/99999 HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        let (status, _) = roundtrip(addr, "POST /v1/page/orders/1/1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
         server.drain();
     }
 

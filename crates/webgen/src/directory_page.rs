@@ -10,13 +10,16 @@
 //!   validation (the pre-V-DOM best practice);
 //! * [`render_vdom`] — typed V-DOM construction (paper Fig. 11);
 //! * [`PxmlDirectoryPage`] — pre-checked P-XML templates instantiated at
-//!   runtime (paper Fig. 10).
+//!   runtime (paper Fig. 10);
+//! * [`CompiledDirectoryPage`] — the same templates lowered once by
+//!   [`pxml::plan`] and rendered as static bytes plus escaped hole
+//!   fills, with no per-page DOM or structural re-validation.
 //!
-//! All five produce a page for the same [`MediaObject`]; the four correct
-//! ones produce byte-identical XML, which the tests assert.
+//! All six correct styles produce a page for the same [`MediaObject`];
+//! the correct ones produce byte-identical XML, which the tests assert.
 
 use dom::Document;
-use pxml::{Bindings, Template, TypeEnv};
+use pxml::{Bindings, CompiledTemplate, Template, TypeEnv};
 use schema::CompiledSchema;
 use validator::ValidationError;
 use vdom::{TypedDocument, VdomError};
@@ -240,6 +243,61 @@ impl PxmlDirectoryPage {
     }
 }
 
+/// The full-page WML constructor used by [`CompiledDirectoryPage`]:
+/// the whole card is static except the heading text and the option list.
+pub const DIRECTORY_PAGE_TEMPLATE: &str = "<wml><card id=\"dirs\"><p>\
+     <b>$currentDir$</b><br/><select name=\"directories\">$options$</select>\
+     <br/></p></card></wml>";
+
+/// The per-directory option constructor (shared with the interpreter).
+pub const DIRECTORY_OPTION_TEMPLATE: &str = "<option value=\"$subDir$\">$label$</option>";
+
+/// The directory page lowered to compiled templates: the page shell and
+/// the option row are each planned once; a render is a memcpy of the
+/// static bytes with the heading escaped in and the pre-rendered option
+/// rows spliced under the `<select>` content model.
+pub struct CompiledDirectoryPage {
+    page: CompiledTemplate,
+    option: CompiledTemplate,
+}
+
+impl CompiledDirectoryPage {
+    /// Checks and lowers the page and option templates.
+    pub fn new(compiled: &CompiledSchema) -> Result<CompiledDirectoryPage, Vec<pxml::PxmlError>> {
+        let page_t = Template::parse(DIRECTORY_PAGE_TEMPLATE).map_err(|e| vec![e])?;
+        let option_t = Template::parse(DIRECTORY_OPTION_TEMPLATE).map_err(|e| vec![e])?;
+        let page_env = TypeEnv::new()
+            .text("currentDir")
+            .element("options", "option");
+        let option_env = TypeEnv::new().text("subDir").text("label");
+        Ok(CompiledDirectoryPage {
+            page: pxml::plan(compiled, &page_t, &page_env)?,
+            option: pxml::plan(compiled, &option_t, &option_env)?,
+        })
+    }
+
+    /// Renders the page for `data` through the compiled path.
+    pub fn render(&self, data: &DirectoryPageData) -> Result<String, pxml::InstantiateError> {
+        let mut options = Vec::with_capacity(data.sub_dirs.len() + 1);
+        // one bindings map reused across the option loop: only the two
+        // values change per row
+        let mut row = Bindings::new()
+            .text("subDir", data.parent_dir.clone())
+            .text("label", "..");
+        options.push(self.option.render_fragment(&row)?);
+        for dir in &data.sub_dirs {
+            row.set_text("subDir", format!("{}/{dir}", data.current_dir));
+            row.set_text("label", dir.clone());
+            options.push(self.option.render_fragment(&row)?);
+        }
+        self.page.render_to_string(
+            &Bindings::new()
+                .text("currentDir", data.current_dir.clone())
+                .rendered_list("options", options),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,9 +322,29 @@ mod tests {
         let dom_page = render_dom(&c, &d).unwrap();
         let vdom_page = render_vdom(&c, &d).unwrap();
         let pxml_page = PxmlDirectoryPage::new(&c).unwrap().render(&d).unwrap();
+        let compiled_page = CompiledDirectoryPage::new(&c).unwrap().render(&d).unwrap();
         assert_eq!(s, dom_page);
         assert_eq!(dom_page, vdom_page);
         assert_eq!(vdom_page, pxml_page);
+        assert_eq!(pxml_page, compiled_page);
+    }
+
+    #[test]
+    fn compiled_page_handles_empty_and_hostile_directories() {
+        let c = compiled();
+        let page = CompiledDirectoryPage::new(&c).unwrap();
+        let empty = DirectoryPageData {
+            sub_dirs: Vec::new(),
+            current_dir: "/workspace".into(),
+            parent_dir: "/workspace".into(),
+        };
+        assert_eq!(page.render(&empty).unwrap(), render_string(&empty));
+        let hostile = DirectoryPageData {
+            sub_dirs: vec!["a<b&c".to_string()],
+            current_dir: "/work \"quoted\"".into(),
+            parent_dir: "/".into(),
+        };
+        assert_eq!(page.render(&hostile).unwrap(), render_string(&hostile));
     }
 
     #[test]

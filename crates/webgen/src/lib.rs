@@ -25,8 +25,8 @@ pub mod orders;
 pub mod registry;
 
 pub use directory_page::{
-    render_dom, render_string, render_string_buggy, render_vdom, DirectoryPageData,
-    PxmlDirectoryPage,
+    render_dom, render_string, render_string_buggy, render_vdom, CompiledDirectoryPage,
+    DirectoryPageData, PxmlDirectoryPage,
 };
 pub use html_page::{
     check_server_pages, simple_server_page_string, simple_server_page_vdom,
@@ -35,7 +35,7 @@ pub use html_page::{
 pub use media::{Directory, MediaArchive, MediaObject};
 pub use orders::{
     build_order_dom, generate_order, render_order_dom, render_order_string, render_order_vdom,
-    Address, Item, Order,
+    Address, Item, Order, OrderTemplates,
 };
 pub use pool::ThreadPool;
-pub use registry::{RegisterError, SchemaRegistry};
+pub use registry::{PageError, RegisterError, SchemaRegistry, TemplateError};

@@ -3,6 +3,7 @@
 //! views of data bases"): random order data rendered through each
 //! authoring style, used by benches B1/B2.
 
+use pxml::{Bindings, CompiledTemplate, InstantiateError, Template, TypeEnv};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use schema::CompiledSchema;
@@ -294,6 +295,204 @@ pub fn render_order_vdom(compiled: &CompiledSchema, order: &Order) -> Result<Str
     Ok(dom::serialize(&doc, root).expect("serialize"))
 }
 
+/// The order page constructor: static markup with `$var$` holes for the
+/// runtime data. `$comment$` and `$lines$` are element holes filled with
+/// zero-or-one / zero-or-more pre-rendered fragments.
+pub const ORDER_PAGE_TEMPLATE: &str = "<purchaseOrder orderDate=\"$date$\">\
+     <shipTo country=\"US\"><name>$shipName$</name><street>$shipStreet$</street>\
+     <city>$shipCity$</city><state>$shipState$</state><zip>$shipZip$</zip></shipTo>\
+     <billTo country=\"US\"><name>$billName$</name><street>$billStreet$</street>\
+     <city>$billCity$</city><state>$billState$</state><zip>$billZip$</zip></billTo>\
+     $comment$<items>$lines$</items></purchaseOrder>";
+
+/// One order line; `$note$` takes zero-or-one `<comment>` fragments.
+pub const ORDER_ITEM_TEMPLATE: &str = "<item partNum=\"$partNum$\">\
+     <productName>$productName$</productName><quantity>$quantity$</quantity>\
+     <USPrice>$usPrice$</USPrice>$note$</item>";
+
+/// A `<comment>` fragment.
+pub const ORDER_COMMENT_TEMPLATE: &str = "<comment>$text$</comment>";
+
+/// The type environment of [`ORDER_PAGE_TEMPLATE`].
+pub fn order_page_env() -> TypeEnv {
+    TypeEnv::new()
+        .text("date")
+        .text("shipName")
+        .text("shipStreet")
+        .text("shipCity")
+        .text("shipState")
+        .text("shipZip")
+        .text("billName")
+        .text("billStreet")
+        .text("billCity")
+        .text("billState")
+        .text("billZip")
+        .element("comment", "comment")
+        .element("lines", "item")
+}
+
+/// The type environment of [`ORDER_ITEM_TEMPLATE`].
+pub fn order_item_env() -> TypeEnv {
+    TypeEnv::new()
+        .text("partNum")
+        .text("productName")
+        .text("quantity")
+        .text("usPrice")
+        .element("note", "comment")
+}
+
+/// The type environment of [`ORDER_COMMENT_TEMPLATE`].
+pub fn order_comment_env() -> TypeEnv {
+    TypeEnv::new().text("text")
+}
+
+/// The compiled-template order renderer: the page, item, and comment
+/// constructors are checked and lowered **once** ([`pxml::plan`]); every
+/// subsequent order renders through [`CompiledTemplate::render`] — static
+/// bytes copied, holes escaped and spliced, with only the value-level
+/// runtime residue (facets, fragment type and occurrence) still checked.
+///
+/// The same parsed templates drive [`render_interpreted`](Self::render_interpreted),
+/// the `instantiate`-based oracle the differential tests compare against.
+pub struct OrderTemplates {
+    compiled: CompiledSchema,
+    page: CompiledTemplate,
+    item: CompiledTemplate,
+    comment: CompiledTemplate,
+    page_t: Template,
+    item_t: Template,
+    comment_t: Template,
+}
+
+impl OrderTemplates {
+    /// Parses, checks, and lowers the three order constructors.
+    pub fn new(compiled: &CompiledSchema) -> Result<OrderTemplates, Vec<pxml::PxmlError>> {
+        let page_t = Template::parse(ORDER_PAGE_TEMPLATE).map_err(|e| vec![e])?;
+        let item_t = Template::parse(ORDER_ITEM_TEMPLATE).map_err(|e| vec![e])?;
+        let comment_t = Template::parse(ORDER_COMMENT_TEMPLATE).map_err(|e| vec![e])?;
+        let page = pxml::plan(compiled, &page_t, &order_page_env())?;
+        let item = pxml::plan(compiled, &item_t, &order_item_env())?;
+        let comment = pxml::plan(compiled, &comment_t, &order_comment_env())?;
+        Ok(OrderTemplates {
+            compiled: compiled.clone(),
+            page,
+            item,
+            comment,
+            page_t,
+            item_t,
+            comment_t,
+        })
+    }
+
+    /// The compiled page plan (for callers that bind their own data).
+    pub fn page(&self) -> &CompiledTemplate {
+        &self.page
+    }
+
+    fn page_bindings(order: &Order) -> Bindings {
+        Bindings::new()
+            .text("date", order.order_date.clone())
+            .text("shipName", order.ship_to.name.clone())
+            .text("shipStreet", order.ship_to.street.clone())
+            .text("shipCity", order.ship_to.city.clone())
+            .text("shipState", order.ship_to.state.clone())
+            .text("shipZip", order.ship_to.zip.clone())
+            .text("billName", order.bill_to.name.clone())
+            .text("billStreet", order.bill_to.street.clone())
+            .text("billCity", order.bill_to.city.clone())
+            .text("billState", order.bill_to.state.clone())
+            .text("billZip", order.bill_to.zip.clone())
+    }
+
+    fn item_bindings(item: &Item) -> Bindings {
+        Bindings::new()
+            .text("partNum", item.part_num.clone())
+            .text("productName", item.product_name.clone())
+            .text("quantity", item.quantity.to_string())
+            .text("usPrice", item.us_price.clone())
+    }
+
+    /// Renders one order through the compiled path, appending to `out`.
+    pub fn render_compiled_into(
+        &self,
+        order: &Order,
+        out: &mut Vec<u8>,
+    ) -> Result<(), InstantiateError> {
+        let mut lines = Vec::with_capacity(order.items.len());
+        // one bindings map reused across the line loop: only the values
+        // change per item
+        let mut row = Bindings::new();
+        for item in &order.items {
+            let note = match &item.comment {
+                Some(c) => vec![self
+                    .comment
+                    .render_fragment(&Bindings::new().text("text", c.clone()))?],
+                None => Vec::new(),
+            };
+            row.set_text("partNum", item.part_num.clone());
+            row.set_text("productName", item.product_name.clone());
+            row.set_text("quantity", item.quantity.to_string());
+            row.set_text("usPrice", item.us_price.clone());
+            row.set_rendered_list("note", note);
+            lines.push(self.item.render_fragment(&row)?);
+        }
+        let comment = match &order.comment {
+            Some(c) => vec![self
+                .comment
+                .render_fragment(&Bindings::new().text("text", c.clone()))?],
+            None => Vec::new(),
+        };
+        let bindings = Self::page_bindings(order)
+            .rendered_list("comment", comment)
+            .rendered_list("lines", lines);
+        self.page.render(&bindings, out)
+    }
+
+    /// Renders one order through the compiled path.
+    pub fn render_compiled(&self, order: &Order) -> Result<String, InstantiateError> {
+        let mut out = Vec::with_capacity(self.page.static_len() as usize + 64);
+        self.render_compiled_into(order, &mut out)?;
+        Ok(String::from_utf8(out).expect("rendered pages are UTF-8"))
+    }
+
+    /// Renders one order through the interpreter
+    /// ([`pxml::instantiate`]) — the differential oracle for
+    /// [`render_compiled`](Self::render_compiled): same templates, same
+    /// bindings, full V-DOM construction and seal per page.
+    pub fn render_interpreted(&self, order: &Order) -> Result<String, InstantiateError> {
+        let mut lines = Vec::with_capacity(order.items.len());
+        for item in &order.items {
+            let note = match &item.comment {
+                Some(c) => vec![pxml::instantiate(
+                    &self.compiled,
+                    &self.comment_t,
+                    &Bindings::new().text("text", c.clone()),
+                )?],
+                None => Vec::new(),
+            };
+            lines.push(pxml::instantiate(
+                &self.compiled,
+                &self.item_t,
+                &Self::item_bindings(item).fragment_list("note", note),
+            )?);
+        }
+        let comment = match &order.comment {
+            Some(c) => vec![pxml::instantiate(
+                &self.compiled,
+                &self.comment_t,
+                &Bindings::new().text("text", c.clone()),
+            )?],
+            None => Vec::new(),
+        };
+        let bindings = Self::page_bindings(order)
+            .fragment_list("comment", comment)
+            .fragment_list("lines", lines);
+        let frag = pxml::instantiate(&self.compiled, &self.page_t, &bindings)?;
+        frag.to_xml()
+            .map_err(|e| InstantiateError::Binding(format!("serialize: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +524,48 @@ mod tests {
             let doc = xmlparse::parse_document(&v).unwrap();
             assert!(validator::validate_document(&c, &doc).is_empty());
         }
+    }
+
+    #[test]
+    fn compiled_templates_agree_with_every_backend() {
+        let c = compiled();
+        let tpl = OrderTemplates::new(&c).unwrap();
+        for n in [0, 1, 10] {
+            let order = generate_order(99, n);
+            let s = render_order_string(&order);
+            let compiled_page = tpl.render_compiled(&order).unwrap();
+            let interpreted = tpl.render_interpreted(&order).unwrap();
+            assert_eq!(compiled_page, s, "n={n}");
+            assert_eq!(compiled_page, interpreted, "n={n}");
+            let doc = xmlparse::parse_document(&compiled_page).unwrap();
+            assert!(validator::validate_document(&c, &doc).is_empty());
+        }
+    }
+
+    #[test]
+    fn compiled_templates_reject_facet_violations_like_the_interpreter() {
+        let c = compiled();
+        let tpl = OrderTemplates::new(&c).unwrap();
+        let mut order = generate_order(3, 2);
+        order.items[1].part_num = "WRONG".to_string(); // fails the SKU pattern
+        let ce = tpl.render_compiled(&order).unwrap_err();
+        let ie = tpl.render_interpreted(&order).unwrap_err();
+        assert_eq!(format!("{ce}"), format!("{ie}"));
+    }
+
+    #[test]
+    fn hostile_order_data_is_escaped_identically() {
+        let c = compiled();
+        let tpl = OrderTemplates::new(&c).unwrap();
+        let mut order = generate_order(7, 1);
+        order.ship_to.name = "Ada <&> \"Lovelace\"".to_string();
+        order.comment = Some("5 < 6 && ]]> ok".to_string());
+        order.items[0].comment = Some("handle > with \"care\"".to_string());
+        let compiled_page = tpl.render_compiled(&order).unwrap();
+        let interpreted = tpl.render_interpreted(&order).unwrap();
+        assert_eq!(compiled_page, interpreted);
+        let doc = xmlparse::parse_document(&compiled_page).unwrap();
+        assert!(validator::validate_document(&c, &doc).is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use limits::{Limits, ResourceErrorKind};
 use parking_lot::RwLock;
 use pool::ThreadPool;
+use pxml::{Bindings, CompiledTemplate, InstantiateError, Template, TypeEnv, VarType};
 use schema::{CompiledSchema, SchemaError};
 use validator::{ValidationError, ValidationErrorKind};
 
@@ -41,10 +42,90 @@ impl From<SchemaError> for RegisterError {
     }
 }
 
+/// Why [`SchemaRegistry::compile_template`] refused a template.
+#[derive(Debug)]
+pub enum TemplateError {
+    /// No schema is registered under the name.
+    UnknownSchema(String),
+    /// The template failed to parse or to check against the schema.
+    Check(Vec<pxml::PxmlError>),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::UnknownSchema(name) => {
+                write!(f, "no schema registered under {name:?}")
+            }
+            TemplateError::Check(errors) => {
+                write!(f, "template rejected with {} error(s)", errors.len())?;
+                if let Some(first) = errors.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// Why [`SchemaRegistry::render_page`] failed: compilation or the
+/// value-level runtime residue.
+#[derive(Debug)]
+pub enum PageError {
+    /// The template did not compile (unknown schema, parse, or check).
+    Template(TemplateError),
+    /// The compiled template rejected the bindings at render time.
+    Render(InstantiateError),
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::Template(e) => write!(f, "{e}"),
+            PageError::Render(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+impl From<TemplateError> for PageError {
+    fn from(e: TemplateError) -> Self {
+        PageError::Template(e)
+    }
+}
+
+impl From<InstantiateError> for PageError {
+    fn from(e: InstantiateError) -> Self {
+        PageError::Render(e)
+    }
+}
+
+/// Cache key for compiled templates: schema name, template source, and
+/// a canonical rendering of the type environment (BTreeMap order).
+fn env_signature(env: &TypeEnv) -> String {
+    let mut sig = String::new();
+    for (name, ty) in env.iter() {
+        sig.push_str(name);
+        match ty {
+            VarType::Text => sig.push_str(":text;"),
+            VarType::Element(tag) => {
+                sig.push(':');
+                sig.push_str(tag);
+                sig.push(';');
+            }
+        }
+    }
+    sig
+}
+
 /// A named registry of compiled schemas.
 #[derive(Default)]
 pub struct SchemaRegistry {
     schemas: RwLock<HashMap<String, CompiledSchema>>,
+    templates: RwLock<HashMap<(String, String, String), Arc<CompiledTemplate>>>,
 }
 
 impl SchemaRegistry {
@@ -72,6 +153,11 @@ impl SchemaRegistry {
     pub fn register(&self, name: &str, xsd: &str) -> Result<Option<CompiledSchema>, SchemaError> {
         let compiled = CompiledSchema::parse(xsd)?;
         let previous = self.schemas.write().insert(name.to_string(), compiled);
+        if previous.is_some() {
+            // compiled templates were planned against the replaced
+            // schema — drop them so the next render recompiles
+            self.templates.write().retain(|key, _| key.0 != name);
+        }
         if obs::enabled() {
             obs::metrics()
                 .counter_with(
@@ -129,6 +215,86 @@ impl SchemaRegistry {
                 .inc();
         }
         found
+    }
+
+    /// Compiles a P-XML template against the schema registered under
+    /// `schema_name`, caching the lowered plan: the first call per
+    /// (schema, source, environment) pays parse + check + lowering,
+    /// every later call returns the shared [`CompiledTemplate`] handle.
+    pub fn compile_template(
+        &self,
+        schema_name: &str,
+        source: &str,
+        env: &TypeEnv,
+    ) -> Result<Arc<CompiledTemplate>, TemplateError> {
+        let key = (
+            schema_name.to_string(),
+            source.to_string(),
+            env_signature(env),
+        );
+        if let Some(hit) = self.templates.read().get(&key) {
+            Self::count_template("hit");
+            return Ok(hit.clone());
+        }
+        match self.compile_template_uncached(schema_name, source, env) {
+            Ok(plan) => {
+                Self::count_template("miss");
+                // a racing miss may have inserted first; keep whichever
+                // landed so every caller shares one plan
+                let mut templates = self.templates.write();
+                Ok(templates.entry(key).or_insert_with(|| plan).clone())
+            }
+            Err(e) => {
+                Self::count_template("error");
+                Err(e)
+            }
+        }
+    }
+
+    fn compile_template_uncached(
+        &self,
+        schema_name: &str,
+        source: &str,
+        env: &TypeEnv,
+    ) -> Result<Arc<CompiledTemplate>, TemplateError> {
+        let compiled = self
+            .get(schema_name)
+            .ok_or_else(|| TemplateError::UnknownSchema(schema_name.to_string()))?;
+        let template = Template::parse(source).map_err(|e| TemplateError::Check(vec![e]))?;
+        let plan = pxml::plan(&compiled, &template, env).map_err(TemplateError::Check)?;
+        Ok(Arc::new(plan))
+    }
+
+    fn count_template(outcome: &str) {
+        if obs::enabled() {
+            obs::metrics()
+                .counter_with(
+                    "registry_template_total",
+                    "Template compilations through the registry, by outcome.",
+                    &[("outcome", outcome)],
+                )
+                .inc();
+        }
+    }
+
+    /// Number of compiled templates currently cached.
+    pub fn cached_templates(&self) -> usize {
+        self.templates.read().len()
+    }
+
+    /// Renders one page through the compiled-template cache: compiles
+    /// (or reuses) the plan for `source` under `schema_name`, then
+    /// renders `bindings` — the serving-path entry point where only the
+    /// value-level runtime residue can reject.
+    pub fn render_page(
+        &self,
+        schema_name: &str,
+        source: &str,
+        env: &TypeEnv,
+        bindings: &Bindings,
+    ) -> Result<String, PageError> {
+        let plan = self.compile_template(schema_name, source, env)?;
+        Ok(plan.render_to_string(bindings)?)
     }
 
     /// Number of registered schemas.
@@ -630,6 +796,78 @@ mod tests {
             )
             .unwrap();
         assert_eq!(baseline, governed);
+    }
+
+    #[test]
+    fn template_cache_compiles_once_and_renders_pages() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let env = TypeEnv::new().text("subDir").text("label");
+        let src = crate::directory_page::DIRECTORY_OPTION_TEMPLATE;
+        let first = reg.compile_template("wml", src, &env).unwrap();
+        let second = reg.compile_template("wml", src, &env).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second call must be a cache hit"
+        );
+        assert_eq!(reg.cached_templates(), 1);
+        // same source under a different environment is a distinct plan
+        let env2 = TypeEnv::new().text("subDir").text("label").text("unused");
+        let third = reg.compile_template("wml", src, &env2).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(reg.cached_templates(), 2);
+
+        let page = reg
+            .render_page(
+                "wml",
+                src,
+                &env,
+                &Bindings::new()
+                    .text("subDir", "/media/a b")
+                    .text("label", "a<b"),
+            )
+            .unwrap();
+        assert_eq!(page, "<option value=\"/media/a b\">a&lt;b</option>");
+    }
+
+    #[test]
+    fn template_cache_reports_typed_failures() {
+        let reg = SchemaRegistry::with_corpus().unwrap();
+        let env = TypeEnv::new();
+        let err = reg
+            .compile_template("nope", "<option value=\"x\">y</option>", &env)
+            .unwrap_err();
+        assert!(
+            matches!(err, TemplateError::UnknownSchema(ref n) if n == "nope"),
+            "{err}"
+        );
+        let err = reg
+            .compile_template("wml", "<option value=\"x\">$y$</option>", &env)
+            .unwrap_err();
+        assert!(matches!(err, TemplateError::Check(_)), "{err}");
+        // failures are not cached
+        assert_eq!(reg.cached_templates(), 0);
+        // runtime residue comes back as a render error, not a compile one
+        let err = reg
+            .render_page(
+                "purchase-order",
+                "<comment>$text$</comment>",
+                &TypeEnv::new().text("text"),
+                &Bindings::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PageError::Render(_)), "{err}");
+    }
+
+    #[test]
+    fn re_registration_drops_stale_template_plans() {
+        let reg = SchemaRegistry::new();
+        reg.register("wml", schema::corpus::WML_XSD).unwrap();
+        let env = TypeEnv::new().text("subDir").text("label");
+        let src = crate::directory_page::DIRECTORY_OPTION_TEMPLATE;
+        reg.compile_template("wml", src, &env).unwrap();
+        assert_eq!(reg.cached_templates(), 1);
+        reg.register("wml", schema::corpus::WML_XSD).unwrap();
+        assert_eq!(reg.cached_templates(), 0, "replacement invalidates plans");
     }
 
     #[test]

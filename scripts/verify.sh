@@ -142,6 +142,18 @@ for needle in "hostile document typed rejection -> 422" \
   fi
 done
 
+echo "==> compiled template gate (plan ≡ interpreter differential battery)"
+# The battery holds CompiledTemplate::render byte-identical to
+# instantiate(...).to_xml() — or the identical typed error — across
+# hostile values (markup metacharacters, ]]>, lone \r, empty strings),
+# injected facet faults, fragment/pre-rendered splices, and occurrence
+# overflows; the pxml and webgen suites pin the plan lowering, the
+# registry plan cache, and the compiled page generators underneath.
+timeout 120 cargo test -q -p pxml
+timeout 120 cargo test -q -p integration-tests --test pxml_compile_prop
+timeout 120 cargo test -q -p webgen compiled
+timeout 120 cargo test -q -p webgen template
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

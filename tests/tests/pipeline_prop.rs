@@ -111,7 +111,7 @@ proptest! {
             &t,
             &pxml::Bindings::new().text("label", label.clone()),
         ).unwrap();
-        let xml = frag.to_xml();
+        let xml = frag.to_xml().unwrap();
         let doc = xmlparse::parse_document(&xml).unwrap();
         let root = doc.root_element().unwrap();
         let roundtripped = doc.text_content(root).unwrap();
