@@ -202,6 +202,18 @@ impl ContentDfa {
     /// prefix of children was verified at plan time, so only the spliced
     /// suffix needs stepping at render time.
     ///
+    /// The incremental revalidator (`validator::patch`) resumes from
+    /// *arbitrary* mid-sibling positions, including positions reached
+    /// after an optional-particle prefix (`comment?` consumed or
+    /// skipped). That is sound because the subset construction makes
+    /// this automaton deterministic: the state after a prefix is a pure
+    /// function of the prefix, so stepping the suffix from a snapshotted
+    /// state is indistinguishable from stepping the whole list from
+    /// state 0 — same states, same accept/reject verdicts, same
+    /// [`expected`](DfaMatcher::expected) sets. The `resume_audit`
+    /// integration battery pins this over every corpus content model at
+    /// every split point.
+    ///
     /// # Panics
     ///
     /// Panics if `state` is not a state id of this automaton.

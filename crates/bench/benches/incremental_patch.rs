@@ -1,0 +1,180 @@
+//! **B16 — incremental revalidation vs revalidate-from-scratch.** The
+//! `validator::patch` claim: a committed patch costs O(affected
+//! siblings) — the parent's content DFA resumed at the edit point plus
+//! the freshly inserted subtree — not O(document). So patches/sec on
+//! the incremental path should hold roughly flat as the document grows,
+//! while the from-scratch baseline (apply the mutation structurally,
+//! then run `validate_document` over the whole tree) degrades linearly.
+//!
+//! Three patch shapes per document size, one verdict-agreement check
+//! before any timing:
+//!
+//! * `set_text`  — a facet recheck of one simple-typed leaf;
+//! * `append`    — an occurrence step at the end of the unbounded
+//!   `item*` list plus validation of the new subtree;
+//! * `reject`    — a patch that must be refused (occurrence overflow),
+//!   where incremental pays the recheck and the rollback.
+//!
+//! The locality ratio (`nodes_rechecked / document nodes`) is printed
+//! once per size so EXPERIMENTS.md can quote it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::po_schema;
+use dom::Document;
+use limits::Limits;
+use validator::{apply_unchecked, validate_document, DomPatch, IncrementalValidator, NewNode};
+
+const NEW_ITEM: &str = "<item partNum=\"926-AA\"><productName>Baby Monitor</productName>\
+    <quantity>1</quantity><USPrice>39.98</USPrice></item>";
+
+fn parsed_order(items: usize) -> Document {
+    let order = webgen::render_order_string(&webgen::generate_order(7, items));
+    xmlparse::parse_document(&order).unwrap()
+}
+
+/// (root index, items index, path to the first item's quantity text)
+fn po_paths(doc: &Document) -> (usize, usize, Vec<usize>) {
+    let root = doc.root_element().unwrap();
+    let root_idx = doc
+        .child_slice(doc.document_node())
+        .unwrap()
+        .iter()
+        .position(|&c| c == root)
+        .unwrap();
+    let children = doc.child_slice(root).unwrap();
+    let items_idx = children
+        .iter()
+        .position(|&c| doc.tag_name(c).map(|n| n == "items").unwrap_or(false))
+        .unwrap();
+    let items = children[items_idx];
+    let item = doc.child_slice(items).unwrap()[0];
+    let quantity_idx = doc
+        .child_slice(item)
+        .unwrap()
+        .iter()
+        .position(|&c| doc.tag_name(c).map(|n| n == "quantity").unwrap_or(false))
+        .unwrap();
+    let text_path = vec![root_idx, items_idx, 0, quantity_idx, 0];
+    (root_idx, items_idx, text_path)
+}
+
+/// Full-revalidation baseline: clone, mutate structurally, full pass.
+fn scratch_verdict(compiled: &schema::CompiledSchema, doc: &Document, patch: &DomPatch) -> bool {
+    let mut clone = doc.clone();
+    if apply_unchecked(&mut clone, patch).is_err() {
+        return false;
+    }
+    validate_document(compiled, &clone).is_empty()
+}
+
+fn patch_throughput(c: &mut Criterion) {
+    let compiled = po_schema();
+    let mut group = c.benchmark_group("B16-incremental-patch");
+    group.sample_size(20);
+
+    for &items in &[10usize, 100, 1000] {
+        let doc = parsed_order(items);
+        let (root_idx, items_idx, text_path) = po_paths(&doc);
+        let set_text = DomPatch::SetText {
+            at: text_path,
+            text: "42".into(),
+        };
+        let append = DomPatch::AppendChild {
+            at: vec![root_idx, items_idx],
+            child: NewNode::Element {
+                xml: NEW_ITEM.into(),
+            },
+        };
+        // a second shipTo can never fit `shipTo billTo comment? items`
+        let reject = DomPatch::InsertChild {
+            at: vec![root_idx],
+            index: 2,
+            child: NewNode::Element {
+                xml: "<shipTo country=\"US\"><name>N</name><street>S</street>\
+                      <city>C</city><state>CA</state><zip>1</zip></shipTo>"
+                    .into(),
+            },
+        };
+
+        // verdict agreement before any timing, plus the locality ratio
+        let mut probe = IncrementalValidator::new(compiled.clone(), doc.clone()).unwrap();
+        for (patch, expect) in [(&set_text, true), (&append, true), (&reject, false)] {
+            assert_eq!(
+                probe.apply(patch).is_ok(),
+                expect,
+                "verdict drift at {items} items"
+            );
+            assert_eq!(
+                scratch_verdict(&compiled, &doc, patch),
+                expect,
+                "baseline disagrees at {items} items"
+            );
+        }
+        // fresh probe for the ratio of the canonical append
+        let mut probe = IncrementalValidator::new(compiled.clone(), doc.clone()).unwrap();
+        probe.apply(&append).unwrap();
+        println!(
+            "B16 locality items={items}: nodes_rechecked={} doc_nodes={} ratio={:.4}",
+            probe.nodes_rechecked(),
+            probe.node_count(),
+            probe.nodes_rechecked() as f64 / probe.node_count() as f64
+        );
+
+        for (label, patch) in [
+            ("set_text", &set_text),
+            ("append", &append),
+            ("reject", &reject),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("incremental/{label}"), items),
+                patch,
+                |b, patch| {
+                    // one long-lived session; alternating appends/removes
+                    // would grow the doc, so set_text/reject repeat in
+                    // place and append is paired with an undoing remove
+                    // unbounded: criterion iterates far past the
+                    // default 100k-patch governance cap
+                    let mut session = IncrementalValidator::with_limits(
+                        compiled.clone(),
+                        doc.clone(),
+                        Limits::unbounded(),
+                    )
+                    .unwrap();
+                    b.iter(|| match patch {
+                        DomPatch::AppendChild { at, .. } => {
+                            session.apply(patch).unwrap();
+                            let doc = session.document();
+                            let items_node = {
+                                let mut n = doc.document_node();
+                                for &i in at {
+                                    n = doc.child_slice(n).unwrap()[i];
+                                }
+                                n
+                            };
+                            let last = doc.child_slice(items_node).unwrap().len() - 1;
+                            session
+                                .apply(&DomPatch::RemoveChild {
+                                    at: at.clone(),
+                                    index: last,
+                                })
+                                .unwrap();
+                            black_box(session.applied_total())
+                        }
+                        _ => black_box(session.apply(black_box(patch)).is_ok() as u64),
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("scratch/{label}"), items),
+                patch,
+                |b, patch| b.iter(|| black_box(scratch_verdict(&compiled, &doc, patch))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, patch_throughput);
+criterion_main!(benches);

@@ -320,6 +320,27 @@ impl Document {
         }
     }
 
+    /// Replaces an element's entire attribute list, returning the old
+    /// one. Unlike repeated [`set_attribute`](Self::set_attribute) /
+    /// [`remove_attribute`](Self::remove_attribute) calls, this restores
+    /// attribute *order* exactly — the incremental revalidator uses it to
+    /// roll a rejected attribute patch back byte-identically.
+    pub fn replace_attributes(
+        &mut self,
+        id: NodeId,
+        attrs: Vec<Attribute>,
+    ) -> Result<Vec<Attribute>, DomError> {
+        for a in &attrs {
+            if !is_name(&a.name) {
+                return Err(DomError::BadName(a.name.clone()));
+            }
+        }
+        match &mut self.get_mut(id)?.kind {
+            NodeKind::Element { attributes, .. } => Ok(std::mem::replace(attributes, attrs)),
+            _ => Err(DomError::NotAnElement(id)),
+        }
+    }
+
     /// Removes an attribute; returns its old value if present.
     pub fn remove_attribute(&mut self, id: NodeId, name: &str) -> Result<Option<String>, DomError> {
         match &mut self.get_mut(id)?.kind {
@@ -484,6 +505,31 @@ mod tests {
             Some("DE".into())
         );
         assert_eq!(d.attribute(root, "country").unwrap(), None);
+    }
+
+    #[test]
+    fn replace_attributes_restores_order() {
+        let (mut d, root) = doc_with_root("item");
+        d.set_attribute(root, "partNum", "926-AA").unwrap();
+        d.set_attribute(root, "extra", "x").unwrap();
+        let saved = d.attributes(root).unwrap().to_vec();
+        d.remove_attribute(root, "partNum").unwrap();
+        d.set_attribute(root, "partNum", "mangled").unwrap();
+        // partNum is now *last*; replace restores the original order.
+        let mangled = d.replace_attributes(root, saved.clone()).unwrap();
+        assert_eq!(mangled[0].name, "extra");
+        assert_eq!(mangled[1].value, "mangled");
+        assert_eq!(d.attributes(root).unwrap(), &saved[..]);
+        assert!(matches!(
+            d.replace_attributes(
+                root,
+                vec![Attribute {
+                    name: "a b".into(),
+                    value: "v".into()
+                }]
+            ),
+            Err(DomError::BadName(_))
+        ));
     }
 
     #[test]

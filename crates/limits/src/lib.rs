@@ -87,6 +87,18 @@ pub enum ResourceErrorKind {
         /// The configured ceiling on collected errors.
         limit: usize,
     },
+    /// One patch payload larger (raw bytes) than the patch-size budget.
+    PatchTooLarge {
+        /// The configured ceiling, in bytes.
+        limit: usize,
+        /// The payload's actual size, in bytes.
+        actual: usize,
+    },
+    /// More patches applied to one session than the patch-count budget.
+    TooManyPatches {
+        /// The configured per-session ceiling on applied patches.
+        limit: u64,
+    },
     /// The per-request deadline passed before validation finished.
     DeadlineExceeded,
     /// The request's [`CancelToken`] was cancelled.
@@ -105,6 +117,8 @@ impl ResourceErrorKind {
             ResourceErrorKind::TooManyExpansions { .. } => "TooManyExpansions",
             ResourceErrorKind::ExpansionTooLarge { .. } => "ExpansionTooLarge",
             ResourceErrorKind::TooManyErrors { .. } => "TooManyErrors",
+            ResourceErrorKind::PatchTooLarge { .. } => "PatchTooLarge",
+            ResourceErrorKind::TooManyPatches { .. } => "TooManyPatches",
             ResourceErrorKind::DeadlineExceeded => "DeadlineExceeded",
             ResourceErrorKind::Cancelled => "Cancelled",
         }
@@ -137,6 +151,12 @@ impl fmt::Display for ResourceErrorKind {
             }
             ResourceErrorKind::TooManyErrors { limit } => {
                 write!(f, "more than {limit} errors collected; checking stopped")
+            }
+            ResourceErrorKind::PatchTooLarge { limit, actual } => {
+                write!(f, "patch is {actual} bytes, over the {limit}-byte budget")
+            }
+            ResourceErrorKind::TooManyPatches { limit } => {
+                write!(f, "more than {limit} patches applied to one session")
             }
             ResourceErrorKind::DeadlineExceeded => write!(f, "validation deadline exceeded"),
             ResourceErrorKind::Cancelled => write!(f, "validation cancelled"),
@@ -192,6 +212,12 @@ pub struct Limits {
     pub max_expansion_bytes: usize,
     /// Maximum validation errors collected before checking stops.
     pub max_errors: usize,
+    /// Maximum raw byte length of a single patch payload (text, attribute
+    /// value, or fragment markup) in an incremental-revalidation session.
+    pub max_patch_bytes: usize,
+    /// Maximum patches applied over the lifetime of one
+    /// incremental-revalidation session (the patch-flood guard).
+    pub max_patches: u64,
     /// Absolute deadline; work stops at the next check once passed.
     pub deadline: Option<Instant>,
     /// Cooperative cancellation; work stops at the next check once
@@ -211,6 +237,8 @@ impl Default for Limits {
             max_entity_expansions: 10_000,
             max_expansion_bytes: 1 << 20,
             max_errors: 1000,
+            max_patch_bytes: 1 << 20,
+            max_patches: 100_000,
             deadline: None,
             cancel: None,
         }
@@ -229,6 +257,8 @@ impl Limits {
             max_entity_expansions: u64::MAX,
             max_expansion_bytes: usize::MAX,
             max_errors: usize::MAX,
+            max_patch_bytes: usize::MAX,
+            max_patches: u64::MAX,
             deadline: None,
             cancel: None,
         }
@@ -273,6 +303,18 @@ impl Limits {
     /// Replaces the error-collection ceiling.
     pub fn with_max_errors(mut self, n: usize) -> Limits {
         self.max_errors = n;
+        self
+    }
+
+    /// Replaces the patch-payload length ceiling.
+    pub fn with_max_patch_bytes(mut self, n: usize) -> Limits {
+        self.max_patch_bytes = n;
+        self
+    }
+
+    /// Replaces the per-session patch-count ceiling.
+    pub fn with_max_patches(mut self, n: u64) -> Limits {
+        self.max_patches = n;
         self
     }
 
@@ -386,7 +428,9 @@ mod tests {
             .with_max_attr_value_bytes(13)
             .with_max_entity_expansions(17)
             .with_max_expansion_bytes(19)
-            .with_max_errors(23);
+            .with_max_errors(23)
+            .with_max_patch_bytes(29)
+            .with_max_patches(31);
         assert_eq!(l.max_depth, 3);
         assert_eq!(l.max_attributes, 7);
         assert_eq!(l.max_input_bytes, 11);
@@ -394,6 +438,8 @@ mod tests {
         assert_eq!(l.max_entity_expansions, 17);
         assert_eq!(l.max_expansion_bytes, 19);
         assert_eq!(l.max_errors, 23);
+        assert_eq!(l.max_patch_bytes, 29);
+        assert_eq!(l.max_patches, 31);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! | `POST /v1/validate/{schema}` | Stream the body through the chunked validator; JSON verdict. |
 //! | `POST /v1/batch/{schema}` | Length-prefixed frames fanned out across the batch pool. |
 //! | `PUT /v1/schemas/{name}` | Compile and hot-swap a schema registration. |
+//! | `POST /v1/session/{schema}` | Open a patchable validated-document session over the body. |
+//! | `POST /v1/session/{id}/patch` | Apply one JSON-encoded [`DomPatch`](validator::DomPatch); incremental revalidation decides. |
+//! | `GET /v1/session/{id}` | The session's current (always valid) document, as XML. |
+//! | `DELETE /v1/session/{id}` | Close a session. |
 //! | `GET /v1/page/orders/{seed}/{count}` | A synthetic purchase order rendered through compiled P-XML templates. |
 //! | `GET /v1/page/directory/{seed}/{breadth}/{depth}` | The Sect. 5 WML directory page, compiled-template path. |
 //! | `GET /metrics` | The process-global Prometheus exporter. |
@@ -46,6 +50,7 @@
 
 pub mod http;
 pub mod json;
+pub mod session;
 pub mod tenants;
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -93,6 +98,12 @@ pub struct ServerConfig {
     pub max_batch_docs: usize,
     /// Maximum schema-upload body, in bytes.
     pub max_schema_bytes: usize,
+    /// Live patch-session cap (`POST /v1/session/{schema}`); beyond it
+    /// new sessions are refused with `503` until one expires or closes.
+    pub max_sessions: usize,
+    /// How long an untouched patch session is kept before the sweeper
+    /// evicts it (checked on every session-table access).
+    pub session_idle: Duration,
     /// Per-tenant admission table (`X-Tenant` header).
     pub tenants: TenantTable,
     /// Kill switch threaded into every request's [`Limits`]: cancelling
@@ -112,22 +123,26 @@ impl Default for ServerConfig {
             keep_alive_idle: Duration::from_secs(5),
             max_batch_docs: 256,
             max_schema_bytes: 1 << 20,
+            max_sessions: 64,
+            session_idle: Duration::from_secs(60),
             tenants: TenantTable::default(),
             cancel: CancelToken::new(),
         }
     }
 }
 
-struct Shared {
-    registry: Arc<SchemaRegistry>,
-    cfg: ServerConfig,
-    draining: AtomicBool,
-    active: AtomicUsize,
-    batch_pool: ThreadPool,
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<SchemaRegistry>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) draining: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) batch_pool: ThreadPool,
     /// Compiled page plans, built lazily from the registered schemas on
     /// the first page request and dropped when the schema is hot-swapped.
     order_templates: RwLock<Option<Arc<OrderTemplates>>>,
     directory_page: RwLock<Option<Arc<CompiledDirectoryPage>>>,
+    /// Live patch sessions (`/v1/session/…`).
+    pub(crate) sessions: session::SessionTable,
 }
 
 /// A running validation service; see the crate docs for the endpoints.
@@ -157,6 +172,7 @@ impl Server {
         let shared = Arc::new(Shared {
             registry,
             batch_pool: ThreadPool::new(cfg.batch_threads),
+            sessions: session::SessionTable::new(cfg.max_sessions, cfg.session_idle),
             cfg,
             draining: AtomicBool::new(false),
             active: AtomicUsize::new(0),
@@ -315,20 +331,20 @@ fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
 
 /// Everything the metrics and the request's wide event need to know
 /// about how one exchange went.
-struct ReqOutcome {
-    status: u16,
+pub(crate) struct ReqOutcome {
+    pub(crate) status: u16,
     /// The connection cannot be reused (unread body, protocol damage).
-    close: bool,
+    pub(crate) close: bool,
     /// Payload bytes consumed from the request body.
-    bytes_in: u64,
-    error_count: u64,
-    limit_trips: u64,
-    malformed_doc: bool,
-    tenant: String,
+    pub(crate) bytes_in: u64,
+    pub(crate) error_count: u64,
+    pub(crate) limit_trips: u64,
+    pub(crate) malformed_doc: bool,
+    pub(crate) tenant: String,
 }
 
 impl ReqOutcome {
-    fn plain(status: u16, close: bool) -> ReqOutcome {
+    pub(crate) fn plain(status: u16, close: bool) -> ReqOutcome {
         ReqOutcome {
             status,
             close,
@@ -454,7 +470,13 @@ fn record_request(status: u16, started: Instant, req: Option<&Request>, outcome:
 
 /// Writes the response for a fully-handled request and reports whether
 /// the connection must close.
-fn respond(conn: &mut Conn, status: u16, content_type: &str, body: &str, close: bool) -> bool {
+pub(crate) fn respond(
+    conn: &mut Conn,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+) -> bool {
     http::write_response(conn.writer(), status, content_type, body.as_bytes(), !close).is_err()
         || close
 }
@@ -488,8 +510,18 @@ fn route(shared: &Arc<Shared>, conn: &mut Conn, req: &Request, deadline: Instant
         ("GET", ["v1", "page", "directory", seed, breadth, depth]) => {
             handle_directory_page(shared, conn, req, deadline, seed, breadth, depth)
         }
+        ("POST", ["v1", "session", schema]) => {
+            session::handle_session_create(shared, conn, req, deadline, schema)
+        }
+        ("POST", ["v1", "session", id, "patch"]) => {
+            session::handle_session_patch(shared, conn, req, deadline, id)
+        }
+        ("GET", ["v1", "session", id]) => session::handle_session_get(shared, conn, req, id),
+        ("DELETE", ["v1", "session", id]) => session::handle_session_delete(shared, conn, req, id),
         (_, ["healthz" | "metrics"])
         | (_, ["v1", "validate" | "batch" | "schemas", _])
+        | (_, ["v1", "session", _])
+        | (_, ["v1", "session", _, "patch"])
         | (_, ["v1", "page", "orders", _, _])
         | (_, ["v1", "page", "directory", _, _, _]) => {
             // known route, wrong verb; an unread body forces a close
@@ -510,7 +542,11 @@ fn route(shared: &Arc<Shared>, conn: &mut Conn, req: &Request, deadline: Instant
 /// The request's effective budget: the tenant's table row, the wire
 /// deadline, and the server-wide kill switch — read deadlines and
 /// validation governance share one clock.
-fn request_limits(shared: &Shared, req: &Request, deadline: Instant) -> (String, Limits) {
+pub(crate) fn request_limits(
+    shared: &Shared,
+    req: &Request,
+    deadline: Instant,
+) -> (String, Limits) {
     let (label, limits) = shared.cfg.tenants.resolve(req.header(TENANT_HEADER));
     (
         label.to_string(),
@@ -521,7 +557,7 @@ fn request_limits(shared: &Shared, req: &Request, deadline: Instant) -> (String,
 }
 
 /// Tallies a verdict's error list for the request outcome.
-fn tally(outcome: &mut ReqOutcome, errors: &[ValidationError]) {
+pub(crate) fn tally(outcome: &mut ReqOutcome, errors: &[ValidationError]) {
     outcome.error_count += errors.len() as u64;
     outcome.limit_trips += errors
         .iter()
@@ -656,7 +692,7 @@ fn handle_validate(
 
 /// Reads a whole (small) body, refusing past `cap` bytes. `Ok(None)`
 /// means the cap tripped.
-fn read_capped(body: &mut Body<'_>, cap: usize) -> std::io::Result<Option<Vec<u8>>> {
+pub(crate) fn read_capped(body: &mut Body<'_>, cap: usize) -> std::io::Result<Option<Vec<u8>>> {
     let mut out = Vec::new();
     let mut buf = [0u8; 8 << 10];
     loop {
@@ -674,7 +710,7 @@ fn read_capped(body: &mut Body<'_>, cap: usize) -> std::io::Result<Option<Vec<u8
 
 /// Maps a body-read failure to its response, shared by the endpoints
 /// that must buffer their (framed or small) bodies.
-fn body_error_response(conn: &mut Conn, outcome: &mut ReqOutcome, e: std::io::Error) {
+pub(crate) fn body_error_response(conn: &mut Conn, outcome: &mut ReqOutcome, e: std::io::Error) {
     let (status, msg) = match e.kind() {
         std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
             (408, "request timed out reading the body")

@@ -1,0 +1,663 @@
+//! The `/v1/session` endpoints: patchable validated-document sessions
+//! over HTTP.
+//!
+//! `POST /v1/session/{schema}` parses and fully validates the request
+//! body, then parks it in the session table as a
+//! [`webgen::DocSession`]. Every later `POST /v1/session/{id}/patch`
+//! carries one JSON-encoded [`DomPatch`] and is answered from the
+//! incremental revalidator: `{"applied":true,…}` with locality counters
+//! on commit, the full typed error list (same kinds and spans a
+//! `/v1/validate` round would report on the patched document) on
+//! rejection — and the held document is untouched by a rejected patch.
+//!
+//! Sessions are process-local and bounded: at most
+//! [`ServerConfig::max_sessions`](crate::ServerConfig::max_sessions)
+//! live at once (`503` beyond that), and a session untouched for
+//! [`ServerConfig::session_idle`](crate::ServerConfig::session_idle) is
+//! evicted by an opportunistic sweep on every table access — there is
+//! no background thread to leak. A graceful drain completes in-flight
+//! patch requests like any other request; the table dies with the
+//! server.
+//!
+//! # Patch wire format
+//!
+//! ```json
+//! {"op":"set_text","path":[0,1],"text":"12345"}
+//! {"op":"set_attr","path":[0],"name":"orderDate","value":"2003-01-07"}
+//! {"op":"remove_attr","path":[0],"name":"orderDate"}
+//! {"op":"append_child","path":[0,2],"node":{"kind":"element","xml":"<item …/>"}}
+//! {"op":"insert_child","path":[0],"index":1,"node":{"kind":"comment","text":" note "}}
+//! {"op":"remove_child","path":[0],"index":1}
+//! {"op":"replace_child","path":[0],"index":1,"node":{"kind":"element","xml":"<shipTo …/>"}}
+//! ```
+//!
+//! `path` addresses a node by child indexes from the document node
+//! (every node kind counts). Node kinds: `element` (`xml` fragment),
+//! `text` (`text`), `comment` (`text`), `pi` (`target`, `data`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use limits::Limits;
+use validator::{DomPatch, NewNode, PatchError, ValidationError, ValidationErrorKind};
+use webgen::{DocSession, SessionError};
+
+use crate::http::{self, Body, Conn, Framing, Request};
+use crate::json::{self, JsonValue};
+use crate::{body_error_response, read_capped, respond, tally, ReqOutcome, Shared, TENANT_HEADER};
+
+/// One parked session plus its idle clock.
+struct Entry {
+    session: DocSession,
+    last_used: Instant,
+}
+
+/// The live-session map: id → session, capacity-capped and idle-swept.
+/// Each session is individually locked so patches to different sessions
+/// proceed in parallel while two patches to the *same* session
+/// serialize (the incremental validator is stateful).
+pub(crate) struct SessionTable {
+    entries: RwLock<HashMap<u64, Arc<Mutex<Entry>>>>,
+    next_id: AtomicU64,
+    max_sessions: usize,
+    idle: Duration,
+}
+
+impl SessionTable {
+    pub(crate) fn new(max_sessions: usize, idle: Duration) -> SessionTable {
+        SessionTable {
+            entries: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            max_sessions,
+            idle,
+        }
+    }
+
+    /// Evicts every session idle past the TTL. Runs opportunistically on
+    /// each table access.
+    fn sweep(&self) {
+        let now = Instant::now();
+        let mut evicted = 0usize;
+        self.entries.write().expect("session table").retain(|_, e| {
+            // a session another request holds locked is in use by
+            // definition — try_lock failure keeps it
+            match e.try_lock() {
+                Ok(entry) => {
+                    let keep = now.duration_since(entry.last_used) <= self.idle;
+                    if !keep {
+                        evicted += 1;
+                    }
+                    keep
+                }
+                Err(_) => true,
+            }
+        });
+        if evicted > 0 {
+            count_closed("expired", evicted as u64);
+        }
+    }
+
+    /// Parks a session, returning its id — or `None` at the cap.
+    fn insert(&self, session: DocSession) -> Option<u64> {
+        self.sweep();
+        let mut entries = self.entries.write().expect("session table");
+        if entries.len() >= self.max_sessions {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        entries.insert(
+            id,
+            Arc::new(Mutex::new(Entry {
+                session,
+                last_used: Instant::now(),
+            })),
+        );
+        Some(id)
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<Mutex<Entry>>> {
+        self.sweep();
+        self.entries
+            .read()
+            .expect("session table")
+            .get(&id)
+            .cloned()
+    }
+
+    fn remove(&self, id: u64) -> bool {
+        let removed = self
+            .entries
+            .write()
+            .expect("session table")
+            .remove(&id)
+            .is_some();
+        if removed {
+            count_closed("deleted", 1);
+        }
+        removed
+    }
+
+    /// Live sessions (tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.read().expect("session table").len()
+    }
+}
+
+fn count_closed(reason: &'static str, n: u64) {
+    if obs::enabled() {
+        obs::metrics()
+            .counter_with(
+                "http_sessions_closed_total",
+                "Patch sessions closed, by reason.",
+                &[("reason", reason)],
+            )
+            .inc_by(n);
+    }
+}
+
+/// Decodes one wire patch. Errors are user-facing `400` messages.
+pub(crate) fn decode_patch(v: &JsonValue) -> Result<DomPatch, String> {
+    let op = v
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"op\"")?;
+    let path = || -> Result<Vec<usize>, String> {
+        v.get("path")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field \"path\"")?
+            .iter()
+            .map(|x| x.as_usize().ok_or_else(|| "bad path index".to_string()))
+            .collect()
+    };
+    let string_field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field {name:?}"))
+    };
+    let index = || -> Result<usize, String> {
+        v.get("index")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| "missing integer field \"index\"".to_string())
+    };
+    let node = || -> Result<NewNode, String> {
+        let n = v.get("node").ok_or("missing object field \"node\"")?;
+        let kind = n
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field \"node.kind\"")?;
+        let nfield = |name: &str| -> Result<String, String> {
+            n.get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field \"node.{name}\""))
+        };
+        match kind {
+            "element" => Ok(NewNode::Element {
+                xml: nfield("xml")?,
+            }),
+            "text" => Ok(NewNode::Text(nfield("text")?)),
+            "comment" => Ok(NewNode::Comment(nfield("text")?)),
+            "pi" => Ok(NewNode::Pi {
+                target: nfield("target")?,
+                data: nfield("data")?,
+            }),
+            other => Err(format!("unknown node kind {other:?}")),
+        }
+    };
+    match op {
+        "set_text" => Ok(DomPatch::SetText {
+            at: path()?,
+            text: string_field("text")?,
+        }),
+        "set_attr" => Ok(DomPatch::SetAttr {
+            at: path()?,
+            name: string_field("name")?,
+            value: string_field("value")?,
+        }),
+        "remove_attr" => Ok(DomPatch::RemoveAttr {
+            at: path()?,
+            name: string_field("name")?,
+        }),
+        "append_child" => Ok(DomPatch::AppendChild {
+            at: path()?,
+            child: node()?,
+        }),
+        "insert_child" => Ok(DomPatch::InsertChild {
+            at: path()?,
+            index: index()?,
+            child: node()?,
+        }),
+        "remove_child" => Ok(DomPatch::RemoveChild {
+            at: path()?,
+            index: index()?,
+        }),
+        "replace_child" => Ok(DomPatch::ReplaceChild {
+            at: path()?,
+            index: index()?,
+            child: node()?,
+        }),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Buffers a (small) request body, answering the framing/i-o failure
+/// modes in place. `None` means the response is already written.
+fn buffer_body(
+    conn: &mut Conn,
+    req: &Request,
+    deadline: Instant,
+    cap: usize,
+    outcome: &mut ReqOutcome,
+    what: &str,
+) -> Option<String> {
+    let framing = match http::framing(req) {
+        Ok(Framing::None) => {
+            outcome.status = 411;
+            outcome.close = respond(
+                conn,
+                411,
+                "application/json",
+                &json::error_json(&format!("a {what} body is required")),
+                false,
+            );
+            return None;
+        }
+        Ok(f) => f,
+        Err(_) => {
+            outcome.status = 400;
+            outcome.close = respond(
+                conn,
+                400,
+                "application/json",
+                &json::error_json("bad body framing"),
+                true,
+            );
+            return None;
+        }
+    };
+    if let Framing::Length(n) = framing {
+        if n > cap as u64 {
+            outcome.status = 413;
+            outcome.close = respond(
+                conn,
+                413,
+                "application/json",
+                &json::error_json(&format!("{what} body too large")),
+                true,
+            );
+            return None;
+        }
+    }
+    let mut body = Body::new(conn, framing, deadline);
+    let raw = match read_capped(&mut body, cap) {
+        Ok(Some(raw)) => raw,
+        Ok(None) => {
+            outcome.bytes_in = body.consumed();
+            outcome.status = 413;
+            outcome.close = respond(
+                conn,
+                413,
+                "application/json",
+                &json::error_json(&format!("{what} body too large")),
+                true,
+            );
+            return None;
+        }
+        Err(e) => {
+            outcome.bytes_in = body.consumed();
+            body_error_response(conn, outcome, e);
+            return None;
+        }
+    };
+    outcome.bytes_in = body.consumed();
+    match String::from_utf8(raw) {
+        Ok(s) => Some(s),
+        Err(_) => {
+            outcome.status = 400;
+            outcome.close = respond(
+                conn,
+                400,
+                "application/json",
+                &json::error_json(&format!("{what} body is not UTF-8")),
+                false,
+            );
+            None
+        }
+    }
+}
+
+/// The session's standing budget: the tenant row plus the server kill
+/// switch, but **not** the open request's wire deadline — the session
+/// outlives the request that created it.
+fn session_limits(shared: &Shared, req: &Request) -> (String, Limits) {
+    let (label, limits) = shared.cfg.tenants.resolve(req.header(TENANT_HEADER));
+    (
+        label.to_string(),
+        limits.with_cancel_token(&shared.cfg.cancel),
+    )
+}
+
+/// `POST /v1/session/{schema}` — full validation pass, then park.
+pub(crate) fn handle_session_create(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    req: &Request,
+    deadline: Instant,
+    schema: &str,
+) -> ReqOutcome {
+    let (tenant, limits) = session_limits(shared, req);
+    let mut outcome = ReqOutcome {
+        tenant,
+        ..ReqOutcome::plain(200, false)
+    };
+    let Some(document) = buffer_body(
+        conn,
+        req,
+        deadline,
+        limits.max_input_bytes,
+        &mut outcome,
+        "document",
+    ) else {
+        return outcome;
+    };
+    let _span = obs::span!("http.session.create", schema = schema);
+    match shared.registry.open_session(schema, &document, limits) {
+        Ok(session) => match shared.sessions.insert(session) {
+            Some(id) => {
+                if obs::enabled() {
+                    obs::metrics()
+                        .counter("http_sessions_opened_total", "Patch sessions opened.")
+                        .inc();
+                }
+                let entry = shared.sessions.get(id).expect("just inserted");
+                let nodes = entry
+                    .lock()
+                    .expect("session")
+                    .session
+                    .validator()
+                    .node_count();
+                let mut body = String::from("{\"session\":");
+                json::escape_into(&mut body, &id.to_string());
+                body.push_str(",\"schema\":");
+                json::escape_into(&mut body, schema);
+                body.push_str(&format!(",\"nodes\":{nodes}}}"));
+                outcome.status = 201;
+                outcome.close = respond(conn, 201, "application/json", &body, false);
+                outcome
+            }
+            None => {
+                outcome.status = 503;
+                outcome.close = respond(
+                    conn,
+                    503,
+                    "application/json",
+                    &json::error_json("session limit reached"),
+                    false,
+                );
+                outcome
+            }
+        },
+        Err(SessionError::UnknownSchema(_)) => {
+            outcome.status = 404;
+            outcome.close = respond(
+                conn,
+                404,
+                "application/json",
+                &json::error_json(&format!("no schema registered under {schema:?}")),
+                false,
+            );
+            outcome
+        }
+        Err(SessionError::Invalid(errors)) => {
+            tally(&mut outcome, &errors);
+            // a session requires a valid document, so plain invalidity is
+            // a client error here — unlike /v1/validate, where "invalid"
+            // is a successful answer
+            outcome.status = match json::status_for(&errors) {
+                200 => 422,
+                s => s,
+            };
+            outcome.close = respond(
+                conn,
+                outcome.status,
+                "application/json",
+                &json::verdict_json(schema, &errors),
+                false,
+            );
+            outcome
+        }
+    }
+}
+
+/// Answers 404 for an id that does not parse or is not parked.
+fn session_not_found(conn: &mut Conn, outcome: &mut ReqOutcome, id: &str) {
+    outcome.status = 404;
+    outcome.close = respond(
+        conn,
+        404,
+        "application/json",
+        &json::error_json(&format!("no session {id:?} (expired or never opened)")),
+        false,
+    );
+}
+
+/// `POST /v1/session/{id}/patch` — one patch, one verdict.
+pub(crate) fn handle_session_patch(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    req: &Request,
+    deadline: Instant,
+    id: &str,
+) -> ReqOutcome {
+    let (tenant, limits) = session_limits(shared, req);
+    let mut outcome = ReqOutcome {
+        tenant,
+        ..ReqOutcome::plain(200, false)
+    };
+    // the patch JSON wrapper is bounded by the patch-payload budget plus
+    // generous framing slack — a hostile megabyte of path indexes is
+    // refused before parsing
+    let cap = limits.max_patch_bytes.saturating_add(16 << 10);
+    let Some(body) = buffer_body(conn, req, deadline, cap, &mut outcome, "patch") else {
+        return outcome;
+    };
+    let entry = match id
+        .parse::<u64>()
+        .ok()
+        .and_then(|id| shared.sessions.get(id))
+    {
+        Some(entry) => entry,
+        None => {
+            session_not_found(conn, &mut outcome, id);
+            return outcome;
+        }
+    };
+    let patch = match json::parse_json(&body).and_then(|v| decode_patch(&v)) {
+        Ok(patch) => patch,
+        Err(msg) => {
+            outcome.status = 400;
+            outcome.close = respond(
+                conn,
+                400,
+                "application/json",
+                &json::error_json(&format!("bad patch: {msg}")),
+                false,
+            );
+            return outcome;
+        }
+    };
+    let mut entry = entry.lock().expect("session");
+    entry.last_used = Instant::now();
+    let result = entry.session.apply(&patch);
+    match result {
+        Ok(()) => {
+            let v = entry.session.validator();
+            let body = format!(
+                "{{\"applied\":true,\"op\":\"{}\",\"nodes_rechecked\":{},\"doc_nodes\":{}}}",
+                patch.op_name(),
+                v.nodes_rechecked(),
+                v.node_count()
+            );
+            outcome.status = 200;
+            outcome.close = respond(conn, 200, "application/json", &body, false);
+            outcome
+        }
+        Err(PatchError::Invalid(errors)) => {
+            tally(&mut outcome, &errors);
+            // the patch was *processed* successfully; the answer is
+            // "rejected" — 200, like an invalid /v1/validate verdict
+            let mut body = String::from("{\"applied\":false,");
+            body.push_str(&json::verdict_json(entry.session.schema_name(), &errors)[1..]);
+            outcome.status = 200;
+            outcome.close = respond(conn, 200, "application/json", &body, false);
+            outcome
+        }
+        Err(PatchError::Resource(kind)) => {
+            let errors = vec![ValidationError {
+                kind: ValidationErrorKind::Resource(kind),
+                span: None,
+            }];
+            tally(&mut outcome, &errors);
+            outcome.status = json::status_for(&errors);
+            let mut body = String::from("{\"applied\":false,");
+            body.push_str(&json::verdict_json(entry.session.schema_name(), &errors)[1..]);
+            outcome.close = respond(conn, outcome.status, "application/json", &body, false);
+            outcome
+        }
+        Err(e @ (PatchError::Structure(_) | PatchError::Fragment(_))) => {
+            outcome.status = 400;
+            outcome.close = respond(
+                conn,
+                400,
+                "application/json",
+                &json::error_json(&e.to_string()),
+                false,
+            );
+            outcome
+        }
+    }
+}
+
+/// `GET /v1/session/{id}` — the current document.
+pub(crate) fn handle_session_get(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    _req: &Request,
+    id: &str,
+) -> ReqOutcome {
+    let mut outcome = ReqOutcome::plain(200, false);
+    let entry = match id
+        .parse::<u64>()
+        .ok()
+        .and_then(|id| shared.sessions.get(id))
+    {
+        Some(entry) => entry,
+        None => {
+            session_not_found(conn, &mut outcome, id);
+            return outcome;
+        }
+    };
+    let mut entry = entry.lock().expect("session");
+    entry.last_used = Instant::now();
+    let xml = entry.session.to_xml();
+    outcome.close = respond(conn, 200, "application/xml", &xml, false);
+    outcome
+}
+
+/// `DELETE /v1/session/{id}` — close a session.
+pub(crate) fn handle_session_delete(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    _req: &Request,
+    id: &str,
+) -> ReqOutcome {
+    let mut outcome = ReqOutcome::plain(200, false);
+    match id.parse::<u64>().ok().map(|id| shared.sessions.remove(id)) {
+        Some(true) => {
+            outcome.close = respond(conn, 200, "application/json", "{\"closed\":true}", false);
+            outcome
+        }
+        _ => {
+            session_not_found(conn, &mut outcome, id);
+            outcome
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_covers_every_op_and_rejects_malformed() {
+        let p = decode_patch(
+            &json::parse_json("{\"op\":\"set_text\",\"path\":[0,1],\"text\":\"x\"}").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            p,
+            DomPatch::SetText {
+                at: vec![0, 1],
+                text: "x".into()
+            }
+        );
+        let p = decode_patch(
+            &json::parse_json(
+                "{\"op\":\"replace_child\",\"path\":[],\"index\":3,\
+                 \"node\":{\"kind\":\"pi\",\"target\":\"t\",\"data\":\"d\"}}",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            p,
+            DomPatch::ReplaceChild {
+                at: vec![],
+                index: 3,
+                child: NewNode::Pi {
+                    target: "t".into(),
+                    data: "d".into()
+                }
+            }
+        );
+        for bad in [
+            "{}",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"set_text\",\"path\":[-1],\"text\":\"x\"}",
+            "{\"op\":\"set_text\",\"path\":[0.5],\"text\":\"x\"}",
+            "{\"op\":\"set_text\",\"path\":0,\"text\":\"x\"}",
+            "{\"op\":\"append_child\",\"path\":[],\"node\":{\"kind\":\"blob\"}}",
+            "{\"op\":\"insert_child\",\"path\":[],\"node\":{\"kind\":\"text\",\"text\":\"x\"}}",
+        ] {
+            let v = json::parse_json(bad).unwrap();
+            assert!(decode_patch(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn table_caps_and_sweeps() {
+        let reg = webgen::SchemaRegistry::with_corpus().unwrap();
+        let doc = webgen::render_order_string(&webgen::generate_order(1, 1));
+        let open = || {
+            reg.open_session("purchase-order", &doc, Limits::default())
+                .unwrap()
+        };
+        let table = SessionTable::new(2, Duration::from_secs(60));
+        let a = table.insert(open()).unwrap();
+        let _b = table.insert(open()).unwrap();
+        assert!(table.insert(open()).is_none(), "cap refuses the third");
+        assert!(table.remove(a));
+        assert!(!table.remove(a));
+        assert!(table.insert(open()).is_some());
+        // zero TTL: everything idle is swept on the next access
+        let table = SessionTable::new(8, Duration::ZERO);
+        let id = table.insert(open()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(table.get(id).is_none(), "idle session swept");
+        assert_eq!(table.len(), 0);
+    }
+}

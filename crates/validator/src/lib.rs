@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod patch;
 pub mod stream;
 
 use automata::Matcher;
@@ -32,6 +33,7 @@ use schema::{AttributeUse, CompiledSchema, ContentModel, TypeDef, TypeRef};
 use xmlchars::Span;
 
 pub use error::{ValidationError, ValidationErrorKind};
+pub use patch::{apply_unchecked, DomPatch, IncrementalValidator, NewNode, NodePath, PatchError};
 pub use stream::{
     validate_chunks_streaming, validate_chunks_streaming_with_limits, validate_read_streaming,
     validate_read_streaming_with_limits, validate_str_streaming,
@@ -43,7 +45,7 @@ pub use stream::{
 /// Programmatically built nodes carry the sentinel default span; those are
 /// reported as position-free (`None`) instead of pretending the violation
 /// sits at line 1, column 1.
-fn node_span(doc: &Document, node: NodeId) -> Option<Span> {
+pub(crate) fn node_span(doc: &Document, node: NodeId) -> Option<Span> {
     doc.span(node).ok().filter(|s| *s != Span::default())
 }
 
@@ -235,7 +237,7 @@ pub fn validate_element(
     }
 }
 
-fn validate_simple_element(
+pub(crate) fn validate_simple_element(
     compiled: &CompiledSchema,
     doc: &Document,
     node: NodeId,

@@ -23,6 +23,7 @@ pub mod html_page;
 pub mod media;
 pub mod orders;
 pub mod registry;
+pub mod session;
 
 pub use directory_page::{
     render_dom, render_string, render_string_buggy, render_vdom, CompiledDirectoryPage,
@@ -39,3 +40,4 @@ pub use orders::{
 };
 pub use pool::ThreadPool;
 pub use registry::{PageError, RegisterError, SchemaRegistry, TemplateError};
+pub use session::{DocSession, SessionError};

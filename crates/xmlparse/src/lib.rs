@@ -24,4 +24,6 @@ pub use error::{ParseError, ParseErrorKind};
 pub use event::{AttributeEvent, BorrowedAttribute, BorrowedEvent, Event};
 pub use feed::FeedReader;
 pub use reader::{Reader, ReaderStats};
-pub use tree::{parse_document, parse_document_with_limits, parse_fragment};
+pub use tree::{
+    parse_document, parse_document_with_limits, parse_fragment, parse_fragment_with_limits,
+};

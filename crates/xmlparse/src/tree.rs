@@ -30,7 +30,18 @@ pub fn parse_document_with_limits(src: &str, limits: &Limits) -> Result<Document
 /// Returns the document plus the id of the fragment's root element. Used
 /// by the P-XML constructor parser.
 pub fn parse_fragment(src: &str) -> Result<(Document, NodeId), ParseError> {
-    let doc = build(Reader::fragment(src))?;
+    parse_fragment_with_limits(src, &Limits::unbounded())
+}
+
+/// [`parse_fragment`] under a resource budget — the incremental
+/// revalidator (`validator::patch`) parses patch-supplied fragments with
+/// the session's [`Limits`] so a hostile payload is rejected with a
+/// typed [`ParseErrorKind::Resource`] before it can grow a tree.
+pub fn parse_fragment_with_limits(
+    src: &str,
+    limits: &Limits,
+) -> Result<(Document, NodeId), ParseError> {
+    let doc = build(Reader::with_limits(src, limits.clone()))?;
     let root = doc.root_element().ok_or(ParseError::new(
         ParseErrorKind::NoRootElement,
         xmlchars::Position::START,

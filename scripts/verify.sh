@@ -142,6 +142,21 @@ for needle in "hostile document typed rejection -> 422" \
   fi
 done
 
+echo "==> incremental revalidation gate (differential + hostile + resume audit + sessions)"
+# patch_prop holds the incremental verdict (error kinds AND spans) equal
+# to full revalidation over an independently patched tree across random
+# patch sequences, with byte-identical rollback on rejection; resume_audit
+# proves ContentDfa::resume behaviorally identical to stepping from state
+# 0 at every split point of every corpus content model; patch_hostile
+# throws metacharacters, unserializable comments/PIs, wrong-namespace
+# QNames and patch floods at the validator; http_session drives the
+# /v1/session endpoints socket-level including expiry, capacity and a
+# drain that completes an in-flight patch.
+timeout 300 cargo test -q -p integration-tests \
+  --test patch_prop --test patch_hostile --test resume_audit --test http_session
+timeout 120 cargo test -q -p validator patch
+timeout 120 cargo test -q -p webgen session
+
 echo "==> compiled template gate (plan ≡ interpreter differential battery)"
 # The battery holds CompiledTemplate::render byte-identical to
 # instantiate(...).to_xml() — or the identical typed error — across

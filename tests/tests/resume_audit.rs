@@ -1,0 +1,303 @@
+//! Audit of [`ContentDfa::resume`] mid-sibling entry states — the
+//! foundation the incremental revalidator (`validator::patch`) stands
+//! on.
+//!
+//! The claim: because the subset-constructed automaton is
+//! deterministic, the state reached after consuming a prefix is a pure
+//! function of that prefix — so a matcher *resumed* at that state and
+//! stepped over the suffix behaves identically (same states, same
+//! step outcomes, same `expected()` sets, same acceptance) to a matcher
+//! stepped over the whole sequence from state 0. This must hold at
+//! **every split point** of both valid sequences and sequences with
+//! invalid tails, over **every** content model of both corpus schemas —
+//! in particular at positions just after an *optional-particle prefix*
+//! (e.g. `purchaseOrder` after `shipTo billTo comment`, where the
+//! optional `comment` has shifted the state), the case the audit was
+//! written to pin down.
+
+use automata::{ContentDfa, Matcher};
+use schema::corpus::{PURCHASE_ORDER_XSD, WML_XSD};
+use schema::{CompiledSchema, TypeDef};
+
+/// Every complex type of `xsd` that has an element-content DFA, by name.
+fn content_dfas(xsd: &str) -> Vec<(String, std::sync::Arc<ContentDfa>)> {
+    let compiled = CompiledSchema::parse(xsd).unwrap();
+    let mut out = Vec::new();
+    for (name, def) in &compiled.schema().types {
+        if matches!(def, TypeDef::Complex(_)) {
+            if let Ok(dfa) = compiled.content_dfa(name) {
+                out.push((name.clone(), dfa));
+            }
+        }
+    }
+    assert!(!out.is_empty(), "no content models found in schema");
+    out
+}
+
+/// A tiny deterministic LCG so the sequence set is reproducible without
+/// pulling in a randomness crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[(self.next() as usize) % items.len()])
+        }
+    }
+}
+
+/// Generates symbol sequences against `dfa`: greedy-random walks that
+/// follow `expected()` (valid prefixes, some complete), plus variants
+/// with deliberately wrong tails. Every distinct shape matters more
+/// than volume — the audit compares *behaviors*, so even rejected
+/// suffixes are interesting.
+fn sequences(dfa: &ContentDfa, seed: u64) -> Vec<Vec<String>> {
+    let mut lcg = Lcg(seed);
+    let mut out = vec![Vec::new()];
+    for len in [1usize, 2, 3, 5, 8, 13] {
+        for round in 0..6 {
+            let mut m = dfa.start();
+            let mut seq = Vec::new();
+            for _ in 0..len {
+                let choices = m.expected();
+                let Some(sym) = lcg.pick(&choices) else { break };
+                m.step(sym).expect("expected symbol steps");
+                seq.push(sym.clone());
+            }
+            if seq.is_empty() && len > 1 {
+                continue;
+            }
+            // valid-prefix form
+            out.push(seq.clone());
+            // wrong-tail form: append a symbol the model never uses, and
+            // (every other round) a symbol it uses somewhere but which
+            // may be wrong *here*
+            let mut bad = seq.clone();
+            bad.push("bogus-element".to_string());
+            out.push(bad);
+            if round % 2 == 0 && !seq.is_empty() {
+                let mut shuffled = seq.clone();
+                let take = (lcg.next() as usize) % shuffled.len();
+                shuffled.rotate_left(take);
+                out.push(shuffled);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The audit core: for `seq`, compare a full walk from state 0 against a
+/// resumed walk from every split point. The full walk's state sequence
+/// is recorded first; the resumed matcher must then reproduce its exact
+/// suffix behavior.
+fn audit_sequence(type_name: &str, dfa: &ContentDfa, seq: &[String]) {
+    // full walk, recording the state before every position + the outcome
+    // of every step
+    let mut m = dfa.start();
+    let mut states = vec![m.state()];
+    let mut outcomes: Vec<Result<(), Vec<String>>> = Vec::new();
+    let mut alive = true;
+    for sym in seq {
+        if !alive {
+            break;
+        }
+        match m.step(sym) {
+            Ok(()) => outcomes.push(Ok(())),
+            Err(e) => {
+                outcomes.push(Err(e.expected));
+                alive = false;
+            }
+        }
+        states.push(m.state());
+    }
+    let full_accepting = alive && m.is_accepting();
+    let full_expected = m.expected();
+    // the prefix that can be replayed step-by-step: everything before the
+    // first failed step (a failed step leaves no meaningful "after" state
+    // to resume from)
+    let replayable = if alive {
+        outcomes.len()
+    } else {
+        outcomes.len() - 1
+    };
+
+    // resume at every split point along the valid prefix
+    for split in 0..=replayable {
+        let mut r = dfa.resume(states[split]);
+        assert_eq!(
+            r.state(),
+            states[split],
+            "{type_name}: resume({}) does not report its own state",
+            states[split]
+        );
+        // the resumed matcher's view of the state must match the full
+        // walk's view at the same position
+        let mut probe = dfa.resume(states[split]);
+        let full_probe = {
+            let mut f = dfa.start();
+            for sym in &seq[..split] {
+                f.step(sym).expect("prefix replays");
+            }
+            f
+        };
+        assert_eq!(
+            probe.expected(),
+            full_probe.expected(),
+            "{type_name}: expected() diverges at split {split}"
+        );
+        assert_eq!(
+            probe.is_accepting(),
+            full_probe.is_accepting(),
+            "{type_name}: is_accepting() diverges at split {split}"
+        );
+        // try_step_sym parity with step() for one probe symbol
+        if let Some(sym) = probe.expected().first().cloned() {
+            let stepped = probe.try_step_sym(symbols::intern(&sym));
+            assert!(
+                stepped,
+                "{type_name}: try_step_sym rejects an expected symbol"
+            );
+        }
+        // walk the suffix; states and step outcomes must replay exactly
+        for (offset, sym) in seq[split..].iter().enumerate() {
+            let pos = split + offset;
+            if pos >= outcomes.len() {
+                break;
+            }
+            assert_eq!(
+                r.state(),
+                states[pos],
+                "{type_name}: state diverges at position {pos} (split {split})"
+            );
+            match (&outcomes[pos], r.step(sym)) {
+                (Ok(()), Ok(())) => {}
+                (Err(expected), Err(e)) => {
+                    assert_eq!(
+                        *expected, e.expected,
+                        "{type_name}: failure expected-set diverges at {pos}"
+                    );
+                    break; // full walk stopped here too
+                }
+                (full, resumed) => panic!(
+                    "{type_name}: step outcome diverges at {pos} (split {split}): \
+                     full={full:?} resumed={resumed:?}",
+                    resumed = resumed.map_err(|e| e.expected),
+                ),
+            }
+        }
+        if alive || states[split..].len() > seq.len() - split {
+            // both walks consumed the whole sequence (or stopped at the
+            // same failure); final verdicts must agree
+            if alive {
+                assert_eq!(
+                    r.is_accepting(),
+                    full_accepting,
+                    "{type_name}: acceptance diverges after resume at {split}"
+                );
+                assert_eq!(
+                    r.expected(),
+                    full_expected,
+                    "{type_name}: final expected() diverges after resume at {split}"
+                );
+            }
+        }
+    }
+}
+
+/// Every content model of both corpus schemas, audited over generated
+/// valid and invalid-tail sequences at every split point.
+#[test]
+fn resumed_stepping_matches_full_stepping_everywhere() {
+    let mut models = content_dfas(PURCHASE_ORDER_XSD);
+    models.extend(content_dfas(WML_XSD));
+    let mut audited = 0usize;
+    for (i, (type_name, dfa)) in models.iter().enumerate() {
+        for seq in sequences(dfa, 0x5EED_0000 + i as u64) {
+            audit_sequence(type_name, dfa, &seq);
+            audited += 1;
+        }
+    }
+    assert!(
+        audited > 100,
+        "suspiciously few sequences audited: {audited}"
+    );
+}
+
+/// The regression the audit was commissioned for, spelled out by hand:
+/// `purchaseOrder`'s model is `shipTo billTo comment? items` — position
+/// 2 can be *two different states* depending on whether the optional
+/// `comment` was consumed. Resuming must respect the actual state, not
+/// the position.
+#[test]
+fn optional_particle_prefix_states_are_position_independent() {
+    let compiled = CompiledSchema::parse(PURCHASE_ORDER_XSD).unwrap();
+    let dfa = compiled.content_dfa("PurchaseOrderType").unwrap();
+
+    // path A: shipTo billTo           → expects comment | items
+    let mut a = dfa.start();
+    a.step("shipTo").unwrap();
+    a.step("billTo").unwrap();
+    assert_eq!(
+        a.expected(),
+        vec!["comment".to_string(), "items".to_string()]
+    );
+
+    // path B: shipTo billTo comment   → expects items only
+    let mut b = dfa.resume(a.state());
+    b.step("comment").unwrap();
+    assert_eq!(b.expected(), vec!["items".to_string()]);
+    assert_ne!(
+        a.state(),
+        b.state(),
+        "consuming the optional particle must move the state"
+    );
+
+    // resuming each state reproduces each behavior
+    let mut ra = dfa.resume(a.state());
+    assert!(ra.step("comment").is_ok());
+    let mut ra2 = dfa.resume(a.state());
+    assert!(ra2.step("items").is_ok());
+    assert!(ra2.is_accepting());
+    let mut rb = dfa.resume(b.state());
+    assert!(
+        rb.step("comment").is_err(),
+        "a second comment must be rejected after the optional slot is used"
+    );
+    let mut rb2 = dfa.resume(b.state());
+    assert!(rb2.step("items").is_ok());
+    assert!(rb2.is_accepting());
+}
+
+/// WML's `PType` is a mixed choice with unbounded repetition — every
+/// state accepts every choice member, so resume must be stable under
+/// long repetitions and the accepting flag must hold at every position.
+#[test]
+fn mixed_choice_repetition_resumes_stably() {
+    let compiled = CompiledSchema::parse(WML_XSD).unwrap();
+    let dfa = compiled.content_dfa("PType").unwrap();
+    let members = dfa.start().expected();
+    assert!(members.contains(&"b".to_string()), "{members:?}");
+    let mut m = dfa.start();
+    for (i, sym) in members.iter().cycle().take(24).enumerate() {
+        let before = m.state();
+        let mut r = dfa.resume(before);
+        assert_eq!(r.expected(), m.expected(), "iteration {i}");
+        assert_eq!(r.is_accepting(), m.is_accepting(), "iteration {i}");
+        m.step(sym).unwrap();
+        r.step(sym).unwrap();
+        assert_eq!(r.state(), m.state(), "iteration {i}");
+    }
+    assert!(m.is_accepting());
+}
